@@ -1,0 +1,160 @@
+// Shared harness for the paper-figure benchmarks. Each bench binary prints
+// the series a figure in §6 reports, as CSV-ish rows: the absolute numbers
+// come from the simulated disk model plus measured CPU time (DESIGN.md
+// explains the substitution), but the *shape* — who wins, by what factor,
+// where crossovers fall — is the reproduction target.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/dataset.h"
+#include "workload/driver.h"
+#include "workload/tweet_gen.h"
+
+namespace auxlsm {
+namespace bench {
+
+/// Wall-clock + simulated-I/O stopwatch over an Env (and optionally a WAL).
+class Stopwatch {
+ public:
+  explicit Stopwatch(Env* env, Wal* wal = nullptr)
+      : env_(env), wal_(wal) { Reset(); }
+
+  void Reset() {
+    t0_ = std::chrono::steady_clock::now();
+    io0_ = env_->stats();
+    wal_us0_ = wal_ ? wal_->stats().simulated_us : 0;
+  }
+
+  /// CPU-side elapsed seconds.
+  double WallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+  /// Simulated disk seconds since Reset.
+  double IoSeconds() const {
+    double us = env_->stats().simulated_us - io0_.simulated_us;
+    if (wal_ != nullptr) us += wal_->stats().simulated_us - wal_us0_;
+    return us / 1e6;
+  }
+  /// Total modeled time: CPU + simulated I/O.
+  double Seconds() const { return WallSeconds() + IoSeconds(); }
+
+  IoStats IoDelta() const { return env_->stats() - io0_; }
+
+ private:
+  Env* env_;
+  Wal* wal_;
+  std::chrono::steady_clock::time_point t0_;
+  IoStats io0_;
+  double wal_us0_ = 0;
+};
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", figure.c_str(), title.c_str());
+}
+
+inline void PrintRow(const std::string& series, const std::string& x,
+                     double seconds, const std::string& extra = "") {
+  std::printf("%-32s x=%-12s time_s=%10.4f %s\n", series.c_str(), x.c_str(),
+              seconds, extra.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+/// Common scaled-down environment: 4 KiB pages, HDD cost model. Cache sized
+/// by the caller to mimic the paper's cache:data ratios.
+inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false) {
+  EnvOptions o;
+  o.page_size = 4096;
+  o.cache_pages = cache_mb * 1024 * 1024 / o.page_size;
+  o.disk_profile = ssd ? DiskProfile::Ssd() : DiskProfile::Hdd();
+  o.scan_readahead_pages = 64;
+  return o;
+}
+
+/// A dataset prepared by upserting `base_records` fresh records and then
+/// applying extra updates so that `update_ratio` of the final live records
+/// have an obsolete older version (the §6.4 datasets).
+struct QueryFixture {
+  std::unique_ptr<Env> env;
+  std::unique_ptr<Dataset> ds;
+};
+
+inline QueryFixture BuildQueryFixture(MaintenanceStrategy strategy,
+                                      bool merge_repair,
+                                      double update_ratio,
+                                      uint64_t base_records,
+                                      size_t cache_mb,
+                                      size_t record_bytes = 0) {
+  QueryFixture f;
+  f.env = std::make_unique<Env>(BenchEnv(cache_mb));
+  DatasetOptions o;
+  o.strategy = strategy;
+  o.merge_repair = merge_repair;
+  o.mem_budget_bytes = 1 << 20;
+  o.max_mergeable_bytes = 4 << 20;
+  f.ds = std::make_unique<Dataset>(f.env.get(), o);
+  TweetGenOptions go;
+  if (record_bytes > 0) {
+    go.min_message_bytes = record_bytes;
+    go.max_message_bytes = record_bytes;
+  }
+  TweetGenerator gen(go);
+  for (uint64_t i = 0; i < base_records; i++) {
+    if (!f.ds->Upsert(gen.Next()).ok()) std::abort();
+  }
+  if (update_ratio > 0) {
+    Random rng(17);
+    const auto updates = uint64_t(update_ratio * double(base_records));
+    for (uint64_t i = 0; i < updates; i++) {
+      if (!f.ds->Upsert(gen.Update(rng.Uniform(base_records))).ok()) {
+        std::abort();
+      }
+    }
+  }
+  if (!f.ds->FlushAll().ok()) std::abort();
+  return f;
+}
+
+/// Measures a secondary query of `width` user ids, following the paper's
+/// methodology: run with *different* range predicates until the cache is
+/// warm, then average the stable time. A process-wide counter keeps every
+/// call on fresh predicates so one series cannot pre-warm the next.
+inline double MeasureSecondaryQuery(QueryFixture& f, uint64_t width,
+                                    const SecondaryQueryOptions& q,
+                                    uint64_t user_domain = 100000) {
+  static uint64_t counter = 0;
+  auto range_at = [&](int i) {
+    const uint64_t span = user_domain - width;
+    return ((counter + uint64_t(i)) * 7919 * (width + 13)) % span;
+  };
+  const int kWarm = 2, kMeasure = 3;
+  for (int i = 0; i < kWarm; i++) {
+    QueryResult res;
+    if (!f.ds->QueryUserRange(range_at(i), range_at(i) + width - 1, q, &res)
+             .ok()) {
+      std::abort();
+    }
+  }
+  double total = 0;
+  for (int i = kWarm; i < kWarm + kMeasure; i++) {
+    Stopwatch sw(f.env.get());
+    QueryResult res;
+    if (!f.ds->QueryUserRange(range_at(i), range_at(i) + width - 1, q, &res)
+             .ok()) {
+      std::abort();
+    }
+    total += sw.Seconds();
+  }
+  counter += kWarm + kMeasure;
+  return total / kMeasure;
+}
+
+}  // namespace bench
+}  // namespace auxlsm

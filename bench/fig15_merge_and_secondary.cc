@@ -1,0 +1,86 @@
+// Figure 15 (§6.3.2): (a) impact of the maximum mergeable component size on
+// upsert ingestion; (b) impact of the number of secondary indexes, including
+// the deleted-key B+-tree baseline.
+#include "bench_util.h"
+
+namespace auxlsm {
+namespace bench {
+namespace {
+
+constexpr uint64_t kOps = 30000;
+
+struct StrategyCase {
+  const char* name;
+  MaintenanceStrategy strategy;
+  bool merge_repair;
+};
+
+double RunIngest(const StrategyCase& sc, uint64_t max_mergeable,
+                 size_t num_secondary) {
+  Env env(BenchEnv(/*cache_mb=*/4));
+  DatasetOptions o;
+  o.strategy = sc.strategy;
+  o.merge_repair = sc.merge_repair;
+  o.mem_budget_bytes = 1 << 20;
+  o.max_mergeable_bytes = max_mergeable;
+  o.secondary_indexes.clear();
+  for (size_t i = 0; i < num_secondary; i++) {
+    o.secondary_indexes.push_back(SecondaryIndexDef::SyntheticAttribute(i));
+  }
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  UpsertWorkloadOptions w;
+  w.num_ops = kOps;
+  w.update_ratio = 0.1;  // §6.3.2 default
+  WorkloadReport report;
+  Stopwatch sw(&env, ds.wal());
+  if (!RunUpsertWorkload(&ds, &gen, w, &report).ok()) std::abort();
+  return sw.Seconds();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace auxlsm
+
+int main() {
+  using namespace auxlsm::bench;
+  using auxlsm::MaintenanceStrategy;
+  const StrategyCase core_cases[] = {
+      {"eager", MaintenanceStrategy::kEager, false},
+      {"validation", MaintenanceStrategy::kValidation, true},
+      {"validation (no repair)", MaintenanceStrategy::kValidation, false},
+      {"mutable-bitmap", MaintenanceStrategy::kMutableBitmap, false},
+  };
+
+  PrintHeader("Fig15a", "impact of max mergeable component size (10% upd)");
+  const std::pair<const char*, uint64_t> sizes[] = {
+      {"512KB", 512u << 10}, {"2MB", 2u << 20}, {"8MB", 8u << 20},
+      {"32MB", 32u << 20}};
+  for (const auto& [label, max_size] : sizes) {
+    for (const auto& sc : core_cases) {
+      const double t = RunIngest(sc, max_size, 1);
+      char extra[64];
+      std::snprintf(extra, sizeof(extra), "throughput=%.0f ops/s",
+                    double(kOps) / t);
+      PrintRow(sc.name, label, t, extra);
+    }
+  }
+
+  PrintHeader("Fig15b", "impact of number of secondary indexes (10% upd)");
+  const StrategyCase sec_cases[] = {
+      {"eager", MaintenanceStrategy::kEager, false},
+      {"validation", MaintenanceStrategy::kValidation, true},
+      {"validation (no repair)", MaintenanceStrategy::kValidation, false},
+      {"deleted-key B+tree", MaintenanceStrategy::kDeletedKeyBtree, false},
+  };
+  for (size_t n = 1; n <= 5; n++) {
+    for (const auto& sc : sec_cases) {
+      const double t = RunIngest(sc, 8u << 20, n);
+      char extra[64];
+      std::snprintf(extra, sizeof(extra), "throughput=%.0f ops/s",
+                    double(kOps) / t);
+      PrintRow(sc.name, std::to_string(n) + "-idx", t, extra);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 16 (§6.4.1): non-index-only secondary query performance — Eager vs
+// Direct/Timestamp validation, with and without merge repair, at 0% and 50%
+// update ratios.
+#include "bench_util.h"
+
+namespace auxlsm {
+namespace bench {
+namespace {
+
+constexpr uint64_t kRecords = 40000;
+constexpr uint64_t kUserDomain = 100000;
+
+double RunQuery(QueryFixture& f, double sel,
+                SecondaryQueryOptions::Validation validation) {
+  const uint64_t width =
+      std::max<uint64_t>(1, uint64_t(sel / 100.0 * kUserDomain));
+  SecondaryQueryOptions q;
+  q.validation = validation;
+  return MeasureSecondaryQuery(f, width, q, kUserDomain);
+}
+
+void Sweep(const char* series, QueryFixture& f,
+           SecondaryQueryOptions::Validation v, const char* suffix) {
+  for (double sel : {0.001, 0.005, 0.01, 0.05, 0.1, 1.0}) {
+    PrintRow(series, std::to_string(sel) + "%" + suffix, RunQuery(f, sel, v));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace auxlsm
+
+int main() {
+  using namespace auxlsm::bench;
+  using auxlsm::MaintenanceStrategy;
+  using V = auxlsm::SecondaryQueryOptions::Validation;
+  PrintHeader("Fig16", "non-index-only query performance");
+  for (double upd : {0.0, 0.5}) {
+    const char* suffix = upd == 0.0 ? " upd=0%" : " upd=50%";
+    auto eager = BuildQueryFixture(MaintenanceStrategy::kEager, false, upd,
+                                   kRecords, 8);
+    Sweep("eager", eager, V::kNone, suffix);
+    auto no_repair = BuildQueryFixture(MaintenanceStrategy::kValidation,
+                                       false, upd, kRecords, 8);
+    Sweep("direct (no repair)", no_repair, V::kDirect, suffix);
+    Sweep("ts (no repair)", no_repair, V::kTimestamp, suffix);
+    auto repaired = BuildQueryFixture(MaintenanceStrategy::kValidation, true,
+                                      upd, kRecords, 8);
+    if (!repaired.ds->RepairAllSecondaries().ok()) std::abort();
+    Sweep("direct", repaired, V::kDirect, suffix);
+    Sweep("ts", repaired, V::kTimestamp, suffix);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks of the substrate components (google-benchmark): B+-tree
+// point lookups (plain vs stateful cursor), Bloom filter variants (standard
+// vs cache-line blocked), memtable writes, and lock manager throughput.
+#include <benchmark/benchmark.h>
+
+#include "bloom/blocked_bloom_filter.h"
+#include "bloom/bloom_filter.h"
+#include "btree/btree_builder.h"
+#include "btree/btree_cursor.h"
+#include "common/random.h"
+#include "format/key_codec.h"
+#include "mem/memtable.h"
+#include "txn/lock_manager.h"
+
+namespace auxlsm {
+namespace {
+
+EnvOptions MicroEnv() {
+  EnvOptions o;
+  o.page_size = 4096;
+  o.cache_pages = 1 << 18;
+  o.disk_profile = DiskProfile::Null();
+  return o;
+}
+
+void BM_BtreeGet(benchmark::State& state) {
+  Env env(MicroEnv());
+  const uint64_t n = state.range(0);
+  BtreeBuilder b(&env);
+  for (uint64_t i = 0; i < n; i++) {
+    if (!b.Add(EncodeU64(i), "value", i + 1, false).ok()) std::abort();
+  }
+  BtreeMeta meta;
+  if (!b.Finish(&meta).ok()) std::abort();
+  Btree tree(&env, meta);
+  Random rng(1);
+  for (auto _ : state) {
+    LeafEntry e;
+    std::string back;
+    benchmark::DoNotOptimize(tree.Get(EncodeU64(rng.Uniform(n)), &e, &back));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeGet)->Arg(10000)->Arg(100000);
+
+void BM_BtreeStatefulAscending(benchmark::State& state) {
+  Env env(MicroEnv());
+  const uint64_t n = 100000;
+  BtreeBuilder b(&env);
+  for (uint64_t i = 0; i < n; i++) {
+    if (!b.Add(EncodeU64(i * 2), "value", i + 1, false).ok()) std::abort();
+  }
+  BtreeMeta meta;
+  if (!b.Finish(&meta).ok()) std::abort();
+  Btree tree(&env, meta);
+  const bool stateful = state.range(0) != 0;
+  uint64_t k = 0;
+  StatefulBtreeCursor cursor(&tree);
+  for (auto _ : state) {
+    LeafEntry e;
+    std::string back;
+    bool found;
+    if (stateful) {
+      benchmark::DoNotOptimize(
+          cursor.SeekExact(EncodeU64(k % (2 * n)), &e, &back, &found));
+    } else {
+      benchmark::DoNotOptimize(tree.Get(EncodeU64(k % (2 * n)), &e, &back));
+    }
+    k += 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(stateful ? "stateful" : "from-root");
+}
+BENCHMARK(BM_BtreeStatefulAscending)->Arg(0)->Arg(1);
+
+void BM_BloomProbe(benchmark::State& state) {
+  Random rng(2);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000000; i++) keys.push_back(rng.Next());
+  const bool blocked = state.range(0) != 0;
+  BloomFilter std_filter;
+  BlockedBloomFilter blk_filter;
+  if (blocked) {
+    blk_filter = BlockedBloomFilter(keys, 0.01);
+  } else {
+    std_filter = BloomFilter(keys, 0.01);
+  }
+  uint64_t probe = 12345;
+  for (auto _ : state) {
+    probe = Mix64(probe);
+    if (blocked) {
+      benchmark::DoNotOptimize(blk_filter.MayContain(probe));
+    } else {
+      benchmark::DoNotOptimize(std_filter.MayContain(probe));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(blocked ? "blocked" : "standard");
+}
+BENCHMARK(BM_BloomProbe)->Arg(0)->Arg(1);
+
+void BM_MemtablePut(benchmark::State& state) {
+  Memtable mem;
+  Random rng(3);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    mem.Put(EncodeU64(rng.Uniform(100000)), "some-value", ++ts, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemtablePut);
+
+void BM_LockManagerLockUnlock(benchmark::State& state) {
+  LockManager lm;
+  Random rng(4);
+  for (auto _ : state) {
+    const std::string key = EncodeU64(rng.Uniform(10000));
+    lm.Lock(1, key, LockMode::kExclusive);
+    lm.Unlock(1, key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerLockUnlock);
+
+}  // namespace
+}  // namespace auxlsm

@@ -1,0 +1,74 @@
+// Adaptive strategy selection (the paper's §7 auto-tuning future work):
+// track a workload's shape with WorkloadTracker, ask the advisor for a
+// maintenance strategy, and build the dataset from the recommendation.
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "workload/driver.h"
+
+using namespace auxlsm;
+
+namespace {
+
+void Describe(const char* label, const WorkloadProfile& p) {
+  const StrategyRecommendation rec = AdviseStrategy(p);
+  std::printf("%-28s -> %-18s repair=%d correlated=%d bf=%d\n  %s\n\n", label,
+              StrategyName(rec.strategy), rec.merge_repair,
+              rec.correlated_merges, rec.repair_bloom_opt,
+              rec.rationale.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== advisor over synthetic profiles ===\n\n");
+  WorkloadProfile dashboards;
+  dashboards.writes_per_query = 0.2;
+  Describe("dashboard (query-heavy)", dashboards);
+
+  WorkloadProfile firehose;
+  firehose.writes_per_query = 10000;
+  firehose.update_ratio = 0.0;
+  Describe("append-only firehose", firehose);
+
+  WorkloadProfile sessions;
+  sessions.writes_per_query = 500;
+  sessions.update_ratio = 0.6;
+  Describe("session store (update-heavy)", sessions);
+
+  WorkloadProfile telemetry;
+  telemetry.writes_per_query = 50;
+  telemetry.update_ratio = 0.2;
+  telemetry.old_range_scan_fraction = 0.6;
+  Describe("telemetry w/ historical scans", telemetry);
+
+  // Now drive a live workload through a tracker and apply the advice.
+  std::printf("=== tracked workload -> recommended dataset ===\n");
+  WorkloadTracker tracker;
+  Random rng(11);
+  for (int i = 0; i < 10000; i++) tracker.RecordWrite(rng.Bernoulli(0.4));
+  for (int i = 0; i < 25; i++) tracker.RecordQuery(false, false);
+
+  const WorkloadProfile profile = tracker.Profile();
+  std::printf("observed: update_ratio=%.2f writes/query=%.0f\n",
+              profile.update_ratio, profile.writes_per_query);
+  const StrategyRecommendation rec = AdviseStrategy(profile);
+  std::printf("advised: %s\n", StrategyName(rec.strategy));
+
+  Env env;
+  DatasetOptions options;
+  options.mem_budget_bytes = 1 << 20;
+  rec.ApplyTo(&options);
+  Dataset dataset(&env, options);
+  TweetGenerator gen;
+  UpsertWorkloadOptions w;
+  w.num_ops = 10000;
+  w.update_ratio = profile.update_ratio;
+  WorkloadReport report;
+  if (!RunUpsertWorkload(&dataset, &gen, w, &report).ok()) return 1;
+  std::printf("ran 10K ops under the advised configuration: %.0f ops/s "
+              "(cpu+sim-io)\n",
+              double(report.ops) /
+                  (report.elapsed_seconds + report.simulated_io_seconds));
+  return 0;
+}

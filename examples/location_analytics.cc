@@ -1,0 +1,77 @@
+// Location-based analytics: time-correlated queries over a user-location
+// dataset (the §3.1 running example, scaled up). Demonstrates the
+// component-level range filter on creation_time: "recent" dashboards prune
+// almost everything; historical queries show the strategy differences of
+// Figure 19.
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "workload/tweet_gen.h"
+
+using namespace auxlsm;
+
+namespace {
+
+void RunScenario(MaintenanceStrategy strategy) {
+  EnvOptions eo;
+  eo.page_size = 4096;
+  eo.cache_pages = 2048;
+  Env env(eo);
+  DatasetOptions o;
+  o.strategy = strategy;
+  o.mem_budget_bytes = 512 << 10;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+
+  // Two "years" of check-ins; users occasionally refresh their location
+  // (an upsert of an old primary key with a new creation_time).
+  const uint64_t kUsers = 20000;
+  for (uint64_t i = 0; i < kUsers; i++) {
+    if (!ds.Upsert(gen.Next()).ok()) std::abort();
+  }
+  Random rng(5);
+  for (uint64_t i = 0; i < kUsers / 4; i++) {
+    if (!ds.Upsert(gen.Update(rng.Uniform(kUsers))).ok()) std::abort();
+  }
+  if (!ds.FlushAll().ok()) std::abort();
+  const uint64_t t_max = kUsers + kUsers / 4;
+
+  std::printf("--- %s ---\n", StrategyName(strategy));
+  struct Q {
+    const char* label;
+    uint64_t lo, hi;
+  };
+  const Q queries[] = {
+      {"last day     (recent)", t_max - t_max / 730, t_max},
+      {"last month   (recent)", t_max - t_max / 24, t_max},
+      {"first month  (old)   ", 1, t_max / 24},
+      {"first year   (old)   ", 1, t_max / 2},
+  };
+  for (const auto& q : queries) {
+    env.cache()->Clear();
+    const double io0 = env.stats().simulated_us;
+    ScanResult res;
+    if (!ds.ScanTimeRange(q.lo, q.hi, &res).ok()) std::abort();
+    std::printf("  %s matched=%7llu scanned-components=%llu pruned=%llu "
+                "io=%8.2f ms\n",
+                q.label, (unsigned long long)res.records_matched,
+                (unsigned long long)res.components_scanned,
+                (unsigned long long)res.components_pruned,
+                (env.stats().simulated_us - io0) / 1000.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("location analytics with component range filters on "
+              "creation_time\n\n");
+  RunScenario(MaintenanceStrategy::kEager);
+  RunScenario(MaintenanceStrategy::kValidation);
+  RunScenario(MaintenanceStrategy::kMutableBitmap);
+  std::printf("\nNote how the Validation strategy cannot prune for the "
+              "old-data queries\n(newer components must be read for "
+              "overriding updates), while Mutable-bitmap\nprunes in every "
+              "case (§6.4.2 / Figure 19).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "bloom/blocked_bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bloom/bloom_filter.h"
+
+namespace auxlsm {
+
+BlockedBloomFilter::BlockedBloomFilter(const std::vector<uint64_t>& key_hashes,
+                                       double fpr) {
+  const size_t n = std::max<size_t>(key_hashes.size(), 1);
+  // One extra bit per key compensates for the uneven per-block load [25].
+  const double bits_per_key = BloomFilter::BitsPerKey(fpr) + 1.0;
+  size_t bits = static_cast<size_t>(std::ceil(bits_per_key * double(n)));
+  size_t blocks = std::max<size_t>(1, (bits + kBlockBits - 1) / kBlockBits);
+  bits_.assign(blocks * kWordsPerBlock, 0);
+  k_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::round((bits_per_key - 1.0) *
+                                          std::log(2.0))));
+
+  const size_t n_blocks = blocks;
+  for (uint64_t h : key_hashes) {
+    const size_t block = (h >> 32) % n_blocks;
+    uint64_t* base = &bits_[block * kWordsPerBlock];
+    uint64_t h1 = h;
+    uint64_t h2 = Mix64(h) | 1;
+    for (uint32_t i = 0; i < k_; i++) {
+      const uint32_t bit = (h1 + uint64_t{i} * h2) % kBlockBits;
+      base[bit >> 6] |= (uint64_t{1} << (bit & 63));
+    }
+  }
+}
+
+bool BlockedBloomFilter::MayContain(uint64_t key_hash) const {
+  if (bits_.empty()) return true;
+  const size_t n_blocks = bits_.size() / kWordsPerBlock;
+  const size_t block = (key_hash >> 32) % n_blocks;
+  const uint64_t* base = &bits_[block * kWordsPerBlock];
+  uint64_t h1 = key_hash;
+  uint64_t h2 = Mix64(key_hash) | 1;
+  for (uint32_t i = 0; i < k_; i++) {
+    const uint32_t bit = (h1 + uint64_t{i} * h2) % kBlockBits;
+    if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace auxlsm

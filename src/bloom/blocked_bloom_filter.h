@@ -1,0 +1,37 @@
+// Cache-line blocked Bloom filter (Putze et al. [25], §3.2 "Blocked Bloom
+// Filter"). The first hash selects a 64-byte block; the remaining probes test
+// bits within that block, so a negative lookup costs at most one cache miss.
+// The paper notes this costs roughly one extra bit per key for the same
+// false-positive rate; we add that bit when sizing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace auxlsm {
+
+class BlockedBloomFilter {
+ public:
+  static constexpr size_t kBlockBits = 512;  // one 64-byte cache line
+
+  BlockedBloomFilter() = default;
+  BlockedBloomFilter(const std::vector<uint64_t>& key_hashes, double fpr);
+
+  bool MayContain(uint64_t key_hash) const;
+  bool MayContain(const Slice& key) const { return MayContain(Hash64(key)); }
+
+  size_t num_blocks() const { return bits_.size() / kWordsPerBlock; }
+  size_t memory_bytes() const { return bits_.size() * 8; }
+  bool empty() const { return bits_.empty(); }
+
+ private:
+  static constexpr size_t kWordsPerBlock = kBlockBits / 64;
+
+  std::vector<uint64_t> bits_;
+  uint32_t k_ = 0;
+};
+
+}  // namespace auxlsm

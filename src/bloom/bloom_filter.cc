@@ -1,0 +1,45 @@
+#include "bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace auxlsm {
+
+double BloomFilter::BitsPerKey(double fpr) {
+  // m/n = -ln(p) / (ln 2)^2
+  return -std::log(fpr) / (std::log(2.0) * std::log(2.0));
+}
+
+BloomFilter::BloomFilter(const std::vector<uint64_t>& key_hashes, double fpr) {
+  const size_t n = std::max<size_t>(key_hashes.size(), 1);
+  const double bits_per_key = BitsPerKey(fpr);
+  size_t bits = static_cast<size_t>(std::ceil(bits_per_key * double(n)));
+  bits = std::max<size_t>(bits, 64);
+  bits_.assign((bits + 63) / 64, 0);
+  const size_t m = bits_.size() * 64;
+  k_ = std::max<uint32_t>(1, static_cast<uint32_t>(
+                                 std::round(bits_per_key * std::log(2.0))));
+
+  for (uint64_t h : key_hashes) {
+    uint64_t h1 = h;
+    uint64_t h2 = Mix64(h);
+    for (uint32_t i = 0; i < k_; i++) {
+      const uint64_t bit = (h1 + uint64_t{i} * h2) % m;
+      bits_[bit >> 6] |= (uint64_t{1} << (bit & 63));
+    }
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key_hash) const {
+  if (bits_.empty()) return true;
+  const size_t m = bits_.size() * 64;
+  uint64_t h1 = key_hash;
+  uint64_t h2 = Mix64(key_hash);
+  for (uint32_t i = 0; i < k_; i++) {
+    const uint64_t bit = (h1 + uint64_t{i} * h2) % m;
+    if ((bits_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace auxlsm

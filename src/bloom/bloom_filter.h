@@ -1,0 +1,41 @@
+// Standard Bloom filter with double hashing.
+//
+// LSM disk components attach a Bloom filter over their primary keys so point
+// lookups can skip components that cannot contain a key (§3). Filters are
+// memory-resident (as in AsterixDB/RocksDB once a component is open), so
+// their cost is CPU, not I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace auxlsm {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Builds a filter sized for n keys at the given false-positive rate.
+  BloomFilter(const std::vector<uint64_t>& key_hashes, double fpr);
+
+  /// Returns true if the key may be in the set (false => definitely absent).
+  bool MayContain(uint64_t key_hash) const;
+  bool MayContain(const Slice& key) const { return MayContain(Hash64(key)); }
+
+  size_t num_bits() const { return bits_.size() * 64; }
+  size_t memory_bytes() const { return bits_.size() * 8; }
+  uint32_t num_probes() const { return k_; }
+  bool empty() const { return bits_.empty(); }
+
+  /// Chooses bits-per-key for a target false-positive rate.
+  static double BitsPerKey(double fpr);
+
+ private:
+  std::vector<uint64_t> bits_;
+  uint32_t k_ = 0;
+};
+
+}  // namespace auxlsm

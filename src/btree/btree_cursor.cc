@@ -1,0 +1,106 @@
+#include "btree/btree_cursor.h"
+
+namespace auxlsm {
+
+bool StatefulBtreeCursor::Covers(size_t depth, const Slice& key) const {
+  const Level& lvl = path_[depth];
+  if (lvl.page.count() == 0) return false;
+  // Keys at or past the page's high key belong to a later sibling.
+  if (!lvl.high_key.empty() && key.compare(Slice(lvl.high_key)) >= 0) {
+    return false;
+  }
+  if (lvl.page.is_leaf()) {
+    // A key below the first key might live in an earlier leaf; within
+    // [first key, high key) the leaf answers both hits and misses.
+    return key.compare(lvl.page.KeyAt(0)) >= 0;
+  }
+  // The subtree selected at slot covers [KeyAt(slot), KeyAt(slot+1)) — the
+  // right end falling back to the page's high key handled above.
+  if (key.compare(lvl.page.KeyAt(lvl.slot)) < 0) {
+    // Below the selected separator: an earlier sibling subtree — or, when
+    // slot is 0, an earlier page unless this page is on the leftmost spine.
+    if (lvl.slot > 0 || !lvl.leftmost) return false;
+  }
+  if (lvl.slot + 1 < lvl.page.count() &&
+      key.compare(lvl.page.KeyAt(lvl.slot + 1)) >= 0) {
+    return false;  // key belongs to a later sibling subtree
+  }
+  return true;
+}
+
+Status StatefulBtreeCursor::DescendFrom(size_t depth, const Slice& key) {
+  path_.resize(depth + 1);
+  while (!path_.back().page.is_leaf()) {
+    Level& lvl = path_.back();
+    int slot = lvl.page.UpperSlot(key);
+    if (slot < 0) slot = 0;
+    lvl.slot = slot;
+    Level child;
+    child.page_no = lvl.page.ChildAt(slot);
+    child.high_key = slot + 1 < lvl.page.count()
+                         ? lvl.page.KeyAt(slot + 1).ToString()
+                         : lvl.high_key;
+    child.leftmost = lvl.leftmost && slot == 0;
+    AUXLSM_RETURN_NOT_OK(tree_->ReadPage(child.page_no, &child.page));
+    path_.push_back(std::move(child));
+  }
+  last_leaf_pos_ = 0;
+  return Status::OK();
+}
+
+Status StatefulBtreeCursor::SeekExact(const Slice& key, LeafEntry* entry,
+                                      std::string* backing, bool* found) {
+  uint64_t ordinal;
+  return SeekExactWithOrdinal(key, entry, backing, found, &ordinal);
+}
+
+Status StatefulBtreeCursor::SeekExactWithOrdinal(const Slice& key,
+                                                 LeafEntry* entry,
+                                                 std::string* backing,
+                                                 bool* found,
+                                                 uint64_t* ordinal) {
+  *found = false;
+  if (tree_->meta().num_entries == 0) return Status::OK();
+
+  if (path_.empty()) {
+    Level root;
+    root.page_no = tree_->meta().root_page;
+    AUXLSM_RETURN_NOT_OK(tree_->ReadPage(root.page_no, &root.page));
+    path_.push_back(std::move(root));
+    AUXLSM_RETURN_NOT_OK(DescendFrom(0, key));
+  } else if (!Covers(path_.size() - 1, key)) {
+    // Climb to the lowest ancestor whose selected subtree covers the key,
+    // then re-descend; fall back to the root if none covers it.
+    size_t depth = path_.size() - 1;
+    while (depth > 0 && !Covers(depth - 1, key)) depth--;
+    AUXLSM_RETURN_NOT_OK(DescendFrom(depth == 0 ? 0 : depth - 1, key));
+  }
+
+  Level& leaf = path_.back();
+  // The hint only helps non-decreasing probe sequences; a backward probe
+  // restarts the gallop from the leaf's front.
+  int from = last_leaf_pos_;
+  if (from >= leaf.page.count() ||
+      (from > 0 && key.compare(leaf.page.KeyAt(from)) < 0)) {
+    from = 0;
+  }
+  const int slot = leaf.page.LowerBoundFrom(key, from);
+  last_leaf_pos_ = slot < leaf.page.count() ? slot : leaf.page.count() - 1;
+  if (slot >= leaf.page.count() || leaf.page.KeyAt(slot) != key) {
+    return Status::OK();
+  }
+  LeafEntry e;
+  AUXLSM_RETURN_NOT_OK(leaf.page.LeafEntryAt(slot, &e));
+  backing->assign(e.key.data(), e.key.size());
+  const size_t klen = e.key.size();
+  backing->append(e.value.data(), e.value.size());
+  entry->key = Slice(backing->data(), klen);
+  entry->value = Slice(backing->data() + klen, e.value.size());
+  entry->ts = e.ts;
+  entry->antimatter = e.antimatter;
+  *ordinal = uint64_t{leaf.page.first_ordinal()} + static_cast<uint64_t>(slot);
+  *found = true;
+  return Status::OK();
+}
+
+}  // namespace auxlsm

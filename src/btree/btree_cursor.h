@@ -1,0 +1,61 @@
+// Stateful B+-tree lookup cursor (§3.2 "Stateful B+-tree Lookup").
+//
+// For a batch of ascending keys searched against one component, the cursor
+// remembers the root-to-leaf path of the previous search. A new key first
+// tries an exponential (galloping) search within the current leaf from the
+// last position; if the key lies beyond the leaf it climbs the remembered
+// path to the lowest covering ancestor and re-descends, instead of starting
+// from the root each time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+
+namespace auxlsm {
+
+class StatefulBtreeCursor {
+ public:
+  explicit StatefulBtreeCursor(const Btree* tree) : tree_(tree) {}
+
+  /// Point lookup optimized for non-decreasing target sequences (arbitrary
+  /// targets remain correct, just slower). On hit, copies the entry into
+  /// *entry backed by *backing and sets *found.
+  Status SeekExact(const Slice& key, LeafEntry* entry, std::string* backing,
+                   bool* found);
+
+  /// Like SeekExact, also reporting the ordinal on a hit.
+  Status SeekExactWithOrdinal(const Slice& key, LeafEntry* entry,
+                              std::string* backing, bool* found,
+                              uint64_t* ordinal);
+
+  /// Forgets all state (e.g. before a new batch).
+  void Reset() { path_.clear(); }
+
+ private:
+  struct Level {
+    uint32_t page_no = 0;
+    BtreePage page;
+    int slot = 0;
+    /// Exclusive upper bound of this page's key space, inherited from the
+    /// ancestors' separators; empty = unbounded. Without it, the last slot
+    /// of an internal page would wrongly claim coverage of keys that belong
+    /// to the next sibling page.
+    std::string high_key;
+    /// True if the page is on the leftmost spine; only then may it claim
+    /// keys below its first separator.
+    bool leftmost = true;
+  };
+
+  // Re-descends from path level `depth` (0 = root) toward the leaf.
+  Status DescendFrom(size_t depth, const Slice& key);
+  // True if the subtree selected at path_[depth] can contain key.
+  bool Covers(size_t depth, const Slice& key) const;
+
+  const Btree* tree_;
+  std::vector<Level> path_;  // path_[0] = root ... path_.back() = leaf
+  int last_leaf_pos_ = 0;
+};
+
+}  // namespace auxlsm

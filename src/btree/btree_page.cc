@@ -1,0 +1,168 @@
+#include "btree/btree_page.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace auxlsm {
+
+uint16_t BtreePage::count() const { return DecodeFixed16(data_->data() + 2); }
+
+uint32_t BtreePage::first_ordinal() const {
+  return DecodeFixed32(data_->data() + 4);
+}
+
+const char* BtreePage::EntryPtr(int i) const {
+  const char* base = data_->data();
+  const int n = count();
+  assert(i >= 0 && i < n);
+  const char* slots = base + page_size_ - 2 * n;
+  const uint16_t off = DecodeFixed16(slots + 2 * i);
+  return base + off;
+}
+
+Slice BtreePage::KeyAt(int i) const {
+  const char* p = EntryPtr(i);
+  const char* limit = data_->data() + page_size_;
+  uint32_t klen = 0;
+  p = GetVarint32Ptr(p, limit, &klen);
+  assert(p != nullptr);
+  return Slice(p, klen);
+}
+
+Status BtreePage::LeafEntryAt(int i, LeafEntry* out) const {
+  const char* p = EntryPtr(i);
+  const char* limit = data_->data() + page_size_;
+  uint32_t klen = 0, vlen = 0;
+  p = GetVarint32Ptr(p, limit, &klen);
+  if (p == nullptr || p + klen > limit) return Status::Corruption("leaf key");
+  out->key = Slice(p, klen);
+  p += klen;
+  p = GetVarint32Ptr(p, limit, &vlen);
+  if (p == nullptr || p + vlen > limit) return Status::Corruption("leaf val");
+  out->value = Slice(p, vlen);
+  p += vlen;
+  uint64_t ts = 0;
+  p = GetVarint64Ptr(p, limit, &ts);
+  if (p == nullptr || p >= limit) return Status::Corruption("leaf ts");
+  out->ts = ts;
+  out->antimatter = (*p & kEntryFlagAntimatter) != 0;
+  return Status::OK();
+}
+
+uint32_t BtreePage::ChildAt(int i) const {
+  const char* p = EntryPtr(i);
+  const char* limit = data_->data() + page_size_;
+  uint32_t klen = 0;
+  p = GetVarint32Ptr(p, limit, &klen);
+  assert(p != nullptr);
+  return DecodeFixed32(p + klen);
+}
+
+int BtreePage::LowerBound(const Slice& target) const {
+  int lo = 0, hi = count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (KeyAt(mid).compare(target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BtreePage::UpperSlot(const Slice& target) const {
+  // last i with KeyAt(i) <= target
+  int lo = 0, hi = count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (KeyAt(mid).compare(target) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+int BtreePage::LowerBoundFrom(const Slice& target, int from) const {
+  const int n = count();
+  if (from < 0) from = 0;
+  if (from >= n) return n;
+  if (KeyAt(from).compare(target) >= 0) return from;
+  // Gallop: find window (from + step/2, from + step] containing the bound.
+  int step = 1;
+  while (from + step < n && KeyAt(from + step).compare(target) < 0) {
+    step *= 2;
+  }
+  int lo = from + step / 2 + 1;
+  int hi = from + step < n ? from + step + 1 : n;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (KeyAt(mid).compare(target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+BtreePageBuilder::BtreePageBuilder(uint8_t level, size_t page_size)
+    : level_(level), page_size_(page_size) {
+  buf_.reserve(page_size_);
+}
+
+bool BtreePageBuilder::Fits(size_t entry_size) const {
+  const size_t used = kPageHeaderSize + buf_.size();
+  const size_t slots = 2 * (offsets_.size() + 1);
+  return used + entry_size + slots <= page_size_;
+}
+
+bool BtreePageBuilder::AddLeafEntry(const Slice& key, const Slice& value,
+                                    uint64_t ts, bool antimatter) {
+  const size_t sz = VarintLength(key.size()) + key.size() +
+                    VarintLength(value.size()) + value.size() +
+                    VarintLength(ts) + 1;
+  if (!Fits(sz)) return false;
+  offsets_.push_back(static_cast<uint16_t>(kPageHeaderSize + buf_.size()));
+  PutVarint32(&buf_, static_cast<uint32_t>(key.size()));
+  buf_.append(key.data(), key.size());
+  PutVarint32(&buf_, static_cast<uint32_t>(value.size()));
+  buf_.append(value.data(), value.size());
+  PutVarint64(&buf_, ts);
+  buf_.push_back(static_cast<char>(antimatter ? kEntryFlagAntimatter : 0));
+  return true;
+}
+
+bool BtreePageBuilder::AddInternalEntry(const Slice& key, uint32_t child) {
+  const size_t sz = VarintLength(key.size()) + key.size() + 4;
+  if (!Fits(sz)) return false;
+  offsets_.push_back(static_cast<uint16_t>(kPageHeaderSize + buf_.size()));
+  PutVarint32(&buf_, static_cast<uint32_t>(key.size()));
+  buf_.append(key.data(), key.size());
+  char cbuf[4];
+  EncodeFixed32(cbuf, child);
+  buf_.append(cbuf, 4);
+  return true;
+}
+
+std::string BtreePageBuilder::Finish() {
+  std::string page(page_size_, '\0');
+  page[0] = static_cast<char>(level_);
+  page[1] = 0;
+  EncodeFixed16(page.data() + 2, static_cast<uint16_t>(offsets_.size()));
+  EncodeFixed32(page.data() + 4, first_ordinal_);
+  memcpy(page.data() + kPageHeaderSize, buf_.data(), buf_.size());
+  char* slots = page.data() + page_size_ - 2 * offsets_.size();
+  for (size_t i = 0; i < offsets_.size(); i++) {
+    EncodeFixed16(slots + 2 * i, offsets_[i]);
+  }
+  buf_.clear();
+  offsets_.clear();
+  first_ordinal_ = 0;
+  return page;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,105 @@
+// Immutable slotted-page layout for disk B+-tree components.
+//
+// Layout (page_size bytes):
+//   [0]   u8  level          0 = leaf, >0 = internal
+//   [1]   u8  flags          (reserved)
+//   [2]   u16 count          number of entries
+//   [4]   u32 first_ordinal  ordinal of the page's first entry (leaf only);
+//                            ordinals feed the per-component validity bitmaps
+//   [8..] entries, densely encoded
+//   [page_size - 2*count ..] slot array, u16 offset per entry
+//
+// Leaf entry:     varint32 klen | key | varint32 vlen | value | varint64 ts |
+//                 u8 flags (bit0 = anti-matter)
+// Internal entry: varint32 klen | key | fixed32 child_page_no
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "env/page_store.h"
+
+namespace auxlsm {
+
+/// One decoded leaf entry. Slices point into the page buffer.
+struct LeafEntry {
+  Slice key;
+  Slice value;
+  uint64_t ts = 0;
+  bool antimatter = false;
+};
+
+inline constexpr uint8_t kEntryFlagAntimatter = 0x1;
+inline constexpr size_t kPageHeaderSize = 8;
+
+/// Read-side view over a page buffer.
+class BtreePage {
+ public:
+  BtreePage() = default;
+  BtreePage(PageData data, size_t page_size)
+      : data_(std::move(data)), page_size_(page_size) {}
+
+  bool valid() const { return data_ != nullptr; }
+  uint8_t level() const { return static_cast<uint8_t>((*data_)[0]); }
+  bool is_leaf() const { return level() == 0; }
+  uint16_t count() const;
+  uint32_t first_ordinal() const;
+
+  /// Key of entry i (works for both leaf and internal pages).
+  Slice KeyAt(int i) const;
+
+  /// Decodes leaf entry i.
+  Status LeafEntryAt(int i, LeafEntry* out) const;
+
+  /// Child page number of internal entry i.
+  uint32_t ChildAt(int i) const;
+
+  /// Index of the first entry with key >= target (== count() if none).
+  int LowerBound(const Slice& target) const;
+
+  /// Index of the last entry with key <= target, or -1 if none. Used to pick
+  /// the child subtree in internal pages.
+  int UpperSlot(const Slice& target) const;
+
+  /// Exponential (galloping) search for LowerBound starting from a prior
+  /// position hint; used by the stateful cursor (§3.2).
+  int LowerBoundFrom(const Slice& target, int from) const;
+
+ private:
+  const char* EntryPtr(int i) const;
+
+  PageData data_;
+  size_t page_size_ = 0;
+};
+
+/// Builds one page during bulk load.
+class BtreePageBuilder {
+ public:
+  BtreePageBuilder(uint8_t level, size_t page_size);
+
+  /// Returns false if the entry does not fit in the remaining space.
+  bool AddLeafEntry(const Slice& key, const Slice& value, uint64_t ts,
+                    bool antimatter);
+  bool AddInternalEntry(const Slice& key, uint32_t child_page);
+
+  int count() const { return static_cast<int>(offsets_.size()); }
+  bool empty() const { return offsets_.empty(); }
+
+  void set_first_ordinal(uint32_t ordinal) { first_ordinal_ = ordinal; }
+
+  /// Produces the finished page buffer and resets the builder.
+  std::string Finish();
+
+ private:
+  bool Fits(size_t entry_size) const;
+
+  uint8_t level_;
+  size_t page_size_;
+  uint32_t first_ordinal_ = 0;
+  std::string buf_;                // entries region (after header)
+  std::vector<uint16_t> offsets_;  // slot array
+};
+
+}  // namespace auxlsm

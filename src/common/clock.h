@@ -1,0 +1,38 @@
+// Logical ingestion clock. The paper timestamps index entries and component
+// IDs with node-local wall-clock time; a monotone logical clock preserves the
+// recency ordering those timestamps encode while keeping runs deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace auxlsm {
+
+using Timestamp = uint64_t;
+
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+class LogicalClock {
+ public:
+  /// Returns a strictly increasing timestamp (first call returns 1).
+  Timestamp Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The most recently issued timestamp (0 if none).
+  Timestamp Now() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Ensures future ticks exceed ts (recovery replay).
+  void AdvanceTo(Timestamp ts) {
+    Timestamp cur = next_.load(std::memory_order_relaxed);
+    while (cur <= ts &&
+           !next_.compare_exchange_weak(cur, ts + 1,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<Timestamp> next_{1};
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,67 @@
+// Little-endian fixed-width and varint encodings for page and log layouts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace auxlsm {
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint16_t DecodeFixed16(const char* p) {
+  uint16_t v;
+  memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  memcpy(&v, p, 8);
+  return v;
+}
+
+inline void EncodeFixed16(char* p, uint16_t v) { memcpy(p, &v, 2); }
+inline void EncodeFixed32(char* p, uint32_t v) { memcpy(p, &v, 4); }
+inline void EncodeFixed64(char* p, uint64_t v) { memcpy(p, &v, 8); }
+
+/// Appends a LEB128 varint32.
+void PutVarint32(std::string* dst, uint32_t v);
+/// Appends a LEB128 varint64.
+void PutVarint64(std::string* dst, uint64_t v);
+/// Appends varint32 length followed by the bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& s);
+
+/// Parses a varint32 from [p, limit); returns the byte past the varint or
+/// nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v);
+
+/// Cursor-style decoding helpers; advance *input on success.
+bool GetVarint32(Slice* input, uint32_t* v);
+bool GetVarint64(Slice* input, uint64_t* v);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+int VarintLength(uint64_t v);
+
+}  // namespace auxlsm

@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace auxlsm {
+namespace {
+
+// Table-driven CRC-32C; table generated at static-init time.
+struct Crc32cTable {
+  std::array<uint32_t, 256> t;
+  Crc32cTable() {
+    const uint32_t poly = 0x82f63b78u;  // reflected Castagnoli polynomial
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? poly ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace auxlsm

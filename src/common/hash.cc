@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace auxlsm {
+
+uint64_t Hash64(const void* data, size_t n, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (n * m);
+
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + (n & ~size_t{7});
+  while (p != end) {
+    uint64_t k;
+    memcpy(&k, p, 8);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  switch (n & 7) {
+    case 7: h ^= uint64_t{p[6]} << 48; [[fallthrough]];
+    case 6: h ^= uint64_t{p[5]} << 40; [[fallthrough]];
+    case 5: h ^= uint64_t{p[4]} << 32; [[fallthrough]];
+    case 4: h ^= uint64_t{p[3]} << 24; [[fallthrough]];
+    case 3: h ^= uint64_t{p[2]} << 16; [[fallthrough]];
+    case 2: h ^= uint64_t{p[1]} << 8;  [[fallthrough]];
+    case 1: h ^= uint64_t{p[0]};
+            h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace auxlsm

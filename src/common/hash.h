@@ -1,0 +1,28 @@
+// 64-bit hashing for Bloom filters and hash-partitioned structures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace auxlsm {
+
+/// XXH64-style avalanche mix of a 64-bit value.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// MurmurHash64A over an arbitrary byte range.
+uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0x9747b28c);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0x9747b28c) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace auxlsm

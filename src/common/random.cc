@@ -1,0 +1,77 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace auxlsm {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 to expand the seed into two non-zero state words.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  s0_ = splitmix(seed);
+  s1_ = splitmix(seed);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+double Random::NextDouble() {
+  // 53 random bits into [0, 1).
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : rng_(seed), n_(n == 0 ? 1 : n), theta_(theta) {
+  zeta2theta_ = Zeta(2, theta_);
+  zetan_ = Zeta(n_, theta_);
+  Recompute();
+}
+
+void ZipfGenerator::Recompute() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+void ZipfGenerator::Grow(uint64_t n) {
+  if (n <= n_) return;
+  // Incremental zeta extension (the YCSB trick) keeps Grow() O(delta).
+  for (uint64_t i = n_ + 1; i <= n; i++) {
+    zetan_ += 1.0 / std::pow(double(i), theta_);
+  }
+  n_ = n;
+  Recompute();
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace auxlsm

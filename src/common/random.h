@@ -1,0 +1,58 @@
+// Deterministic RNG and skewed distributions for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace auxlsm {
+
+/// xorshift128+ generator; deterministic across platforms given a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipfian generator over [0, n) with YCSB's theta parameterization
+/// (theta = 0.99 by default). Supports growing n incrementally, which the
+/// upsert workloads use to skew updates toward recently ingested keys.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular item.
+  uint64_t Next();
+
+  /// Expands the domain to n items (n must not shrink).
+  void Grow(uint64_t n);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  void Recompute();
+
+  Random rng_;
+  uint64_t n_;
+  double theta_;
+  double alpha_, zetan_, eta_, zeta2theta_;
+};
+
+}  // namespace auxlsm

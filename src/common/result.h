@@ -1,0 +1,57 @@
+// Result<T>: a value or a Status, in the spirit of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace auxlsm {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status.
+  Result(Status st) : v_(std::move(st)) {    // NOLINT
+    assert(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define AUXLSM_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto&& _res_##__LINE__ = (expr);                  \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value();
+
+}  // namespace auxlsm

@@ -1,0 +1,73 @@
+// Writer-preferring shared/exclusive latch.
+//
+// glibc's std::shared_mutex (pthread rwlock) prefers readers by default: a
+// continuous stream of shared acquisitions starves exclusive ones. The
+// dataset's ingest latch is exactly that pattern — every ingestion operation
+// holds it shared while the Side-file/Lock component builders need brief
+// exclusive sections (§5.3's "S lock dataset" drain) — so a fair latch is
+// required for the builders to ever make progress against full-speed
+// writers. Satisfies the SharedMutex named requirements, so std::shared_lock
+// and std::unique_lock work unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace auxlsm {
+
+class RwLatch {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    // New readers queue behind waiting writers (writer preference).
+    cv_readers_.wait(l, [&] { return !writer_ && writers_waiting_ == 0; });
+    readers_++;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (writer_ || writers_waiting_ > 0) return false;
+    readers_++;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (--readers_ == 0) cv_writers_.notify_one();
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    writers_waiting_++;
+    cv_writers_.wait(l, [&] { return !writer_ && readers_ == 0; });
+    writers_waiting_--;
+    writer_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (writer_ || readers_ > 0) return false;
+    writer_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> l(mu_);
+    writer_ = false;
+    if (writers_waiting_ > 0) {
+      cv_writers_.notify_one();
+    } else {
+      cv_readers_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_readers_;
+  std::condition_variable cv_writers_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_ = false;
+};
+
+}  // namespace auxlsm

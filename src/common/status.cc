@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+namespace auxlsm {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kBusy:
+      name = "Busy";
+      break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+  }
+  std::string out(name);
+  if (msg_ && !msg_->empty()) {
+    out += ": ";
+    out += *msg_;
+  }
+  return out;
+}
+
+}  // namespace auxlsm

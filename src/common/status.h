@@ -1,0 +1,88 @@
+// Status: RocksDB/Arrow-style error propagation without exceptions.
+//
+// All fallible operations in auxlsm return a Status (or Result<T>, see
+// result.h). A Status is cheap to copy in the OK case (no allocation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace auxlsm {
+
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,
+    kAborted = 6,
+    kNotSupported = 7,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable rendering, e.g. "Corruption: bad page checksum".
+  std::string ToString() const;
+
+  std::string_view message() const {
+    return msg_ ? std::string_view(*msg_) : std::string_view();
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code) {
+    if (!msg.empty()) msg_ = std::make_shared<std::string>(msg);
+  }
+
+  Code code_ = Code::kOk;
+  std::shared_ptr<std::string> msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define AUXLSM_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::auxlsm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace auxlsm

@@ -1,0 +1,76 @@
+// Maintenance-strategy advisor — the auto-tuning direction the paper leaves
+// as future work (§7: "since no strategy was found to work best for all
+// workloads, we plan to develop auto-tuning techniques so that the system
+// could dynamically adopt the optimal maintenance strategies").
+//
+// The heuristics encode the paper's experimental conclusions:
+//   * Eager optimizes queries but pays a point lookup per write (§6.3);
+//   * Validation maximizes ingestion, costs little for non-index-only
+//     queries, 3-5x for index-only ones (§6.4.1), and loses range-filter
+//     pruning on old data (§6.4.2);
+//   * Mutable-bitmap keeps filters effective at a modest ingestion cost;
+//   * frequent updates make repair worthwhile, and the Bloom-filter repair
+//     optimization (with correlated merges) pays off for update-heavy
+//     workloads (§4.4, §6.5).
+#pragma once
+
+#include <string>
+
+#include "core/dataset.h"
+
+namespace auxlsm {
+
+/// Observed or predicted workload characteristics.
+struct WorkloadProfile {
+  /// Fraction of write operations that update/delete existing keys.
+  double update_ratio = 0.0;
+  /// Write operations per query (ingestion pressure).
+  double writes_per_query = 1.0;
+  /// Of the queries, the fraction answerable from secondary indexes alone.
+  double index_only_fraction = 0.0;
+  /// Of the queries, the fraction that are filter-pruned scans over *old*
+  /// data (where Validation loses all pruning).
+  double old_range_scan_fraction = 0.0;
+};
+
+struct StrategyRecommendation {
+  MaintenanceStrategy strategy = MaintenanceStrategy::kEager;
+  bool merge_repair = false;
+  bool correlated_merges = false;
+  bool repair_bloom_opt = false;
+  std::string rationale;
+
+  /// Applies the recommendation to a DatasetOptions.
+  void ApplyTo(DatasetOptions* options) const;
+};
+
+/// Picks a maintenance strategy for the profile.
+StrategyRecommendation AdviseStrategy(const WorkloadProfile& profile);
+
+/// Accumulates a profile from live counters (feed it from application code
+/// or from Dataset::ingest_stats()).
+class WorkloadTracker {
+ public:
+  void RecordWrite(bool is_update) {
+    writes_++;
+    if (is_update) updates_++;
+  }
+  void RecordQuery(bool index_only, bool old_range_scan) {
+    queries_++;
+    if (index_only) index_only_++;
+    if (old_range_scan) old_scans_++;
+  }
+
+  WorkloadProfile Profile() const;
+  uint64_t writes() const { return writes_; }
+  uint64_t queries() const { return queries_; }
+
+ private:
+  uint64_t writes_ = 0;
+  uint64_t updates_ = 0;
+  uint64_t queries_ = 0;
+  uint64_t index_only_ = 0;
+  uint64_t old_scans_ = 0;
+};
+
+}  // namespace auxlsm

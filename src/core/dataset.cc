@@ -1,0 +1,464 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "core/deleted_key.h"
+#include "format/key_codec.h"
+
+namespace auxlsm {
+
+const char* StrategyName(MaintenanceStrategy s) {
+  switch (s) {
+    case MaintenanceStrategy::kEager: return "eager";
+    case MaintenanceStrategy::kValidation: return "validation";
+    case MaintenanceStrategy::kMutableBitmap: return "mutable-bitmap";
+    case MaintenanceStrategy::kDeletedKeyBtree: return "deleted-key-btree";
+  }
+  return "?";
+}
+
+SecondaryIndexDef SecondaryIndexDef::UserId() {
+  SecondaryIndexDef def;
+  def.name = "user_id";
+  def.sk_width = 8;
+  def.extract = [](const TweetRecord& r) { return EncodeU64(r.user_id); };
+  return def;
+}
+
+SecondaryIndexDef SecondaryIndexDef::SyntheticAttribute(size_t index_no) {
+  if (index_no == 0) return UserId();
+  SecondaryIndexDef def;
+  def.name = "attr" + std::to_string(index_no);
+  def.sk_width = 8;
+  def.extract = [index_no](const TweetRecord& r) {
+    // Deterministic per-index remix of the user id, so each index has a
+    // distinct value distribution over the same domain size.
+    return EncodeU64(Mix64(r.user_id * 1000003u + index_no) % 100000);
+  };
+  return def;
+}
+
+LsmTreeOptions Dataset::MakeTreeOptions(const std::string& name,
+                                        bool is_primary, bool attach_bitmap,
+                                        bool range_filter) const {
+  LsmTreeOptions o;
+  o.name = name;
+  o.bloom_fpr = options_.bloom_fpr;
+  o.build_bloom = true;
+  o.build_blocked_bloom = options_.build_blocked_bloom;
+  o.attach_bitmap = attach_bitmap;
+  o.maintain_range_filter = range_filter;
+  if (range_filter && is_primary) {
+    o.filter_key_extractor = [](const Slice&, const Slice& value) {
+      uint64_t t = 0;
+      ExtractCreationTime(value, &t);
+      return t;
+    };
+  }
+  // Correlated merging is coordinated by the dataset, so per-tree policies
+  // stay off in that mode.
+  if (!options_.correlated_merges) {
+    o.merge_policy = std::make_shared<TieringMergePolicy>(
+        options_.merge_size_ratio, options_.max_mergeable_bytes);
+  }
+  o.scan_readahead_pages = options_.scan_readahead_pages;
+  return o;
+}
+
+Dataset::Dataset(Env* env, DatasetOptions options)
+    : env_(env),
+      options_(std::move(options)),
+      wal_(DiskProfile::Hdd()),
+      txns_(&locks_, &wal_) {
+  const bool mb = options_.strategy == MaintenanceStrategy::kMutableBitmap;
+  // The Mutable-bitmap strategy requires the primary index and the primary
+  // key index to merge in lock step so their components keep sharing one
+  // validity bitmap (§5.1: "we synchronize the merges ... using the
+  // correlated merge policy"). Independent merges would silently drop the
+  // sharing and lose bitmap marks.
+  if (mb) options_.correlated_merges = true;
+  primary_ = std::make_unique<LsmTree>(
+      env_, MakeTreeOptions("primary", /*is_primary=*/true,
+                            /*attach_bitmap=*/mb,
+                            options_.maintain_range_filter));
+  if (options_.enable_primary_key_index) {
+    pk_index_ = std::make_unique<LsmTree>(
+        env_, MakeTreeOptions("pk_index", /*is_primary=*/false,
+                              /*attach_bitmap=*/false, false));
+  }
+  for (const auto& def : options_.secondary_indexes) {
+    auto idx = std::make_unique<SecondaryIndex>();
+    idx->def = def;
+    idx->tree = std::make_unique<LsmTree>(
+        env_, MakeTreeOptions(def.name, false, false, false));
+    if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
+      idx->deleted_keys = std::make_unique<LsmTree>(
+          env_, MakeTreeOptions(def.name + ".deleted", false, false, false));
+    }
+    secondaries_.push_back(std::move(idx));
+  }
+}
+
+size_t Dataset::MemComponentBytes() const {
+  size_t total = primary_->memtable()->ApproximateMemory();
+  if (pk_index_) total += pk_index_->memtable()->ApproximateMemory();
+  for (const auto& s : secondaries_) {
+    total += s->tree->memtable()->ApproximateMemory();
+    if (s->deleted_keys) {
+      total += s->deleted_keys->memtable()->ApproximateMemory();
+    }
+  }
+  return total;
+}
+
+Status Dataset::FlushAll() {
+  std::unique_lock<RwLatch> l(ingest_mu_);
+  return FlushAllLocked();
+}
+
+Status Dataset::FlushAllLocked() {
+  const Lsn flush_lsn = wal_.tail_lsn();
+  auto flush_tree = [&](LsmTree* t) -> Status {
+    if (t == nullptr || !t->NeedsFlush()) return Status::OK();
+    AUXLSM_RETURN_NOT_OK(t->Flush());
+    auto comps = t->Components();
+    if (!comps.empty()) comps.front()->set_max_lsn(flush_lsn);
+    return Status::OK();
+  };
+  AUXLSM_RETURN_NOT_OK(flush_tree(primary_.get()));
+  AUXLSM_RETURN_NOT_OK(flush_tree(pk_index_.get()));
+  for (auto& s : secondaries_) {
+    AUXLSM_RETURN_NOT_OK(flush_tree(s->tree.get()));
+    AUXLSM_RETURN_NOT_OK(flush_tree(s->deleted_keys.get()));
+  }
+  // Under the Mutable-bitmap strategy the primary and primary key index are
+  // synchronized and share one validity bitmap per component (§5.1).
+  if (options_.strategy == MaintenanceStrategy::kMutableBitmap && pk_index_) {
+    auto pcomps = primary_->Components();
+    auto kcomps = pk_index_->Components();
+    if (!pcomps.empty() && !kcomps.empty() &&
+        kcomps.front()->bitmap() == nullptr) {
+      kcomps.front()->set_bitmap(pcomps.front()->bitmap());
+    }
+  }
+  stats_.flushes++;
+  return Status::OK();
+}
+
+Status Dataset::RunMerges() {
+  if (options_.correlated_merges) return CorrelatedMerge();
+  auto merge_tree = [&](LsmTree* t) -> Status {
+    if (t == nullptr) return Status::OK();
+    bool merged = true;
+    while (merged) {
+      AUXLSM_RETURN_NOT_OK(t->TryMerge(&merged));
+      if (merged) stats_.merges++;
+    }
+    return Status::OK();
+  };
+  AUXLSM_RETURN_NOT_OK(merge_tree(primary_.get()));
+  AUXLSM_RETURN_NOT_OK(merge_tree(pk_index_.get()));
+  for (auto& s : secondaries_) {
+    if (options_.strategy == MaintenanceStrategy::kValidation &&
+        options_.merge_repair) {
+      // Merge repair replaces the plain merge for secondary indexes (§4.4).
+      while (true) {
+        auto comps = s->tree->Components();
+        std::vector<ComponentSizeInfo> sizes;
+        for (const auto& c : comps) {
+          sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+        }
+        TieringMergePolicy policy(options_.merge_size_ratio,
+                                  options_.max_mergeable_bytes);
+        const MergeRange r = policy.PickMerge(sizes);
+        if (r.empty() || r.count() < 2) break;
+        std::vector<DiskComponentPtr> picked(comps.begin() + r.begin,
+                                             comps.begin() + r.end);
+        AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s.get(), picked));
+        stats_.merges++;
+        stats_.repairs++;
+      }
+    } else if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
+      while (true) {
+        auto comps = s->tree->Components();
+        std::vector<ComponentSizeInfo> sizes;
+        for (const auto& c : comps) {
+          sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+        }
+        TieringMergePolicy policy(options_.merge_size_ratio,
+                                  options_.max_mergeable_bytes);
+        const MergeRange r = policy.PickMerge(sizes);
+        if (r.empty() || r.count() < 2) break;
+        AUXLSM_RETURN_NOT_OK(RunDeletedKeyMerge(this, s.get(), r));
+        stats_.merges++;
+      }
+    } else {
+      AUXLSM_RETURN_NOT_OK(merge_tree(s->tree.get()));
+      AUXLSM_RETURN_NOT_OK(merge_tree(s->deleted_keys.get()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Dataset::CorrelatedMerge() {
+  // The correlated merge policy (§4.4) keeps all of a dataset's indexes
+  // merging in lock step with the primary key index: all indexes flush
+  // together, so their newest-first component lists are positionally aligned
+  // and one pick applies to every index.
+  LsmTree* anchor = pk_index_ ? pk_index_.get() : primary_.get();
+  while (true) {
+    auto comps = anchor->Components();
+    std::vector<ComponentSizeInfo> sizes;
+    for (const auto& c : comps) {
+      sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+    }
+    TieringMergePolicy policy(options_.merge_size_ratio,
+                              options_.max_mergeable_bytes);
+    const MergeRange r = policy.PickMerge(sizes);
+    if (r.empty() || r.count() < 2) break;
+
+    AUXLSM_RETURN_NOT_OK(primary_->MergeComponentRange(r));
+    if (pk_index_) AUXLSM_RETURN_NOT_OK(pk_index_->MergeComponentRange(r));
+    if (options_.strategy == MaintenanceStrategy::kMutableBitmap &&
+        pk_index_) {
+      // Re-share the merged components' bitmap.
+      auto pcomps = primary_->Components();
+      auto kcomps = pk_index_->Components();
+      if (r.begin < pcomps.size() && r.begin < kcomps.size()) {
+        kcomps[r.begin]->set_bitmap(pcomps[r.begin]->bitmap());
+      }
+    }
+    for (auto& s : secondaries_) {
+      if (s->tree->NumDiskComponents() < r.end) continue;
+      if (options_.strategy == MaintenanceStrategy::kValidation &&
+          options_.merge_repair) {
+        auto scomps = s->tree->Components();
+        std::vector<DiskComponentPtr> picked(scomps.begin() + r.begin,
+                                             scomps.begin() + r.end);
+        AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s.get(), picked));
+        stats_.repairs++;
+      } else {
+        AUXLSM_RETURN_NOT_OK(s->tree->MergeComponentRange(r));
+        if (s->deleted_keys &&
+            s->deleted_keys->NumDiskComponents() >= r.end) {
+          AUXLSM_RETURN_NOT_OK(s->deleted_keys->MergeComponentRange(r));
+        }
+      }
+    }
+    stats_.merges++;
+  }
+  return Status::OK();
+}
+
+Status Dataset::MergeAllIndexes() {
+  AUXLSM_RETURN_NOT_OK(primary_->MergeAll());
+  if (pk_index_) AUXLSM_RETURN_NOT_OK(pk_index_->MergeAll());
+  if (options_.strategy == MaintenanceStrategy::kMutableBitmap && pk_index_) {
+    auto pcomps = primary_->Components();
+    auto kcomps = pk_index_->Components();
+    if (!pcomps.empty() && !kcomps.empty()) {
+      kcomps.front()->set_bitmap(pcomps.front()->bitmap());
+    }
+  }
+  for (auto& s : secondaries_) {
+    AUXLSM_RETURN_NOT_OK(s->tree->MergeAll());
+    if (s->deleted_keys) AUXLSM_RETURN_NOT_OK(s->deleted_keys->MergeAll());
+  }
+  return Status::OK();
+}
+
+Status Dataset::GetById(uint64_t id, TweetRecord* out) {
+  OwnedEntry e;
+  GetOptions opts;
+  opts.use_blocked_bloom = options_.build_blocked_bloom;
+  AUXLSM_RETURN_NOT_OK(primary_->Get(EncodeU64(id), &e, opts));
+  return TweetRecord::Deserialize(e.value, out);
+}
+
+uint64_t Dataset::num_records() const {
+  // Reconciling scan over the primary index (exact; test/diagnostic use).
+  auto comps = primary_->Components();
+  MergeCursor::Options mo;
+  mo.respect_bitmaps = true;
+  mo.drop_antimatter = false;
+  MergeCursor cursor(comps, mo);
+  if (!cursor.Init().ok()) return 0;
+  auto mem = primary_->memtable()->Snapshot();
+  // Merge the memtable snapshot with the disk cursor, newest wins.
+  uint64_t count = 0;
+  size_t mi = 0;
+  auto mem_key = [&]() { return Slice(mem[mi].key); };
+  while (cursor.Valid() || mi < mem.size()) {
+    int cmp;
+    if (!cursor.Valid()) {
+      cmp = -1;  // memtable only
+    } else if (mi >= mem.size()) {
+      cmp = 1;  // disk only
+    } else {
+      cmp = mem_key().compare(cursor.key());
+    }
+    if (cmp < 0) {
+      if (!mem[mi].antimatter) count++;
+      mi++;
+    } else if (cmp > 0) {
+      if (!cursor.antimatter()) count++;
+      if (!cursor.Next().ok()) break;
+    } else {
+      if (!mem[mi].antimatter) count++;  // memtable overrides disk
+      mi++;
+      if (!cursor.Next().ok()) break;
+    }
+  }
+  return count;
+}
+
+DatasetCatalog Dataset::Checkpoint() {
+  DatasetCatalog cat;
+  auto snap_tree = [&](LsmTree* t, std::vector<DatasetCatalog::ComponentEntry>* out,
+                       bool pk_shares_bitmap) {
+    if (t == nullptr) return;
+    for (const auto& c : t->Components()) {
+      DatasetCatalog::ComponentEntry e;
+      e.id = c->id();
+      e.meta = c->meta();
+      e.repaired_ts = c->repaired_ts();
+      e.max_lsn = c->max_lsn();
+      if (c->range_filter().has_value() && c->range_filter()->has_value()) {
+        e.has_range_filter = true;
+        e.filter_min = c->range_filter()->min();
+        e.filter_max = c->range_filter()->max();
+      }
+      if (c->bitmap() != nullptr) {
+        e.has_bitmap = true;
+        e.bitmap_bits = c->bitmap()->size();
+        e.bitmap_words = c->bitmap()->Words();
+        e.shares_primary_bitmap = pk_shares_bitmap;
+      }
+      cat.max_component_lsn = std::max(cat.max_component_lsn, e.max_lsn);
+      out->push_back(std::move(e));
+    }
+  };
+  snap_tree(primary_.get(), &cat.primary, false);
+  snap_tree(pk_index_.get(), &cat.primary_key,
+            options_.strategy == MaintenanceStrategy::kMutableBitmap);
+  cat.secondaries.resize(secondaries_.size());
+  cat.deleted_keys.resize(secondaries_.size());
+  for (size_t i = 0; i < secondaries_.size(); i++) {
+    snap_tree(secondaries_[i]->tree.get(), &cat.secondaries[i], false);
+    snap_tree(secondaries_[i]->deleted_keys.get(), &cat.deleted_keys[i],
+              false);
+  }
+  // Checkpointing flushes dirty bitmap pages (§5.2): everything up to the
+  // current tail is now durable for bitmaps.
+  cat.bitmap_checkpoint_lsn = wal_.tail_lsn();
+  bitmap_checkpoint_lsn_ = cat.bitmap_checkpoint_lsn;
+  return cat;
+}
+
+namespace {
+
+// Reopens one disk component from catalog metadata, rebuilding its Bloom
+// filters by scanning the keys (a real system would store filter pages in
+// the component file; the rebuild preserves behaviour).
+Result<DiskComponentPtr> ReopenComponent(
+    Env* env, const LsmTreeOptions& topts,
+    const DatasetCatalog::ComponentEntry& e) {
+  auto c = std::make_shared<DiskComponent>(e.id, env, e.meta);
+  c->set_repaired_ts(e.repaired_ts);
+  c->set_max_lsn(e.max_lsn);
+  if (e.has_range_filter) {
+    RangeFilter f;
+    f.Expand(e.filter_min);
+    f.Expand(e.filter_max);
+    c->set_range_filter(f);
+  }
+  if (e.has_bitmap) {
+    c->set_bitmap(std::make_shared<Bitmap>(
+        Bitmap::FromWords(e.bitmap_bits, e.bitmap_words)));
+  }
+  if (topts.build_bloom || topts.build_blocked_bloom) {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(e.meta.num_entries);
+    auto it = c->tree().NewIterator(/*readahead=*/32);
+    AUXLSM_RETURN_NOT_OK(it.SeekToFirst());
+    while (it.Valid()) {
+      hashes.push_back(Hash64(it.key()));
+      AUXLSM_RETURN_NOT_OK(it.Next());
+    }
+    if (topts.build_bloom) {
+      c->set_bloom(std::make_unique<BloomFilter>(hashes, topts.bloom_fpr));
+    }
+    if (topts.build_blocked_bloom) {
+      c->set_blocked_bloom(
+          std::make_unique<BlockedBloomFilter>(hashes, topts.bloom_fpr));
+    }
+  }
+  return c;
+}
+
+Status ReopenTree(Env* env, LsmTree* tree,
+                  const std::vector<DatasetCatalog::ComponentEntry>& entries) {
+  // Catalog order is newest first; ReplaceComponents with no olds prepends,
+  // so install oldest first.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr c,
+                            ReopenComponent(env, tree->options(), *it));
+    AUXLSM_RETURN_NOT_OK(tree->ReplaceComponents({}, std::move(c)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Dataset>> Dataset::Recover(Env* env, Wal* wal,
+                                                  const DatasetCatalog& catalog,
+                                                  DatasetOptions options,
+                                                  RecoveryStats* stats) {
+  auto ds = std::make_unique<Dataset>(env, std::move(options));
+  AUXLSM_RETURN_NOT_OK(ReopenTree(env, ds->primary_.get(), catalog.primary));
+  if (ds->pk_index_) {
+    AUXLSM_RETURN_NOT_OK(
+        ReopenTree(env, ds->pk_index_.get(), catalog.primary_key));
+    // Re-establish bitmap sharing between primary and pk-index components.
+    auto pcomps = ds->primary_->Components();
+    auto kcomps = ds->pk_index_->Components();
+    for (size_t i = 0; i < kcomps.size() && i < pcomps.size(); i++) {
+      if (i < catalog.primary_key.size() &&
+          catalog.primary_key[i].shares_primary_bitmap) {
+        kcomps[i]->set_bitmap(pcomps[i]->bitmap());
+      }
+    }
+  }
+  for (size_t i = 0; i < ds->secondaries_.size(); i++) {
+    if (i < catalog.secondaries.size()) {
+      AUXLSM_RETURN_NOT_OK(ReopenTree(env, ds->secondaries_[i]->tree.get(),
+                                      catalog.secondaries[i]));
+    }
+    if (ds->secondaries_[i]->deleted_keys && i < catalog.deleted_keys.size()) {
+      AUXLSM_RETURN_NOT_OK(ReopenTree(
+          env, ds->secondaries_[i]->deleted_keys.get(),
+          catalog.deleted_keys[i]));
+    }
+  }
+
+  Dataset* d = ds.get();
+  auto redo_op = [d](const LogRecord& r) -> Status {
+    TweetRecord rec;
+    if (r.type == LogRecordType::kDelete) {
+      rec.id = DecodeU64(r.key);
+    } else {
+      AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(r.value, &rec));
+    }
+    return d->ReplayOp(r, rec);
+  };
+  auto redo_bitmap = [d](const LogRecord& r) -> Status {
+    return d->ReplayBitmap(r);
+  };
+  AUXLSM_RETURN_NOT_OK(RecoverFromWal(*wal, catalog.max_component_lsn,
+                                      catalog.bitmap_checkpoint_lsn, redo_op,
+                                      redo_bitmap, stats));
+  return ds;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,337 @@
+// Dataset: the multi-index LSM storage architecture of §3 (Figure 1).
+//
+// A dataset owns a primary index (primary key -> record), a primary key
+// index (primary keys only), and a set of secondary indexes ((secondary key,
+// primary key) composed entries). All indexes share one memory budget and
+// flush together, so their component IDs line up. The primary index carries
+// a component-level range filter on the record's creation_time.
+//
+// The maintenance strategy governs how auxiliary structures are kept
+// consistent under updates and deletes:
+//  - kEager           anti-matter via ingestion-time point lookups (§3.1)
+//  - kValidation      lazy cleanup, timestamp validation + repair (§4)
+//  - kMutableBitmap   per-component validity bitmaps for the primary index
+//                     and its filters, secondaries via Validation (§5)
+//  - kDeletedKeyBtree AsterixDB baseline: per-secondary-component deleted-key
+//                     B+-trees (§2.3/§4.1)
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+
+#include "common/rwlatch.h"
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "format/record.h"
+#include "lsm/lsm_tree.h"
+#include "txn/recovery.h"
+#include "txn/transaction.h"
+
+namespace auxlsm {
+
+enum class MaintenanceStrategy {
+  kEager,
+  kValidation,
+  kMutableBitmap,
+  kDeletedKeyBtree,
+};
+
+const char* StrategyName(MaintenanceStrategy s);
+
+/// Concurrency-control method for flush/merge concurrent with bitmap writers
+/// (§5.3). kNone = stop-the-world merge (the baseline in Fig 23).
+enum class BuildCcMethod { kNone, kLock, kSideFile };
+
+/// Definition of one secondary index. The extractor returns the fixed-width
+/// encoded secondary key of a record.
+struct SecondaryIndexDef {
+  std::string name = "sk";
+  size_t sk_width = 8;
+  std::function<std::string(const TweetRecord&)> extract;
+
+  /// The paper's default secondary index on user_id.
+  static SecondaryIndexDef UserId();
+  /// Synthetic extra attributes for the multi-index scalability experiments
+  /// (Fig 15b / Fig 22): a per-index deterministic mix of the user id.
+  static SecondaryIndexDef SyntheticAttribute(size_t index_no);
+};
+
+struct DatasetOptions {
+  MaintenanceStrategy strategy = MaintenanceStrategy::kEager;
+  std::vector<SecondaryIndexDef> secondary_indexes = {
+      SecondaryIndexDef::UserId()};
+
+  /// Shared memory-component budget across all indexes (§2.2).
+  size_t mem_budget_bytes = 4u << 20;
+  double bloom_fpr = 0.01;
+  bool build_blocked_bloom = true;
+
+  /// Build the primary key index (Fig 13 toggles this off).
+  bool enable_primary_key_index = true;
+  /// Maintain the creation_time range filter on the primary index.
+  bool maintain_range_filter = true;
+
+  /// Per-index merge policy; default tiering with ratio 1.2 (§6.1).
+  double merge_size_ratio = 1.2;
+  uint64_t max_mergeable_bytes = 64u << 20;
+  /// Correlated merge policy (§4.4): synchronize merges of all indexes with
+  /// the primary key index.
+  bool correlated_merges = false;
+
+  // --- Validation strategy -------------------------------------------------
+  /// Repair secondary indexes as part of merges (§4.4).
+  bool merge_repair = false;
+  /// Bloom filter repair optimization (§4.4); effective with correlated
+  /// merges.
+  bool repair_bloom_opt = false;
+
+  // --- Mutable-bitmap strategy ----------------------------------------------
+  BuildCcMethod build_cc = BuildCcMethod::kNone;
+
+  bool enable_wal = true;
+  uint32_t scan_readahead_pages = 32;  ///< scaled equivalent of the paper's 4 MB read-ahead (32 pages of 128 KB)
+};
+
+struct IngestStats {
+  uint64_t inserts = 0;
+  uint64_t upserts = 0;
+  uint64_t deletes = 0;
+  uint64_t duplicates_ignored = 0;
+  uint64_t ingest_point_lookups = 0;  ///< pre-operation lookups
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+  uint64_t repairs = 0;
+};
+
+class Dataset;
+
+/// One secondary index: its LSM tree plus, under kDeletedKeyBtree, the
+/// companion deleted-key tree whose components parallel the index's.
+struct SecondaryIndex {
+  SecondaryIndexDef def;
+  std::unique_ptr<LsmTree> tree;
+  std::unique_ptr<LsmTree> deleted_keys;  // kDeletedKeyBtree only
+};
+
+// ---------------------------------------------------------------------------
+// Query plumbing (implemented in point_lookup.cc / query.cc / scan.cc).
+// ---------------------------------------------------------------------------
+
+/// Knobs of §3.2's index-to-index navigation optimizations and §4.3's
+/// validation methods.
+struct SecondaryQueryOptions {
+  enum class LookupAlgo { kNaive, kBatched };
+  LookupAlgo lookup = LookupAlgo::kBatched;
+  /// Memory for one batch of primary keys (paper default 16 MB).
+  size_t batch_memory_bytes = 16u << 20;
+  bool stateful_btree_lookup = true;   ///< "sLookup"
+  bool use_blocked_bloom = true;       ///< "bBF"
+  bool propagate_component_id = false; ///< "pID" (Jia [21])
+  /// Sort fetched records back into primary-key order (Fig 12d).
+  bool sort_results_by_pk = false;
+
+  enum class Validation { kAuto, kNone, kDirect, kTimestamp };
+  Validation validation = Validation::kAuto;
+
+  bool index_only = false;
+};
+
+/// A matching (primary key, timestamp) pair surfaced by a secondary search,
+/// with the component ID floor used by the pID optimization.
+struct SecondaryMatch {
+  std::string pk;
+  Timestamp ts = 0;
+  Timestamp component_min_ts = 0;
+};
+
+struct QueryResult {
+  std::vector<TweetRecord> records;  ///< non-index-only queries
+  std::vector<std::string> keys;     ///< index-only queries
+  uint64_t candidates = 0;           ///< matches before validation
+  uint64_t validated_out = 0;        ///< candidates rejected by validation
+};
+
+struct ScanResult {
+  uint64_t records_scanned = 0;
+  uint64_t records_matched = 0;
+  uint64_t components_pruned = 0;
+  uint64_t components_scanned = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Serializable snapshot of the dataset's component catalog; stands in for
+/// the metadata a real system persists per component. Exported by
+/// Checkpoint(), consumed by Dataset::Recover after a simulated crash.
+struct DatasetCatalog {
+  struct ComponentEntry {
+    ComponentId id;
+    BtreeMeta meta;
+    Timestamp repaired_ts = 0;
+    Lsn max_lsn = kInvalidLsn;
+    bool has_range_filter = false;
+    uint64_t filter_min = 0, filter_max = 0;
+    bool has_bitmap = false;
+    std::vector<uint64_t> bitmap_words;  ///< checkpointed bitmap contents
+    uint64_t bitmap_bits = 0;
+    bool shares_primary_bitmap = false;  ///< pk-index component, shared bitmap
+  };
+  std::vector<ComponentEntry> primary;
+  std::vector<ComponentEntry> primary_key;
+  std::vector<std::vector<ComponentEntry>> secondaries;
+  std::vector<std::vector<ComponentEntry>> deleted_keys;
+  Lsn max_component_lsn = kInvalidLsn;
+  Lsn bitmap_checkpoint_lsn = kInvalidLsn;
+};
+
+class Dataset {
+ public:
+  Dataset(Env* env, DatasetOptions options);
+
+  Env* env() const { return env_; }
+  const DatasetOptions& options() const { return options_; }
+  LogicalClock* clock() { return &clock_; }
+  Wal* wal() { return &wal_; }
+  LockManager* locks() { return &locks_; }
+
+  // --- Ingestion (auto-commit record-level transactions) --------------------
+  /// Inserts a record after a key-uniqueness check; a duplicate key is
+  /// ignored (sets *inserted = false).
+  Status Insert(const TweetRecord& record, bool* inserted = nullptr);
+  Status Upsert(const TweetRecord& record);
+  Status Delete(uint64_t id);
+
+  /// Explicit-transaction variants (§5.2's locking/abort semantics).
+  std::unique_ptr<Transaction> Begin() { return txns_.Begin(); }
+  Status InsertTxn(const TweetRecord& record, Transaction* txn,
+                   bool* inserted);
+  Status UpsertTxn(const TweetRecord& record, Transaction* txn);
+  Status DeleteTxn(uint64_t id, Transaction* txn);
+
+  // --- Queries ----------------------------------------------------------------
+  /// Primary-key point query.
+  Status GetById(uint64_t id, TweetRecord* out);
+
+  /// Secondary-index range query on user_id in [lo_user, hi_user].
+  Status QueryUserRange(uint64_t lo_user, uint64_t hi_user,
+                        const SecondaryQueryOptions& opts, QueryResult* out);
+
+  /// Range-filter scan: records with creation_time in [lo, hi] (§6.4.2).
+  Status ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out);
+
+  /// Full primary scan counting records with user_id in [lo_user, hi_user]
+  /// (the Fig 12b "scan" baseline).
+  Status FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
+                           ScanResult* out);
+
+  // --- Maintenance -------------------------------------------------------------
+  /// Flushes all indexes together (shared budget semantics) and then lets
+  /// merge policies run.
+  Status FlushAll();
+  Status MergeAllIndexes();
+
+  /// Standalone repair of every secondary index (§4.4). Brings repairedTS
+  /// forward; used by Fig 20-22.
+  Status RepairAllSecondaries();
+
+  /// DELI-style primary repair [31] (Fig 20-22 baseline): repairs secondary
+  /// indexes by scanning (or fully merging) the primary index.
+  Status PrimaryRepair(bool with_merge);
+
+  // --- Recovery ------------------------------------------------------------------
+  /// Checkpoints bitmap pages and exports the component catalog. The catalog
+  /// stands in for per-component metadata that a real system persists as
+  /// flushes/merges happen: it references live component files, so a catalog
+  /// taken before later merges retire those files cannot be recovered from —
+  /// recovery wants the catalog reflecting the component set at crash time
+  /// (§2.2 "examines all valid disk components").
+  DatasetCatalog Checkpoint();
+
+  /// Rebuilds a dataset after a simulated crash: reopens components from the
+  /// catalog and replays the WAL (§2.2). The WAL and Env must outlive the
+  /// crash; `stats` reports replay counts.
+  static Result<std::unique_ptr<Dataset>> Recover(Env* env, Wal* wal,
+                                                  const DatasetCatalog& catalog,
+                                                  DatasetOptions options,
+                                                  RecoveryStats* stats);
+
+  // --- Introspection ----------------------------------------------------------
+  LsmTree* primary() { return primary_.get(); }
+  LsmTree* primary_key_index() { return pk_index_.get(); }
+  const std::vector<std::unique_ptr<SecondaryIndex>>& secondaries() const {
+    return secondaries_;
+  }
+  SecondaryIndex* secondary(size_t i) { return secondaries_[i].get(); }
+  const IngestStats& ingest_stats() const { return stats_; }
+  uint64_t num_records() const;
+
+  /// Total memory-component bytes across indexes (flush trigger input).
+  size_t MemComponentBytes() const;
+
+  // Internal: used by the concurrent-build module. Every ingestion operation
+  // holds this in shared mode; the Side-file builder takes it exclusively
+  // during its initialization and catchup phases (the "S lock dataset" of
+  // Fig 11 — draining ongoing operations).
+  RwLatch& ingest_latch() { return ingest_mu_; }
+
+ private:
+  friend class SecondaryQueryExecutor;
+  friend class FilterScanExecutor;
+  friend Status RunMergeRepair(Dataset* dataset, SecondaryIndex* index,
+                               const std::vector<DiskComponentPtr>& picked);
+  friend Status RunStandaloneRepair(Dataset* dataset, SecondaryIndex* index);
+
+  // ingest.cc
+  Status IngestOp(LogRecordType op, const TweetRecord& record,
+                  Transaction* txn, bool* inserted, bool log_to_wal);
+  /// Recovery redo of a data operation (uses the record's original ts, no
+  /// WAL logging, no locks).
+  Status ReplayOp(const LogRecord& r, const TweetRecord& record);
+  /// Recovery redo of a bitmap mutation for a record whose data already
+  /// resides in disk components (update bit, §5.2).
+  Status ReplayBitmap(const LogRecord& r);
+  Status EagerUpsert(const TweetRecord& record, Timestamp ts,
+                     Transaction* txn, bool is_delete);
+  Status ValidationUpsert(const TweetRecord& record, Timestamp ts,
+                          Transaction* txn, bool is_delete);
+  Status MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
+                             Transaction* txn, bool is_delete,
+                             bool* update_bit);
+  Status DeletedKeyUpsert(const TweetRecord& record, Timestamp ts,
+                          Transaction* txn, bool is_delete);
+  Status InsertIntoAll(const TweetRecord& record, Timestamp ts,
+                       Transaction* txn);
+  Status CheckBudgetAndMaintain();
+
+  // dataset.cc
+  Status FlushAllLocked();
+  Status RunMerges();
+  Status CorrelatedMerge();
+  LsmTreeOptions MakeTreeOptions(const std::string& name, bool is_primary,
+                                 bool attach_bitmap, bool range_filter) const;
+
+  Env* const env_;
+  DatasetOptions options_;
+  LogicalClock clock_;
+  LockManager locks_;
+  Wal wal_;
+  TransactionManager txns_;
+
+  std::unique_ptr<LsmTree> primary_;
+  std::unique_ptr<LsmTree> pk_index_;
+  std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+
+  RwLatch ingest_mu_;
+  IngestStats stats_;
+  Lsn bitmap_checkpoint_lsn_ = kInvalidLsn;
+};
+
+// repair.cc — exposed for tests and benchmarks.
+Status RunMergeRepair(Dataset* dataset, SecondaryIndex* index,
+                      const std::vector<DiskComponentPtr>& picked);
+Status RunStandaloneRepair(Dataset* dataset, SecondaryIndex* index);
+
+}  // namespace auxlsm

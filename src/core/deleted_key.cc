@@ -1,0 +1,69 @@
+#include "core/deleted_key.h"
+
+#include "format/key_codec.h"
+
+namespace auxlsm {
+
+Status RunDeletedKeyMerge(Dataset* ds, SecondaryIndex* index,
+                          const MergeRange& range) {
+  LsmTree* tree = index->tree.get();
+  auto comps = tree->Components();
+  if (range.end > comps.size() || range.empty()) {
+    return Status::InvalidArgument("bad merge range");
+  }
+  std::vector<DiskComponentPtr> picked(comps.begin() + range.begin,
+                                       comps.begin() + range.end);
+  const bool includes_oldest = picked.back() == comps.back();
+
+  MergeCursor::Options mo;
+  mo.respect_bitmaps = true;
+  mo.drop_antimatter = includes_oldest;
+  MergeCursor cursor(picked, mo);
+  AUXLSM_RETURN_NOT_OK(cursor.Init());
+
+  // Per-entry point lookups against the deleted-key trees: an entry is
+  // obsolete if its primary key was re-written with a newer timestamp.
+  GetOptions gopts;
+  gopts.use_blocked_bloom = ds->options().build_blocked_bloom;
+  Status iter_status;
+  auto next = [&](OwnedEntry* e) {
+    while (cursor.Valid()) {
+      const bool antimatter = cursor.antimatter();
+      bool obsolete = false;
+      if (!antimatter) {
+        Slice pk;
+        SplitSecondaryKey(cursor.key(), index->def.sk_width, nullptr, &pk);
+        LookupResult res;
+        iter_status = index->deleted_keys->GetRaw(pk, &res, gopts);
+        if (!iter_status.ok()) return false;
+        obsolete = res.found && res.entry.ts > cursor.ts();
+      }
+      if (obsolete) {
+        iter_status = cursor.Next();
+        if (!iter_status.ok()) return false;
+        continue;
+      }
+      e->key = cursor.key().ToString();
+      e->value = cursor.value().ToString();
+      e->ts = cursor.ts();
+      e->antimatter = antimatter;
+      iter_status = cursor.Next();
+      return iter_status.ok();
+    }
+    return false;
+  };
+
+  const ComponentId id{picked.back()->id().min_ts, picked.front()->id().max_ts};
+  AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr merged,
+                          tree->BuildComponent(id, next));
+  AUXLSM_RETURN_NOT_OK(iter_status);
+  AUXLSM_RETURN_NOT_OK(tree->ReplaceComponents(picked, merged));
+
+  // The companion deleted-key tree merges in lock step.
+  if (index->deleted_keys->NumDiskComponents() >= range.end) {
+    AUXLSM_RETURN_NOT_OK(index->deleted_keys->MergeComponentRange(range));
+  }
+  return Status::OK();
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,15 @@
+// Merge-time cleanup for the deleted-key B+-tree strategy (§4.1): when a
+// secondary index's components merge, each surviving entry is validated
+// against the index's own deleted-key trees. The deleted-key trees are
+// duplicated per secondary index (unlike the single primary key index of
+// §4.4), which is exactly the overhead Fig 15b measures.
+#pragma once
+
+#include "core/dataset.h"
+
+namespace auxlsm {
+
+Status RunDeletedKeyMerge(Dataset* dataset, SecondaryIndex* index,
+                          const MergeRange& range);
+
+}  // namespace auxlsm

@@ -1,0 +1,413 @@
+// Ingestion paths for the four maintenance strategies (§3.1, §4.2, §5.2).
+#include "core/dataset.h"
+#include "core/mutable_bitmap_build.h"
+#include "format/key_codec.h"
+
+namespace auxlsm {
+
+namespace {
+
+/// Puts an entry into an index's memory component, registering the inverse
+/// operation with the transaction when rollback must be possible.
+void PutIndex(LsmTree* tree, const Slice& key, const Slice& value,
+              Timestamp ts, bool antimatter, Transaction* undo_txn) {
+  if (undo_txn != nullptr) {
+    OwnedEntry prev;
+    const bool had_prev = tree->memtable()->Get(key, &prev).ok();
+    Memtable* mem = tree->memtable();
+    std::string k = key.ToString();
+    if (had_prev) {
+      MemEntry restore{prev.value, prev.ts, prev.antimatter};
+      undo_txn->PushUndo(
+          [mem, k, restore]() { mem->Restore(k, restore); });
+    } else {
+      undo_txn->PushUndo([mem, k, ts]() { mem->EraseIfTs(k, ts); });
+    }
+  }
+  if (antimatter) {
+    tree->PutAntimatter(key, ts);
+  } else {
+    tree->Put(key, value, ts);
+  }
+}
+
+}  // namespace
+
+Status Dataset::Insert(const TweetRecord& record, bool* inserted) {
+  return IngestOp(LogRecordType::kInsert, record, nullptr, inserted, true);
+}
+Status Dataset::Upsert(const TweetRecord& record) {
+  return IngestOp(LogRecordType::kUpsert, record, nullptr, nullptr, true);
+}
+Status Dataset::Delete(uint64_t id) {
+  TweetRecord r;
+  r.id = id;
+  return IngestOp(LogRecordType::kDelete, r, nullptr, nullptr, true);
+}
+Status Dataset::InsertTxn(const TweetRecord& record, Transaction* txn,
+                          bool* inserted) {
+  return IngestOp(LogRecordType::kInsert, record, txn, inserted, true);
+}
+Status Dataset::UpsertTxn(const TweetRecord& record, Transaction* txn) {
+  return IngestOp(LogRecordType::kUpsert, record, txn, nullptr, true);
+}
+Status Dataset::DeleteTxn(uint64_t id, Transaction* txn) {
+  TweetRecord r;
+  r.id = id;
+  return IngestOp(LogRecordType::kDelete, r, txn, nullptr, true);
+}
+
+Status Dataset::InsertIntoAll(const TweetRecord& record, Timestamp ts,
+                              Transaction* txn) {
+  const std::string pk = record.primary_key();
+  PutIndex(primary_.get(), pk, record.Serialize(), ts, false, txn);
+  if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, false, txn);
+  for (auto& s : secondaries_) {
+    PutIndex(s->tree.get(), ComposeSecondaryKey(s->def.extract(record), pk),
+             Slice(), ts, false, txn);
+  }
+  if (options_.maintain_range_filter) {
+    primary_->mem_range_filter()->Expand(record.creation_time);
+  }
+  return Status::OK();
+}
+
+Status Dataset::EagerUpsert(const TweetRecord& record, Timestamp ts,
+                            Transaction* txn, bool is_delete) {
+  const std::string pk = record.primary_key();
+  // Point lookup to fetch the old record (§3.1).
+  OwnedEntry old_entry;
+  GetOptions gopts;
+  gopts.use_blocked_bloom = options_.build_blocked_bloom;
+  Status st = primary_->Get(pk, &old_entry, gopts);
+  stats_.ingest_point_lookups++;
+  const bool old_exists = st.ok();
+  if (!old_exists && !st.IsNotFound()) return st;
+
+  TweetRecord old_record;
+  if (old_exists) {
+    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(old_entry.value, &old_record));
+  }
+  if (is_delete) {
+    if (!old_exists) return Status::OK();  // deleting a missing key: ignore
+    PutIndex(primary_.get(), pk, Slice(), ts, true, txn);
+    if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, true, txn);
+    for (auto& s : secondaries_) {
+      PutIndex(s->tree.get(),
+               ComposeSecondaryKey(s->def.extract(old_record), pk), Slice(),
+               ts, true, txn);
+    }
+    // Filters must reflect the deleted record, or scans could prune the
+    // memory component and resurrect it (§3.1).
+    if (options_.maintain_range_filter) {
+      primary_->mem_range_filter()->Expand(old_record.creation_time);
+    }
+    return Status::OK();
+  }
+
+  // Upsert: anti-matter for the old secondary entries, then insert anew.
+  if (old_exists) {
+    for (auto& s : secondaries_) {
+      const std::string old_sk = s->def.extract(old_record);
+      const std::string new_sk = s->def.extract(record);
+      if (old_sk != new_sk) {  // unchanged keys skip maintenance (§3.1)
+        PutIndex(s->tree.get(), ComposeSecondaryKey(old_sk, pk), Slice(), ts,
+                 true, txn);
+      }
+    }
+    if (options_.maintain_range_filter) {
+      primary_->mem_range_filter()->Expand(old_record.creation_time);
+    }
+  }
+  PutIndex(primary_.get(), pk, record.Serialize(), ts, false, txn);
+  if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, false, txn);
+  for (auto& s : secondaries_) {
+    PutIndex(s->tree.get(), ComposeSecondaryKey(s->def.extract(record), pk),
+             Slice(), ts, false, txn);
+  }
+  if (options_.maintain_range_filter) {
+    primary_->mem_range_filter()->Expand(record.creation_time);
+  }
+  return Status::OK();
+}
+
+Status Dataset::ValidationUpsert(const TweetRecord& record, Timestamp ts,
+                                 Transaction* txn, bool is_delete) {
+  const std::string pk = record.primary_key();
+  // Memory-component optimization (§4.2): the memtable must be searched to
+  // place the new entry anyway, so an old record found there cleans the
+  // secondary indexes for free.
+  OwnedEntry mem_old;
+  const bool mem_hit = primary_->memtable()->Get(pk, &mem_old).ok() &&
+                       !mem_old.antimatter;
+  TweetRecord old_record;
+  if (mem_hit) {
+    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(mem_old.value, &old_record));
+  }
+
+  if (is_delete) {
+    PutIndex(primary_.get(), pk, Slice(), ts, true, txn);
+    if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, true, txn);
+    if (mem_hit) {
+      for (auto& s : secondaries_) {
+        PutIndex(s->tree.get(),
+                 ComposeSecondaryKey(s->def.extract(old_record), pk), Slice(),
+                 ts, true, txn);
+      }
+    }
+    return Status::OK();
+  }
+
+  if (mem_hit) {
+    for (auto& s : secondaries_) {
+      const std::string old_sk = s->def.extract(old_record);
+      if (old_sk != s->def.extract(record)) {
+        PutIndex(s->tree.get(), ComposeSecondaryKey(old_sk, pk), Slice(), ts,
+                 true, txn);
+      }
+    }
+  }
+  PutIndex(primary_.get(), pk, record.Serialize(), ts, false, txn);
+  if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, false, txn);
+  for (auto& s : secondaries_) {
+    PutIndex(s->tree.get(), ComposeSecondaryKey(s->def.extract(record), pk),
+             Slice(), ts, false, txn);
+  }
+  // Filters are maintained on the new record only (§4.2); queries over older
+  // components compensate by also reading newer components.
+  if (options_.maintain_range_filter) {
+    primary_->mem_range_filter()->Expand(record.creation_time);
+  }
+  return Status::OK();
+}
+
+Status Dataset::DeletedKeyUpsert(const TweetRecord& record, Timestamp ts,
+                                 Transaction* txn, bool is_delete) {
+  // Blind maintenance as under Validation, but each secondary index records
+  // the (re)written primary key in its companion deleted-key tree so queries
+  // and merges can invalidate older entries (§4.1).
+  const std::string pk = record.primary_key();
+  AUXLSM_RETURN_NOT_OK(ValidationUpsert(record, ts, txn, is_delete));
+  for (auto& s : secondaries_) {
+    PutIndex(s->deleted_keys.get(), pk, Slice(), ts, false, txn);
+  }
+  return Status::OK();
+}
+
+Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
+                                    Transaction* txn, bool is_delete,
+                                    bool* update_bit) {
+  *update_bit = false;
+  const std::string pk = record.primary_key();
+  LsmTree* finder = pk_index_ ? pk_index_.get() : primary_.get();
+
+  // Search the primary key index — never the full records (§5.2).
+  LookupResult res;
+  GetOptions gopts;
+  gopts.use_blocked_bloom = options_.build_blocked_bloom;
+  gopts.respect_bitmaps = true;
+  AUXLSM_RETURN_NOT_OK(finder->GetRaw(pk, &res, gopts));
+  stats_.ingest_point_lookups++;
+
+  const bool old_in_disk = res.found && !res.entry.antimatter &&
+                           !res.from_memtable && res.component != nullptr;
+  const bool old_in_mem = res.found && !res.entry.antimatter &&
+                          res.from_memtable;
+  if (is_delete && !res.found) return Status::OK();
+  if (is_delete && res.entry.antimatter) return Status::OK();
+
+  if (old_in_disk && res.component->bitmap() != nullptr) {
+    // Mark the old version deleted directly in the disk component.
+    const uint64_t ordinal = res.ordinal;
+    auto bitmap = res.component->bitmap();
+    const bool was_set = bitmap->Set(ordinal);
+    if (!was_set) {
+      *update_bit = true;
+      if (txn != nullptr) {
+        // Aborts flip the bit back from 1 to 0 (§5.2 footnote).
+        txn->PushUndo([bitmap, ordinal]() { bitmap->Unset(ordinal); });
+      }
+      // If a concurrent flush/merge is building a new component from this
+      // one, propagate the delete (§5.3).
+      auto link = res.component->build_link();
+      if (link != nullptr) {
+        ApplyDeleteToBuild(link.get(), pk, txn);
+      }
+    }
+  }
+
+  // The memory-component optimization applies as under Validation.
+  OwnedEntry mem_old;
+  TweetRecord old_record;
+  const bool mem_hit = old_in_mem &&
+                       primary_->memtable()->Get(pk, &mem_old).ok() &&
+                       !mem_old.antimatter &&
+                       TweetRecord::Deserialize(mem_old.value, &old_record).ok();
+
+  if (is_delete) {
+    // Anti-matter keeps LSM semantics intact and lets Validation-maintained
+    // secondaries validate against recently ingested keys (§5.2).
+    PutIndex(primary_.get(), pk, Slice(), ts, true, txn);
+    if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, true, txn);
+    if (mem_hit) {
+      for (auto& s : secondaries_) {
+        PutIndex(s->tree.get(),
+                 ComposeSecondaryKey(s->def.extract(old_record), pk), Slice(),
+                 ts, true, txn);
+      }
+    }
+    return Status::OK();
+  }
+
+  if (mem_hit) {
+    for (auto& s : secondaries_) {
+      const std::string old_sk = s->def.extract(old_record);
+      if (old_sk != s->def.extract(record)) {
+        PutIndex(s->tree.get(), ComposeSecondaryKey(old_sk, pk), Slice(), ts,
+                 true, txn);
+      }
+    }
+  }
+  PutIndex(primary_.get(), pk, record.Serialize(), ts, false, txn);
+  if (pk_index_) PutIndex(pk_index_.get(), pk, Slice(), ts, false, txn);
+  for (auto& s : secondaries_) {
+    PutIndex(s->tree.get(), ComposeSecondaryKey(s->def.extract(record), pk),
+             Slice(), ts, false, txn);
+  }
+  // Filters are maintained on the new record only — the bitmap already
+  // reflects the old record's deletion, so no widening is needed (§5.2).
+  if (options_.maintain_range_filter) {
+    primary_->mem_range_filter()->Expand(record.creation_time);
+  }
+  return Status::OK();
+}
+
+Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
+                         Transaction* txn, bool* inserted, bool log_to_wal) {
+  std::shared_lock<RwLatch> ingest_lock(ingest_mu_);
+
+  std::unique_ptr<Transaction> auto_txn;
+  const bool owns_txn = txn == nullptr;
+  if (owns_txn) {
+    auto_txn = txns_.Begin();
+    txn = auto_txn.get();
+  }
+  // Record-level X lock on the primary key for the transaction's duration.
+  const std::string pk = record.primary_key();
+  txn->Lock(pk, LockMode::kExclusive);
+  // Auto-commit transactions never roll back; skip undo bookkeeping.
+  Transaction* undo_txn = owns_txn ? nullptr : txn;
+
+  const Timestamp ts = clock_.Tick();
+  bool update_bit = false;
+
+  if (op == LogRecordType::kInsert) {
+    // Key-uniqueness check through the primary key index when available
+    // (§3.1's optimization), else the primary index.
+    LsmTree* checker = pk_index_ ? pk_index_.get() : primary_.get();
+    OwnedEntry existing;
+    GetOptions gopts;
+    gopts.use_blocked_bloom = options_.build_blocked_bloom;
+    Status st = checker->Get(pk, &existing, gopts);
+    stats_.ingest_point_lookups++;
+    if (st.ok()) {
+      stats_.duplicates_ignored++;
+      if (inserted != nullptr) *inserted = false;
+      if (owns_txn) return txn->Commit();
+      return Status::OK();
+    }
+    if (!st.IsNotFound()) return st;
+    AUXLSM_RETURN_NOT_OK(InsertIntoAll(record, ts, undo_txn));
+    if (inserted != nullptr) *inserted = true;
+    stats_.inserts++;
+  } else {
+    const bool is_delete = op == LogRecordType::kDelete;
+    switch (options_.strategy) {
+      case MaintenanceStrategy::kEager:
+        AUXLSM_RETURN_NOT_OK(EagerUpsert(record, ts, undo_txn, is_delete));
+        break;
+      case MaintenanceStrategy::kValidation:
+        AUXLSM_RETURN_NOT_OK(ValidationUpsert(record, ts, undo_txn, is_delete));
+        break;
+      case MaintenanceStrategy::kMutableBitmap:
+        AUXLSM_RETURN_NOT_OK(
+            MutableBitmapUpsert(record, ts, undo_txn, is_delete, &update_bit));
+        break;
+      case MaintenanceStrategy::kDeletedKeyBtree:
+        AUXLSM_RETURN_NOT_OK(DeletedKeyUpsert(record, ts, undo_txn, is_delete));
+        break;
+    }
+    if (is_delete) {
+      stats_.deletes++;
+    } else {
+      stats_.upserts++;
+    }
+  }
+
+  if (log_to_wal && options_.enable_wal) {
+    LogRecord r;
+    r.type = op;
+    r.key = pk;
+    if (op != LogRecordType::kDelete) r.value = record.Serialize();
+    r.ts = ts;
+    r.update_bit = update_bit;
+    txn->Log(std::move(r));
+  }
+  if (owns_txn) {
+    AUXLSM_RETURN_NOT_OK(txn->Commit());
+  }
+
+  ingest_lock.unlock();
+  return CheckBudgetAndMaintain();
+}
+
+Status Dataset::CheckBudgetAndMaintain() {
+  if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
+  std::unique_lock<RwLatch> l(ingest_mu_);
+  if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
+  AUXLSM_RETURN_NOT_OK(FlushAllLocked());
+  return RunMerges();
+}
+
+Status Dataset::ReplayOp(const LogRecord& r, const TweetRecord& record) {
+  clock_.AdvanceTo(r.ts);
+  bool update_bit = false;
+  if (r.type == LogRecordType::kInsert) {
+    // Inserts passed their uniqueness check originally; redo blindly.
+    return InsertIntoAll(record, r.ts, nullptr);
+  }
+  const bool is_delete = r.type == LogRecordType::kDelete;
+  switch (options_.strategy) {
+    case MaintenanceStrategy::kEager:
+      return EagerUpsert(record, r.ts, nullptr, is_delete);
+    case MaintenanceStrategy::kValidation:
+      return ValidationUpsert(record, r.ts, nullptr, is_delete);
+    case MaintenanceStrategy::kMutableBitmap:
+      return MutableBitmapUpsert(record, r.ts, nullptr, is_delete,
+                                 &update_bit);
+    case MaintenanceStrategy::kDeletedKeyBtree:
+      return DeletedKeyUpsert(record, r.ts, nullptr, is_delete);
+  }
+  return Status::OK();
+}
+
+Status Dataset::ReplayBitmap(const LogRecord& r) {
+  // The record's data already lives in disk components; re-mark the version
+  // older than r.ts as deleted (its bitmap change may have been lost in the
+  // crash — bitmaps are no-steal/no-force with checkpoints, §5.2).
+  LsmTree* finder = pk_index_ ? pk_index_.get() : primary_.get();
+  for (const auto& c : finder->Components()) {
+    LeafEntry entry;
+    std::string backing;
+    uint64_t ordinal = 0;
+    Status st = c->tree().GetWithOrdinal(r.key, &entry, &backing, &ordinal);
+    if (st.IsNotFound()) continue;
+    AUXLSM_RETURN_NOT_OK(st);
+    if (entry.ts >= r.ts || entry.antimatter) continue;  // not the old version
+    if (c->bitmap() != nullptr) c->bitmap()->Set(ordinal);
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,316 @@
+#include "core/mutable_bitmap_build.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "btree/btree_builder.h"
+#include "common/hash.h"
+
+namespace auxlsm {
+
+namespace {
+
+/// Binary search over the emitted-keys prefix [0, count).
+bool FindEmitted(const BuildLink* link, size_t count, const Slice& pk,
+                 uint64_t* pos) {
+  const auto begin = link->emitted_keys.begin();
+  const auto end = begin + static_cast<long>(count);
+  auto it = std::lower_bound(begin, end, pk.view(),
+                             [](const std::string& a, std::string_view b) {
+                               return std::string_view(a) < b;
+                             });
+  if (it == end || Slice(*it) != pk) return false;
+  *pos = static_cast<uint64_t>(it - begin);
+  return true;
+}
+
+}  // namespace
+
+void ApplyDeleteToBuild(BuildLink* link, const Slice& pk, Transaction* txn) {
+  if (link->method == BuildCcMethod::kLock) {
+    // Fig 10b lines 6-7: if the key was already copied (key <= ScannedKey),
+    // mark it deleted in the new component too.
+    const size_t count = link->emitted_count.load(std::memory_order_acquire);
+    uint64_t pos = 0;
+    if (count > 0 && FindEmitted(link, count, pk, &pos)) {
+      link->overlay.Set(pos);
+      if (txn != nullptr) {
+        Bitmap* overlay = &link->overlay;
+        txn->PushUndo([overlay, pos]() { overlay->Unset(pos); });
+      }
+    }
+    return;
+  }
+  if (link->method == BuildCcMethod::kSideFile) {
+    // Fig 11b lines 6-9: append to the side-file; if it is already closed,
+    // apply to the new component directly.
+    std::unique_lock<std::mutex> l(link->mu);
+    if (!link->side_file_closed) {
+      link->side_file.emplace_back(pk.ToString(), false);
+      if (txn != nullptr) {
+        BuildLink* lk = link;
+        std::string key = pk.ToString();
+        txn->PushUndo([lk, key]() {
+          std::unique_lock<std::mutex> ul(lk->mu);
+          if (!lk->side_file_closed) {
+            // Rollback appends an anti-matter key while the side-file is open.
+            lk->side_file.emplace_back(key, true);
+          } else {
+            ul.unlock();
+            uint64_t pos = 0;
+            const size_t n = lk->emitted_count.load(std::memory_order_acquire);
+            if (FindEmitted(lk, n, key, &pos)) lk->overlay.Unset(pos);
+          }
+        });
+      }
+      return;
+    }
+    l.unlock();
+    const size_t count = link->emitted_count.load(std::memory_order_acquire);
+    uint64_t pos = 0;
+    if (FindEmitted(link, count, pk, &pos)) {
+      link->overlay.Set(pos);
+      if (txn != nullptr) {
+        Bitmap* overlay = &link->overlay;
+        txn->PushUndo([overlay, pos]() { overlay->Unset(pos); });
+      }
+    }
+  }
+}
+
+namespace {
+
+struct DualBuilder {
+  DualBuilder(Env* env) : primary(env), pk(env) {}
+  BtreeBuilder primary;
+  BtreeBuilder pk;
+  std::vector<uint64_t> hashes;
+
+  Status Add(const Slice& key, const Slice& value, Timestamp ts,
+             bool antimatter) {
+    AUXLSM_RETURN_NOT_OK(primary.Add(key, value, ts, antimatter));
+    AUXLSM_RETURN_NOT_OK(pk.Add(key, Slice(), ts, antimatter));
+    hashes.push_back(Hash64(key));
+    return Status::OK();
+  }
+};
+
+// Installs the finished primary/pk component pair, replacing the old ones.
+Status InstallPair(Dataset* ds, const std::vector<DiskComponentPtr>& old_p,
+                   const std::vector<DiskComponentPtr>& old_k,
+                   DualBuilder* dual, ComponentId id, Timestamp repaired,
+                   const Bitmap& overlay, uint64_t emitted,
+                   uint64_t* output_entries) {
+  BtreeMeta pmeta, kmeta;
+  AUXLSM_RETURN_NOT_OK(dual->primary.Finish(&pmeta));
+  AUXLSM_RETURN_NOT_OK(dual->pk.Finish(&kmeta));
+  *output_entries = pmeta.num_entries;
+
+  auto pcomp = std::make_shared<DiskComponent>(id, ds->env(), pmeta);
+  auto kcomp = std::make_shared<DiskComponent>(id, ds->env(), kmeta);
+  const double fpr = ds->options().bloom_fpr;
+  pcomp->set_bloom(std::make_unique<BloomFilter>(dual->hashes, fpr));
+  kcomp->set_bloom(std::make_unique<BloomFilter>(dual->hashes, fpr));
+  if (ds->options().build_blocked_bloom) {
+    pcomp->set_blocked_bloom(
+        std::make_unique<BlockedBloomFilter>(dual->hashes, fpr));
+    kcomp->set_blocked_bloom(
+        std::make_unique<BlockedBloomFilter>(dual->hashes, fpr));
+  }
+  // One shared validity bitmap (§5.1), seeded with deletes that were applied
+  // to the new component during the build.
+  auto bitmap = std::make_shared<Bitmap>(pmeta.num_entries);
+  for (uint64_t i = 0; i < emitted && i < pmeta.num_entries; i++) {
+    if (overlay.Test(i)) bitmap->Set(i);
+  }
+  pcomp->set_bitmap(bitmap);
+  kcomp->set_bitmap(bitmap);
+  pcomp->set_repaired_ts(repaired);
+  kcomp->set_repaired_ts(repaired);
+  // Merged range filter: union of inputs (conservative).
+  RangeFilter f;
+  for (const auto& c : old_p) {
+    if (c->range_filter().has_value()) f.Merge(*c->range_filter());
+  }
+  pcomp->set_range_filter(f);
+
+  AUXLSM_RETURN_NOT_OK(ds->primary()->ReplaceComponents(old_p, pcomp));
+  if (ds->primary_key_index() != nullptr) {
+    AUXLSM_RETURN_NOT_OK(
+        ds->primary_key_index()->ReplaceComponents(old_k, kcomp));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
+                       BuildCcMethod method, ConcurrentMergeStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto old_p_all = ds->primary()->Components();
+  auto old_k_all = ds->primary_key_index() != nullptr
+                       ? ds->primary_key_index()->Components()
+                       : std::vector<DiskComponentPtr>{};
+  if (end > old_p_all.size() || begin >= end) {
+    return Status::InvalidArgument("bad merge range");
+  }
+  std::vector<DiskComponentPtr> old_p(old_p_all.begin() + begin,
+                                      old_p_all.begin() + end);
+  std::vector<DiskComponentPtr> old_k;
+  if (!old_k_all.empty()) {
+    if (end > old_k_all.size()) {
+      return Status::InvalidArgument("pk index components out of sync");
+    }
+    old_k.assign(old_k_all.begin() + begin, old_k_all.begin() + end);
+  }
+
+  uint64_t capacity = 0;
+  for (const auto& c : old_p) capacity += c->num_entries();
+  stats->input_entries = capacity;
+  const ComponentId id{old_p.back()->id().min_ts, old_p.front()->id().max_ts};
+  Timestamp repaired = old_p.front()->repaired_ts();
+  for (const auto& c : old_p) repaired = std::min(repaired, c->repaired_ts());
+  const bool drop_antimatter = old_p.back() == old_p_all.back();
+
+  DualBuilder dual(ds->env());
+
+  if (method == BuildCcMethod::kNone) {
+    // Baseline: plain merge with live bitmaps, no writer coordination.
+    MergeCursor::Options mo;
+    mo.respect_bitmaps = true;
+    mo.drop_antimatter = drop_antimatter;
+    MergeCursor cursor(old_p, mo);
+    AUXLSM_RETURN_NOT_OK(cursor.Init());
+    Bitmap empty_overlay(0);
+    uint64_t emitted = 0;
+    while (cursor.Valid()) {
+      AUXLSM_RETURN_NOT_OK(
+          dual.Add(cursor.key(), cursor.value(), cursor.ts(),
+                   cursor.antimatter()));
+      emitted++;
+      AUXLSM_RETURN_NOT_OK(cursor.Next());
+    }
+    std::unique_lock<RwLatch> install_lock(ds->ingest_latch());
+    AUXLSM_RETURN_NOT_OK(InstallPair(ds, old_p, old_k, &dual, id, repaired,
+                                     empty_overlay, 0,
+                                     &stats->output_entries));
+    stats->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return Status::OK();
+  }
+
+  auto link = std::make_shared<BuildLink>(method, capacity);
+
+  if (method == BuildCcMethod::kLock) {
+    // Fig 10a: make the new component visible, then scan with per-key shared
+    // locks, re-checking validity under the lock.
+    for (const auto& c : old_p) c->set_build_link(link);
+    for (const auto& c : old_k) c->set_build_link(link);
+
+    MergeCursor::Options mo;
+    mo.respect_bitmaps = false;  // validity re-checked under the lock
+    mo.drop_antimatter = drop_antimatter;
+    MergeCursor cursor(old_p, mo);
+    AUXLSM_RETURN_NOT_OK(cursor.Init());
+    auto builder_txn = ds->Begin();
+    while (cursor.Valid()) {
+      {
+        ScopedLock sl(ds->locks(), builder_txn->id(), cursor.key(),
+                      LockMode::kShared);
+        stats->builder_lock_acquisitions++;
+        const auto& src = old_p[cursor.source()];
+        const bool still_valid =
+            src->bitmap() == nullptr ||
+            !src->bitmap()->Test(cursor.source_ordinal());
+        if (still_valid) {
+          AUXLSM_RETURN_NOT_OK(dual.Add(cursor.key(), cursor.value(),
+                                        cursor.ts(), cursor.antimatter()));
+          link->emitted_keys.push_back(cursor.key().ToString());
+          link->emitted_count.store(link->emitted_keys.size(),
+                                    std::memory_order_release);
+        }
+      }
+      AUXLSM_RETURN_NOT_OK(cursor.Next());
+    }
+    AUXLSM_RETURN_NOT_OK(builder_txn->Commit());
+
+    // Drain in-flight writers, install, unlink.
+    std::unique_lock<RwLatch> install_lock(ds->ingest_latch());
+    const uint64_t emitted =
+        link->emitted_count.load(std::memory_order_acquire);
+    AUXLSM_RETURN_NOT_OK(InstallPair(ds, old_p, old_k, &dual, id, repaired,
+                                     link->overlay, emitted,
+                                     &stats->output_entries));
+    for (const auto& c : old_p) c->set_build_link(nullptr);
+    for (const auto& c : old_k) c->set_build_link(nullptr);
+  } else {
+    // Side-file method, Fig 11a.
+    std::vector<std::shared_ptr<Bitmap>> snapshots;
+    {
+      // Initialization phase: drain ongoing operations, snapshot bitmaps,
+      // publish the link.
+      std::unique_lock<RwLatch> init_lock(ds->ingest_latch());
+      for (const auto& c : old_p) {
+        snapshots.push_back(
+            c->bitmap() == nullptr
+                ? nullptr
+                : std::make_shared<Bitmap>(Bitmap::SnapshotOf(*c->bitmap())));
+      }
+      for (const auto& c : old_p) c->set_build_link(link);
+      for (const auto& c : old_k) c->set_build_link(link);
+    }
+
+    // Build phase: scan against the snapshots; no per-key locks.
+    MergeCursor::Options mo;
+    mo.respect_bitmaps = true;
+    mo.bitmap_overrides = snapshots;
+    mo.drop_antimatter = drop_antimatter;
+    MergeCursor cursor(old_p, mo);
+    AUXLSM_RETURN_NOT_OK(cursor.Init());
+    while (cursor.Valid()) {
+      AUXLSM_RETURN_NOT_OK(dual.Add(cursor.key(), cursor.value(), cursor.ts(),
+                                    cursor.antimatter()));
+      link->emitted_keys.push_back(cursor.key().ToString());
+      link->emitted_count.store(link->emitted_keys.size(),
+                                std::memory_order_release);
+      AUXLSM_RETURN_NOT_OK(cursor.Next());
+    }
+
+    // Catch-up phase: close the side-file under the dataset latch, sort it,
+    // apply, install.
+    std::unique_lock<RwLatch> catchup_lock(ds->ingest_latch());
+    {
+      std::lock_guard<std::mutex> l(link->mu);
+      link->side_file_closed = true;
+    }
+    // Stable sort keeps the delete/rollback order per key.
+    std::stable_sort(link->side_file.begin(), link->side_file.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    const size_t emitted = link->emitted_count.load(std::memory_order_acquire);
+    for (const auto& [key, is_rollback] : link->side_file) {
+      uint64_t pos = 0;
+      if (!FindEmitted(link.get(), emitted, key, &pos)) continue;
+      if (is_rollback) {
+        link->overlay.Unset(pos);
+      } else {
+        link->overlay.Set(pos);
+        stats->side_file_applied++;
+      }
+    }
+    AUXLSM_RETURN_NOT_OK(InstallPair(ds, old_p, old_k, &dual, id, repaired,
+                                     link->overlay, emitted,
+                                     &stats->output_entries));
+    for (const auto& c : old_p) c->set_build_link(nullptr);
+    for (const auto& c : old_k) c->set_build_link(nullptr);
+  }
+
+  stats->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return Status::OK();
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,75 @@
+// Concurrency control for flush/merge under the Mutable-bitmap strategy
+// (§5.3). A component builder constructs a new primary + primary-key-index
+// component pair (sharing one validity bitmap) while writers concurrently
+// delete keys:
+//
+//  - Lock method (Fig 10): the builder takes a shared lock per scanned key
+//    and re-checks the bitmap; a writer whose deleted key was already copied
+//    into the new component marks it there directly.
+//  - Side-file method (Fig 11): the builder scans immutable bitmap snapshots;
+//    writers append deleted keys to a side-file that the builder sorts and
+//    applies during a catch-up phase.
+//  - kNone: no coordination (the Fig 23 baseline) — deletes that race with
+//    the scan may be missed by the new component.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "lsm/bitmap.h"
+
+namespace auxlsm {
+
+/// Shared state linking old components to the component under construction.
+/// Old components point here (DiskComponent::build_link); writers follow the
+/// pointer on delete.
+struct BuildLink {
+  explicit BuildLink(BuildCcMethod m, uint64_t capacity)
+      : method(m), overlay(capacity) {
+    emitted_keys.reserve(capacity);
+  }
+
+  const BuildCcMethod method;
+
+  /// Keys emitted into the new component so far, ascending. Capacity is
+  /// reserved up front so concurrent binary searches over [0, emitted_count)
+  /// never race with reallocation. emitted_keys[emitted_count-1] is
+  /// "C'.ScannedKey" of Fig 10.
+  std::vector<std::string> emitted_keys;
+  std::atomic<size_t> emitted_count{0};
+
+  /// Deletions applied to the new component during the build, by position.
+  Bitmap overlay;
+
+  // --- Side-file state (guarded by mu) ---------------------------------------
+  std::mutex mu;
+  bool side_file_closed = false;
+  /// (key, is_rollback): deletes append (k, false); transaction rollbacks
+  /// append anti-matter (k, true) while the side-file is open (§5.3).
+  std::vector<std::pair<std::string, bool>> side_file;
+};
+
+/// Writer-side hook: called by the Mutable-bitmap ingestion path after it
+/// marked a key deleted in an old component that links to an in-progress
+/// build. Registers rollback behaviour with txn when provided.
+void ApplyDeleteToBuild(BuildLink* link, const Slice& pk, Transaction* txn);
+
+struct ConcurrentMergeStats {
+  uint64_t input_entries = 0;
+  uint64_t output_entries = 0;
+  uint64_t side_file_applied = 0;
+  uint64_t builder_lock_acquisitions = 0;
+  double elapsed_seconds = 0;
+};
+
+/// Merges primary-index components [begin, end) (newest-first positions) and
+/// the matching primary-key-index components, concurrently with writers,
+/// using the given concurrency-control method. The dataset must use the
+/// Mutable-bitmap strategy.
+Status ConcurrentMerge(Dataset* dataset, size_t begin, size_t end,
+                       BuildCcMethod method, ConcurrentMergeStats* stats);
+
+}  // namespace auxlsm

@@ -1,0 +1,156 @@
+#include "core/point_lookup.h"
+
+#include <algorithm>
+
+#include "btree/btree_cursor.h"
+#include "common/hash.h"
+
+namespace auxlsm {
+
+namespace {
+
+// Approximate per-key footprint in batching memory: the key itself plus
+// bookkeeping (hash, found flag, result slot).
+constexpr size_t kBatchBytesPerKey = 32;
+
+struct PendingKey {
+  const FetchRequest* req;
+  uint64_t hash;
+  bool done = false;
+};
+
+// Searches the memtable for every pending key; marks hits done.
+void SearchMemtable(const LsmTree& tree, std::vector<PendingKey>& pending,
+                    bool raw, std::vector<FetchedEntry>* out,
+                    PointLookupStats* stats) {
+  for (auto& p : pending) {
+    OwnedEntry e;
+    if (!tree.memtable().Get(p.req->pk, &e).ok()) continue;
+    p.done = true;
+    stats->found++;
+    const bool alive = !e.antimatter;
+    if (alive || raw) {
+      out->push_back(FetchedEntry{p.req->pk, std::move(e.value), e.ts, alive});
+    }
+  }
+}
+
+}  // namespace
+
+Status BulkPointLookup(const LsmTree& tree,
+                       const std::vector<FetchRequest>& requests,
+                       const PointLookupOptions& options,
+                       std::vector<FetchedEntry>* out,
+                       PointLookupStats* stats) {
+  PointLookupStats local;
+  local.keys = requests.size();
+  const auto components = tree.Components();
+
+  const size_t batch_keys =
+      options.batched
+          ? std::max<size_t>(1, options.batch_memory_bytes / kBatchBytesPerKey)
+          : requests.size();
+
+  size_t start = 0;
+  while (start < requests.size()) {
+    const size_t end = options.batched
+                           ? std::min(requests.size(), start + batch_keys)
+                           : requests.size();
+    local.batches++;
+
+    std::vector<PendingKey> pending;
+    pending.reserve(end - start);
+    for (size_t i = start; i < end; i++) {
+      pending.push_back(PendingKey{&requests[i], Hash64(requests[i].pk)});
+    }
+    SearchMemtable(tree, pending, options.raw, out, &local);
+
+    if (!options.batched) {
+      // Naive: per key, search components newest to oldest independently.
+      for (auto& p : pending) {
+        if (p.done) continue;
+        for (const auto& c : components) {
+          if (c->id().max_ts < p.req->prune_min_ts) {
+            local.components_skipped_by_id++;
+            continue;
+          }
+          local.bloom_probes++;
+          if (!c->MayContain(p.hash, options.use_blocked_bloom)) {
+            local.bloom_negatives++;
+            continue;
+          }
+          local.tree_probes++;
+          LeafEntry entry;
+          std::string backing;
+          uint64_t ordinal = 0;
+          Status st =
+              c->tree().GetWithOrdinal(p.req->pk, &entry, &backing, &ordinal);
+          if (st.IsNotFound()) continue;
+          AUXLSM_RETURN_NOT_OK(st);
+          p.done = true;
+          local.found++;
+          const bool alive = !entry.antimatter && c->EntryValid(ordinal);
+          if (alive || options.raw) {
+            out->push_back(FetchedEntry{p.req->pk, entry.value.ToString(),
+                                        entry.ts, alive});
+          }
+          break;
+        }
+      }
+    } else {
+      // Batched (§3.2): per component, probe the batch's unfound keys in
+      // ascending key order so leaf pages are read sequentially.
+      size_t remaining = 0;
+      for (const auto& p : pending) {
+        if (!p.done) remaining++;
+      }
+      for (const auto& c : components) {
+        if (remaining == 0) break;
+        StatefulBtreeCursor cursor(&c->tree());
+        for (auto& p : pending) {
+          if (p.done) continue;
+          if (c->id().max_ts < p.req->prune_min_ts) {
+            local.components_skipped_by_id++;
+            continue;
+          }
+          local.bloom_probes++;
+          if (!c->MayContain(p.hash, options.use_blocked_bloom)) {
+            local.bloom_negatives++;
+            continue;
+          }
+          local.tree_probes++;
+          LeafEntry entry;
+          std::string backing;
+          bool found = false;
+          uint64_t ordinal = 0;
+          if (options.stateful_btree_lookup) {
+            AUXLSM_RETURN_NOT_OK(cursor.SeekExactWithOrdinal(
+                p.req->pk, &entry, &backing, &found, &ordinal));
+          } else {
+            Status st = c->tree().GetWithOrdinal(p.req->pk, &entry, &backing,
+                                                 &ordinal);
+            if (st.ok()) {
+              found = true;
+            } else if (!st.IsNotFound()) {
+              return st;
+            }
+          }
+          if (!found) continue;
+          p.done = true;
+          remaining--;
+          local.found++;
+          const bool alive = !entry.antimatter && c->EntryValid(ordinal);
+          if (alive || options.raw) {
+            out->push_back(FetchedEntry{p.req->pk, entry.value.ToString(),
+                                        entry.ts, alive});
+          }
+        }
+      }
+    }
+    start = end;
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace auxlsm

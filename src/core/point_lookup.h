@@ -1,0 +1,65 @@
+// Index-to-index navigation: bulk point lookups against an LSM tree (§3.2).
+//
+// The naive algorithm sorts the keys and looks each up independently (every
+// lookup descends every component from the root, so leaf pages of different
+// components interleave and reads come out random). The batched algorithm
+// divides the sorted keys into batches and, per batch, visits components one
+// by one from newest to oldest, probing only still-unfound keys — so each
+// component's leaf pages are touched in ascending key order (sequential), at
+// the price of results coming back out of primary-key order.
+#pragma once
+
+#include <vector>
+
+#include "lsm/lsm_tree.h"
+
+namespace auxlsm {
+
+struct FetchRequest {
+  std::string pk;
+  /// Component-ID propagation (pID): components with max_ts below this bound
+  /// cannot contain the record and are skipped for this key.
+  Timestamp prune_min_ts = 0;
+};
+
+struct PointLookupOptions {
+  bool batched = true;
+  size_t batch_memory_bytes = 16u << 20;
+  /// Stateful B+-tree cursors with exponential search within a batch.
+  bool stateful_btree_lookup = true;
+  bool use_blocked_bloom = true;
+  /// Raw mode: return the newest physical entry (including anti-matter and
+  /// bitmap-invalid ones are reported as dead). Used by timestamp validation
+  /// against the primary key index.
+  bool raw = false;
+};
+
+struct FetchedEntry {
+  std::string pk;
+  std::string value;
+  Timestamp ts = 0;
+  bool alive = true;  ///< false: newest entry was anti-matter/bitmap-deleted
+};
+
+struct PointLookupStats {
+  uint64_t keys = 0;
+  uint64_t found = 0;
+  uint64_t bloom_probes = 0;
+  uint64_t bloom_negatives = 0;
+  uint64_t tree_probes = 0;
+  uint64_t components_skipped_by_id = 0;  ///< pID pruning
+  uint64_t batches = 0;
+};
+
+/// Looks up every request (which must be sorted by pk ascending) in `tree`.
+/// Results are appended to *out in discovery order — primary-key order for
+/// the naive algorithm, batch/component order for the batched one. Dead
+/// entries (anti-matter / bitmap-invalid newest versions) are only appended
+/// in raw mode.
+Status BulkPointLookup(const LsmTree& tree,
+                       const std::vector<FetchRequest>& requests,
+                       const PointLookupOptions& options,
+                       std::vector<FetchedEntry>* out,
+                       PointLookupStats* stats = nullptr);
+
+}  // namespace auxlsm

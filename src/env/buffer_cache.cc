@@ -1,0 +1,94 @@
+#include "env/buffer_cache.h"
+
+namespace auxlsm {
+
+BufferCache::BufferCache(PageStore* store, DiskModel* disk,
+                         size_t capacity_pages)
+    : store_(store), disk_(disk), capacity_(capacity_pages) {}
+
+bool BufferCache::LookupLocked(const Key& k, PageData* out) {
+  auto it = map_.find(k);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->data;
+  return true;
+}
+
+void BufferCache::InsertLocked(const Key& k, PageData data) {
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    it->second->data = std::move(data);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{k, std::move(data)});
+  map_[k] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
+                         uint32_t readahead_pages) {
+  const Key k{file_id, page_no};
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> l(mu_);
+    if (LookupLocked(k, out)) {
+      disk_->OnCacheHit();
+      return Status::OK();
+    }
+  }
+  disk_->OnCacheMiss();
+  AUXLSM_RETURN_NOT_OK(store_->ReadPage(file_id, page_no, out));
+  disk_->ChargeRead(file_id, page_no);
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> l(mu_);
+    InsertLocked(k, *out);
+    // Read-ahead: fault in following pages at sequential cost.
+    const uint32_t n_pages = store_->NumPages(file_id);
+    for (uint32_t i = 1; i <= readahead_pages && page_no + i < n_pages; i++) {
+      const Key rk{file_id, page_no + i};
+      PageData tmp;
+      if (LookupLocked(rk, &tmp)) continue;
+      if (!store_->ReadPage(file_id, page_no + i, &tmp).ok()) break;
+      disk_->ChargeRead(file_id, page_no + i);
+      InsertLocked(rk, std::move(tmp));
+    }
+  }
+  return Status::OK();
+}
+
+void BufferCache::Evict(uint32_t file_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_id == file_id) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+size_t BufferCache::size() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return map_.size();
+}
+
+void BufferCache::set_capacity(size_t capacity_pages) {
+  std::lock_guard<std::mutex> l(mu_);
+  capacity_ = capacity_pages;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,72 @@
+// LRU buffer cache over (file, page) with optional read-ahead.
+//
+// The cache is read-through: a miss faults the page in from the PageStore and
+// charges the DiskModel; read-ahead faults in the following pages of the same
+// file at sequential-transfer cost, modelling OS/disk read-ahead the paper
+// relies on for scans (4MB read-ahead in §6.1).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "env/disk_model.h"
+#include "env/page_store.h"
+
+namespace auxlsm {
+
+class BufferCache {
+ public:
+  /// capacity_pages == 0 disables caching entirely.
+  BufferCache(PageStore* store, DiskModel* disk, size_t capacity_pages);
+
+  /// Reads a page through the cache. readahead_pages > 0 additionally faults
+  /// in up to that many following pages of the same file on a miss.
+  Status Read(uint32_t file_id, uint32_t page_no, PageData* out,
+              uint32_t readahead_pages = 0);
+
+  /// Drops all cached pages of a file (called when a component is deleted).
+  void Evict(uint32_t file_id);
+
+  /// Drops everything (used by benchmarks to model a cold cache).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity_pages);
+
+ private:
+  struct Key {
+    uint32_t file_id;
+    uint32_t page_no;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && page_no == o.page_no;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return (uint64_t{k.file_id} << 32 | k.page_no) * 0x9e3779b97f4a7c15ULL;
+    }
+  };
+  struct Entry {
+    Key key;
+    PageData data;
+  };
+  using LruList = std::list<Entry>;
+
+  // Inserts into the cache (caller holds mu_). Returns the cached data.
+  void InsertLocked(const Key& k, PageData data);
+  bool LookupLocked(const Key& k, PageData* out);
+
+  PageStore* const store_;
+  DiskModel* const disk_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,17 @@
+#include "env/env.h"
+
+namespace auxlsm {
+
+Env::Env(EnvOptions options)
+    : options_(options),
+      store_(options.page_size),
+      disk_(options.disk_profile),
+      cache_(&store_, &disk_, options.cache_pages) {}
+
+Status Env::DeleteFile(uint32_t file_id) {
+  cache_.Evict(file_id);
+  disk_.ForgetFile(file_id);
+  return store_.DeleteFile(file_id);
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,61 @@
+// Env bundles the simulated storage stack: page store, disk model, buffer
+// cache. Every index component does its I/O through an Env.
+#pragma once
+
+#include <memory>
+
+#include "env/buffer_cache.h"
+#include "env/disk_model.h"
+#include "env/page_store.h"
+
+namespace auxlsm {
+
+struct EnvOptions {
+  size_t page_size = 4096;
+  size_t cache_pages = 4096;         ///< 16 MiB with 4 KiB pages
+  uint32_t scan_readahead_pages = 32;///< read-ahead used by range scans
+  DiskProfile disk_profile = DiskProfile::Hdd();
+};
+
+class Env {
+ public:
+  explicit Env(EnvOptions options = EnvOptions());
+
+  PageStore* store() { return &store_; }
+  DiskModel* disk() { return &disk_; }
+  BufferCache* cache() { return &cache_; }
+
+  size_t page_size() const { return store_.page_size(); }
+  uint32_t scan_readahead_pages() const { return options_.scan_readahead_pages; }
+
+  IoStats stats() const { return disk_.stats(); }
+
+  /// Creates a new append-only page file.
+  uint32_t CreateFile() { return store_.CreateFile(); }
+
+  /// Appends a page, charging a sequential write.
+  Status AppendPage(uint32_t file_id, std::string page, uint32_t* page_no) {
+    AUXLSM_RETURN_NOT_OK(store_.AppendPage(file_id, std::move(page), page_no));
+    disk_.ChargeWrite(1);
+    return Status::OK();
+  }
+
+  /// Reads a page through the cache.
+  Status ReadPage(uint32_t file_id, uint32_t page_no, PageData* out,
+                  uint32_t readahead_pages = 0) {
+    return cache_.Read(file_id, page_no, out, readahead_pages);
+  }
+
+  /// Deletes a file and evicts its cached pages.
+  Status DeleteFile(uint32_t file_id);
+
+  const EnvOptions& options() const { return options_; }
+
+ private:
+  EnvOptions options_;
+  PageStore store_;
+  DiskModel disk_;
+  BufferCache cache_;
+};
+
+}  // namespace auxlsm

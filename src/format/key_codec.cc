@@ -1,0 +1,60 @@
+#include "format/key_codec.h"
+
+#include <cassert>
+
+namespace auxlsm {
+
+void AppendU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; i--) {
+    buf[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+std::string EncodeU64(uint64_t v) {
+  std::string s;
+  AppendU64(&s, v);
+  return s;
+}
+
+uint64_t DecodeU64(const Slice& s) {
+  assert(s.size() >= 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+std::string EncodeI64(int64_t v) {
+  return EncodeU64(static_cast<uint64_t>(v) ^ (uint64_t{1} << 63));
+}
+
+int64_t DecodeI64(const Slice& s) {
+  return static_cast<int64_t>(DecodeU64(s) ^ (uint64_t{1} << 63));
+}
+
+std::string ComposeSecondaryKey(const Slice& secondary_key,
+                                const Slice& primary_key) {
+  std::string out;
+  out.reserve(secondary_key.size() + primary_key.size());
+  out.append(secondary_key.data(), secondary_key.size());
+  out.append(primary_key.data(), primary_key.size());
+  return out;
+}
+
+void SplitSecondaryKey(const Slice& composed, size_t sk_width,
+                       Slice* secondary_key, Slice* primary_key) {
+  assert(composed.size() >= sk_width);
+  if (secondary_key != nullptr) {
+    *secondary_key = Slice(composed.data(), sk_width);
+  }
+  if (primary_key != nullptr) {
+    *primary_key =
+        Slice(composed.data() + sk_width, composed.size() - sk_width);
+  }
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,33 @@
+// Key encodings. All index keys are byte strings ordered by memcmp; integers
+// are encoded big-endian so numeric order equals byte order. Secondary index
+// keys are the composition (secondary key, primary key) — §3's design for
+// handling duplicate secondary keys — with fixed-width secondary keys so the
+// concatenation preserves lexicographic order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace auxlsm {
+
+/// Encodes a uint64 in big-endian (memcmp-ordered).
+std::string EncodeU64(uint64_t v);
+void AppendU64(std::string* dst, uint64_t v);
+uint64_t DecodeU64(const Slice& s);
+
+/// Encodes an int64 order-preservingly (sign bit flipped, big-endian).
+std::string EncodeI64(int64_t v);
+int64_t DecodeI64(const Slice& s);
+
+/// Composes a secondary-index key from a fixed-width secondary key and the
+/// primary key.
+std::string ComposeSecondaryKey(const Slice& secondary_key,
+                                const Slice& primary_key);
+
+/// Splits a composed secondary-index key given the secondary key width.
+void SplitSecondaryKey(const Slice& composed, size_t sk_width,
+                       Slice* secondary_key, Slice* primary_key);
+
+}  // namespace auxlsm

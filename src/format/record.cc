@@ -1,0 +1,50 @@
+#include "format/record.h"
+
+#include "common/coding.h"
+#include "format/key_codec.h"
+
+namespace auxlsm {
+
+std::string TweetRecord::primary_key() const { return EncodeU64(id); }
+std::string TweetRecord::user_key() const { return EncodeU64(user_id); }
+
+std::string TweetRecord::Serialize() const {
+  std::string out;
+  out.reserve(8 + 8 + 8 + 2 + location.size() + message.size() + 4);
+  PutFixed64(&out, id);
+  PutFixed64(&out, user_id);
+  PutFixed64(&out, creation_time);
+  PutLengthPrefixedSlice(&out, location);
+  PutLengthPrefixedSlice(&out, message);
+  return out;
+}
+
+Status TweetRecord::Deserialize(const Slice& data, TweetRecord* out) {
+  if (data.size() < 24) return Status::Corruption("record too short");
+  out->id = DecodeFixed64(data.data());
+  out->user_id = DecodeFixed64(data.data() + 8);
+  out->creation_time = DecodeFixed64(data.data() + 16);
+  Slice rest(data.data() + 24, data.size() - 24);
+  Slice loc, msg;
+  if (!GetLengthPrefixedSlice(&rest, &loc) ||
+      !GetLengthPrefixedSlice(&rest, &msg)) {
+    return Status::Corruption("record fields truncated");
+  }
+  out->location = loc.ToString();
+  out->message = msg.ToString();
+  return Status::OK();
+}
+
+Status ExtractCreationTime(const Slice& data, uint64_t* creation_time) {
+  if (data.size() < 24) return Status::Corruption("record too short");
+  *creation_time = DecodeFixed64(data.data() + 16);
+  return Status::OK();
+}
+
+Status ExtractUserId(const Slice& data, uint64_t* user_id) {
+  if (data.size() < 24) return Status::Corruption("record too short");
+  *user_id = DecodeFixed64(data.data() + 8);
+  return Status::OK();
+}
+
+}  // namespace auxlsm

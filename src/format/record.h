@@ -1,0 +1,42 @@
+// The synthetic tweet record used throughout the paper's evaluation (§6.1):
+// a 64-bit primary key, a user id in [0, 100K) for controlled-selectivity
+// secondary queries, a location, a monotonically increasing creation time
+// (the range-filter key), and a variable-length message (450-550 bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace auxlsm {
+
+struct TweetRecord {
+  uint64_t id = 0;             ///< primary key
+  uint64_t user_id = 0;        ///< secondary index key
+  std::string location;        ///< e.g. "CA"
+  uint64_t creation_time = 0;  ///< range-filter key, monotonically increasing
+  std::string message;
+
+  std::string primary_key() const;
+  /// Encoded secondary key for the user_id index (8-byte big-endian).
+  std::string user_key() const;
+
+  /// Serializes to the stored record format.
+  std::string Serialize() const;
+  static Status Deserialize(const Slice& data, TweetRecord* out);
+
+  bool operator==(const TweetRecord& o) const {
+    return id == o.id && user_id == o.user_id && location == o.location &&
+           creation_time == o.creation_time && message == o.message;
+  }
+};
+
+/// Extracts just the creation_time field from a serialized record (cheap,
+/// used for filter maintenance without full deserialization).
+Status ExtractCreationTime(const Slice& data, uint64_t* creation_time);
+/// Extracts just the user_id field from a serialized record.
+Status ExtractUserId(const Slice& data, uint64_t* user_id);
+
+}  // namespace auxlsm

@@ -1,0 +1,71 @@
+#include "lsm/bitmap.h"
+
+#include <bit>
+
+namespace auxlsm {
+
+Bitmap::Bitmap(uint64_t n_bits)
+    : n_bits_(n_bits), words_((n_bits + 63) / 64) {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+Bitmap Bitmap::SnapshotOf(const Bitmap& other) {
+  Bitmap copy(other.n_bits_);
+  for (size_t i = 0; i < other.words_.size(); i++) {
+    copy.words_[i].store(other.words_[i].load(std::memory_order_acquire),
+                         std::memory_order_relaxed);
+  }
+  return copy;
+}
+
+bool Bitmap::Set(uint64_t i) {
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  const uint64_t prev =
+      words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+  return (prev & mask) != 0;
+}
+
+bool Bitmap::Unset(uint64_t i) {
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  const uint64_t prev =
+      words_[i >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+  return (prev & mask) != 0;
+}
+
+bool Bitmap::Test(uint64_t i) const {
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  return (words_[i >> 6].load(std::memory_order_acquire) & mask) != 0;
+}
+
+std::vector<uint64_t> Bitmap::Words() const {
+  std::vector<uint64_t> out(words_.size());
+  for (size_t i = 0; i < words_.size(); i++) {
+    out[i] = words_[i].load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+Bitmap Bitmap::FromWords(uint64_t n_bits, const std::vector<uint64_t>& words) {
+  Bitmap b(n_bits);
+  for (size_t i = 0; i < b.words_.size() && i < words.size(); i++) {
+    b.words_[i].store(words[i], std::memory_order_relaxed);
+  }
+  return b;
+}
+
+void Bitmap::UnionWith(const Bitmap& other) {
+  for (size_t i = 0; i < words_.size() && i < other.words_.size(); i++) {
+    words_[i].fetch_or(other.words_[i].load(std::memory_order_acquire),
+                       std::memory_order_acq_rel);
+  }
+}
+
+uint64_t Bitmap::CountSet() const {
+  uint64_t n = 0;
+  for (const auto& w : words_) {
+    n += std::popcount(w.load(std::memory_order_relaxed));
+  }
+  return n;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,53 @@
+// Validity bitmaps over disk-component entries (one bit per entry, addressed
+// by ordinal; bit = 1 means the entry is invalid/deleted).
+//
+// Two flavors are used by the paper:
+//  - The Validation strategy's merge repair produces an *immutable* bitmap
+//    (built once, read-only afterwards) marking obsolete secondary entries.
+//  - The Mutable-bitmap strategy mutates bits concurrently: writers flip
+//    0 -> 1 to delete; transaction aborts flip 1 -> 0. Bit mutations use CAS
+//    so two writers touching the same word don't lose updates (§5.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace auxlsm {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(uint64_t n_bits);
+
+  /// Deep copy (snapshot) of another bitmap's current contents; used by the
+  /// Side-file method's build phase (§5.3).
+  static Bitmap SnapshotOf(const Bitmap& other);
+
+  uint64_t size() const { return n_bits_; }
+
+  /// Atomically sets bit i to 1. Returns the previous value.
+  bool Set(uint64_t i);
+  /// Atomically clears bit i to 0 (abort path). Returns the previous value.
+  bool Unset(uint64_t i);
+  bool Test(uint64_t i) const;
+
+  /// Number of set (invalid) bits.
+  uint64_t CountSet() const;
+
+  /// Approximate memory footprint.
+  size_t memory_bytes() const { return words_.size() * 8; }
+
+  /// Raw word snapshot (checkpointing) and reconstruction.
+  std::vector<uint64_t> Words() const;
+  static Bitmap FromWords(uint64_t n_bits, const std::vector<uint64_t>& words);
+
+  /// ORs another bitmap's set bits into this one (same size required).
+  void UnionWith(const Bitmap& other);
+
+ private:
+  uint64_t n_bits_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace auxlsm

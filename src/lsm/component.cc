@@ -1,0 +1,40 @@
+#include "lsm/component.h"
+
+namespace auxlsm {
+
+DiskComponent::~DiskComponent() {
+  if (retired_.load(std::memory_order_relaxed)) {
+    tree_.env()->DeleteFile(tree_.meta().file_id);
+  }
+}
+
+std::string ComponentId::ToString() const {
+  return std::to_string(min_ts) + "-" + std::to_string(max_ts);
+}
+
+bool DiskComponent::MayContain(uint64_t key_hash, bool use_blocked) const {
+  if (use_blocked && blocked_bloom_ != nullptr) {
+    return blocked_bloom_->MayContain(key_hash);
+  }
+  if (bloom_ != nullptr) return bloom_->MayContain(key_hash);
+  if (blocked_bloom_ != nullptr) return blocked_bloom_->MayContain(key_hash);
+  return true;
+}
+
+void DiskComponent::EnsureBitmap() {
+  if (bitmap_ == nullptr) {
+    bitmap_ = std::make_shared<Bitmap>(num_entries());
+  }
+}
+
+void DiskComponent::set_build_link(std::shared_ptr<BuildLink> link) {
+  std::lock_guard<std::mutex> l(link_mu_);
+  build_link_ = std::move(link);
+}
+
+std::shared_ptr<BuildLink> DiskComponent::build_link() const {
+  std::lock_guard<std::mutex> l(link_mu_);
+  return build_link_;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,119 @@
+// LSM disk components and component IDs (§3, Figure 1).
+//
+// A component ID is the (minTS, maxTS) pair of ingestion timestamps of the
+// entries stored in the component; IDs give the recency ordering across the
+// components of *different* indexes of a dataset, which index maintenance
+// relies on (repairedTS pruning, component-ID propagation).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "bloom/blocked_bloom_filter.h"
+#include "bloom/bloom_filter.h"
+#include "btree/btree.h"
+#include "common/clock.h"
+#include "lsm/bitmap.h"
+#include "lsm/range_filter.h"
+
+namespace auxlsm {
+
+struct ComponentId {
+  Timestamp min_ts = 0;
+  Timestamp max_ts = 0;
+
+  /// True if this component's entries are all older than the other's.
+  bool OlderThan(const ComponentId& o) const { return max_ts < o.min_ts; }
+  bool Overlaps(const ComponentId& o) const {
+    return min_ts <= o.max_ts && o.min_ts <= max_ts;
+  }
+  std::string ToString() const;
+};
+
+class DiskComponent;
+using DiskComponentPtr = std::shared_ptr<DiskComponent>;
+
+/// Link from an old component to the new component being built from it by a
+/// concurrent flush/merge (Mutable-bitmap concurrency control, §5.3). Writers
+/// that delete a key in the old component follow this link to also fix the
+/// new component (Lock method) or append to the side-file (Side-file method).
+struct BuildLink;
+
+class DiskComponent {
+ public:
+  DiskComponent(ComponentId id, Env* env, BtreeMeta meta)
+      : id_(id), tree_(env, std::move(meta)) {}
+
+  /// Deletes the backing file once the last reference drops, if the
+  /// component was retired (replaced by a merge).
+  ~DiskComponent();
+
+  /// Marks the component's file for deletion on destruction.
+  void MarkRetired() { retired_.store(true, std::memory_order_relaxed); }
+
+  const ComponentId& id() const { return id_; }
+  const Btree& tree() const { return tree_; }
+  const BtreeMeta& meta() const { return tree_.meta(); }
+  uint64_t num_entries() const { return tree_.meta().num_entries; }
+  uint64_t size_bytes() const { return tree_.meta().data_bytes; }
+
+  // --- Bloom filters (memory-resident) -------------------------------------
+  void set_bloom(std::unique_ptr<BloomFilter> b) { bloom_ = std::move(b); }
+  void set_blocked_bloom(std::unique_ptr<BlockedBloomFilter> b) {
+    blocked_bloom_ = std::move(b);
+  }
+  const BloomFilter* bloom() const { return bloom_.get(); }
+  const BlockedBloomFilter* blocked_bloom() const {
+    return blocked_bloom_.get();
+  }
+
+  /// Bloom check using the requested filter flavor; true if the key may be
+  /// present (also true when no filter was built).
+  bool MayContain(uint64_t key_hash, bool use_blocked) const;
+
+  // --- Range filter ---------------------------------------------------------
+  void set_range_filter(RangeFilter f) { range_filter_ = f; }
+  const std::optional<RangeFilter>& range_filter() const {
+    return range_filter_;
+  }
+
+  // --- Validity bitmap -------------------------------------------------------
+  /// Attaches a validity bitmap sized to the entry count (1 = invalid).
+  void EnsureBitmap();
+  void set_bitmap(std::shared_ptr<Bitmap> b) { bitmap_ = std::move(b); }
+  const std::shared_ptr<Bitmap>& bitmap() const { return bitmap_; }
+  bool EntryValid(uint64_t ordinal) const {
+    return bitmap_ == nullptr || !bitmap_->Test(ordinal);
+  }
+
+  // --- Repair bookkeeping (Validation strategy, §4.4) -----------------------
+  Timestamp repaired_ts() const { return repaired_ts_; }
+  void set_repaired_ts(Timestamp ts) { repaired_ts_ = ts; }
+
+  // --- Recovery bookkeeping (§2.2): max WAL LSN contained in the component.
+  uint64_t max_lsn() const { return max_lsn_; }
+  void set_max_lsn(uint64_t lsn) { max_lsn_ = lsn; }
+
+  // --- Concurrent-build link (§5.3) ------------------------------------------
+  void set_build_link(std::shared_ptr<BuildLink> link);
+  std::shared_ptr<BuildLink> build_link() const;
+
+ private:
+  const ComponentId id_;
+  Btree tree_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::unique_ptr<BlockedBloomFilter> blocked_bloom_;
+  std::optional<RangeFilter> range_filter_;
+  std::shared_ptr<Bitmap> bitmap_;
+  Timestamp repaired_ts_ = 0;
+  uint64_t max_lsn_ = 0;
+
+  mutable std::mutex link_mu_;
+  std::shared_ptr<BuildLink> build_link_;
+  std::atomic<bool> retired_{false};
+};
+
+}  // namespace auxlsm

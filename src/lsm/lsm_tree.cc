@@ -1,0 +1,277 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "btree/btree_builder.h"
+#include "common/hash.h"
+
+namespace auxlsm {
+
+LsmTree::LsmTree(Env* env, LsmTreeOptions options)
+    : env_(env), options_(std::move(options)) {
+  if (options_.merge_policy == nullptr) {
+    options_.merge_policy = std::make_shared<NoMergePolicy>();
+  }
+}
+
+void LsmTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
+  mem_.Put(key, value, ts, /*antimatter=*/false);
+}
+
+void LsmTree::PutAntimatter(const Slice& key, Timestamp ts) {
+  mem_.Put(key, Slice(), ts, /*antimatter=*/true);
+}
+
+Status LsmTree::Get(const Slice& key, OwnedEntry* out,
+                    const GetOptions& opts) const {
+  LookupResult res;
+  AUXLSM_RETURN_NOT_OK(GetRaw(key, &res, opts));
+  if (!res.found || res.entry.antimatter) return Status::NotFound();
+  *out = std::move(res.entry);
+  return Status::OK();
+}
+
+Status LsmTree::GetRaw(const Slice& key, LookupResult* out,
+                       const GetOptions& opts) const {
+  out->found = false;
+  if (opts.search_memtable) {
+    OwnedEntry e;
+    if (mem_.Get(key, &e).ok()) {
+      out->found = true;
+      out->entry = std::move(e);
+      out->from_memtable = true;
+      out->component = nullptr;
+      return Status::OK();
+    }
+  }
+  const uint64_t h = Hash64(key);
+  for (const auto& c : Components()) {
+    if (c->id().max_ts < opts.min_component_ts) continue;
+    if (!c->MayContain(h, opts.use_blocked_bloom)) continue;
+    LeafEntry entry;
+    std::string backing;
+    uint64_t ordinal = 0;
+    Status st = c->tree().GetWithOrdinal(key, &entry, &backing, &ordinal);
+    if (st.IsNotFound()) continue;
+    AUXLSM_RETURN_NOT_OK(st);
+    if (opts.respect_bitmaps && !c->EntryValid(ordinal)) {
+      // The newest physical entry is marked deleted; the key is gone.
+      return Status::OK();
+    }
+    out->found = true;
+    out->entry.key = entry.key.ToString();
+    out->entry.value = entry.value.ToString();
+    out->entry.ts = entry.ts;
+    out->entry.antimatter = entry.antimatter;
+    out->from_memtable = false;
+    out->component = c;
+    out->ordinal = ordinal;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<DiskComponentPtr> LsmTree::BuildComponent(
+    ComponentId id, const std::function<bool(OwnedEntry*)>& next) {
+  BtreeBuilder builder(env_);
+  std::vector<uint64_t> hashes;
+  RangeFilter filter;
+  OwnedEntry e;
+  while (next(&e)) {
+    Status st = builder.Add(e.key, e.value, e.ts, e.antimatter);
+    if (!st.ok()) return st;
+    if (options_.build_bloom || options_.build_blocked_bloom) {
+      hashes.push_back(Hash64(e.key));
+    }
+    if (options_.maintain_range_filter && options_.filter_key_extractor &&
+        !e.antimatter) {
+      filter.Expand(options_.filter_key_extractor(e.key, e.value));
+    }
+  }
+  BtreeMeta meta;
+  Status st = builder.Finish(&meta);
+  if (!st.ok()) return st;
+
+  auto component = std::make_shared<DiskComponent>(id, env_, std::move(meta));
+  if (options_.build_bloom) {
+    component->set_bloom(
+        std::make_unique<BloomFilter>(hashes, options_.bloom_fpr));
+  }
+  if (options_.build_blocked_bloom) {
+    component->set_blocked_bloom(
+        std::make_unique<BlockedBloomFilter>(hashes, options_.bloom_fpr));
+  }
+  if (options_.maintain_range_filter) {
+    component->set_range_filter(filter);
+  }
+  if (options_.attach_bitmap) {
+    component->EnsureBitmap();
+  }
+  return component;
+}
+
+Status LsmTree::Flush() {
+  if (mem_.empty()) return Status::OK();
+  const ComponentId id{mem_.min_ts(), mem_.max_ts()};
+  auto snapshot = mem_.Snapshot();
+  size_t i = 0;
+  auto next = [&](OwnedEntry* e) {
+    if (i >= snapshot.size()) return false;
+    *e = std::move(snapshot[i++]);
+    return true;
+  };
+  AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr component,
+                          BuildComponent(id, next));
+  // The flushed component's range filter is the *memory component's* filter,
+  // which strategies may have widened with old-record values (§3.1); the
+  // entry-derived filter computed during the build can be too narrow.
+  if (options_.maintain_range_filter && mem_filter_.has_value()) {
+    component->set_range_filter(mem_filter_);
+  }
+  {
+    std::lock_guard<std::mutex> l(components_mu_);
+    components_.insert(components_.begin(), component);
+  }
+  mem_.Clear();
+  mem_filter_.Reset();
+  return Status::OK();
+}
+
+std::vector<DiskComponentPtr> LsmTree::Components() const {
+  std::lock_guard<std::mutex> l(components_mu_);
+  return components_;
+}
+
+Status LsmTree::TryMerge(bool* merged) {
+  *merged = false;
+  std::vector<DiskComponentPtr> snapshot = Components();
+  std::vector<ComponentSizeInfo> sizes;
+  sizes.reserve(snapshot.size());
+  for (const auto& c : snapshot) {
+    sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+  }
+  const MergeRange range = options_.merge_policy->PickMerge(sizes);
+  if (range.empty() || range.count() < 2) return Status::OK();
+  std::vector<DiskComponentPtr> picked(snapshot.begin() + range.begin,
+                                       snapshot.begin() + range.end);
+  AUXLSM_RETURN_NOT_OK(DoMerge(picked));
+  *merged = true;
+  return Status::OK();
+}
+
+Status LsmTree::MergeComponentRange(const MergeRange& range) {
+  std::vector<DiskComponentPtr> snapshot = Components();
+  if (range.end > snapshot.size() || range.empty()) {
+    return Status::InvalidArgument("bad merge range");
+  }
+  std::vector<DiskComponentPtr> picked(snapshot.begin() + range.begin,
+                                       snapshot.begin() + range.end);
+  return DoMerge(picked);
+}
+
+Status LsmTree::MergeAll() {
+  std::vector<DiskComponentPtr> snapshot = Components();
+  if (snapshot.size() < 2) return Status::OK();
+  return DoMerge(snapshot);
+}
+
+Status LsmTree::DoMerge(const std::vector<DiskComponentPtr>& picked) {
+  if (picked.empty()) return Status::OK();
+  // Anti-matter may be dropped only if the merge reaches the oldest
+  // component (no older component can hold a shadowed version).
+  bool includes_oldest;
+  {
+    std::lock_guard<std::mutex> l(components_mu_);
+    includes_oldest =
+        !components_.empty() && picked.back() == components_.back();
+  }
+  MergeCursor::Options mo;
+  mo.readahead_pages = options_.scan_readahead_pages;
+  mo.respect_bitmaps = true;
+  mo.drop_antimatter = includes_oldest;
+  MergeCursor cursor(picked, mo);
+  AUXLSM_RETURN_NOT_OK(cursor.Init());
+
+  ComponentId id{picked.back()->id().min_ts, picked.front()->id().max_ts};
+  Status iter_status;
+  auto next = [&](OwnedEntry* e) {
+    if (!cursor.Valid()) return false;
+    e->key = cursor.key().ToString();
+    e->value = cursor.value().ToString();
+    e->ts = cursor.ts();
+    e->antimatter = cursor.antimatter();
+    iter_status = cursor.Next();
+    return iter_status.ok();
+  };
+  AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr merged, BuildComponent(id, next));
+  AUXLSM_RETURN_NOT_OK(iter_status);
+
+  // A merged component inherits the most conservative repair progress.
+  Timestamp repaired = picked.front()->repaired_ts();
+  for (const auto& c : picked) {
+    repaired = std::min(repaired, c->repaired_ts());
+  }
+  merged->set_repaired_ts(repaired);
+  // The merged range filter must stay the union of the inputs' filters
+  // unless the merge reached the oldest component: a partial merge keeps
+  // shadowing obsolete versions in older components, and the Eager
+  // strategy's correctness depends on the filter still covering the old
+  // values those versions carry (§3.1's widening invariant). Only a full
+  // merge, which physically drops every obsolete version, may tighten the
+  // filter to the surviving entries (computed during the build).
+  if (options_.maintain_range_filter &&
+      !(includes_oldest && options_.filter_key_extractor)) {
+    RangeFilter f;
+    for (const auto& c : picked) {
+      if (c->range_filter().has_value()) f.Merge(*c->range_filter());
+    }
+    merged->set_range_filter(f);
+  }
+
+  AUXLSM_RETURN_NOT_OK(ReplaceComponents(picked, merged));
+  if (merge_hook_) merge_hook_(picked, merged);
+  return Status::OK();
+}
+
+Status LsmTree::ReplaceComponents(
+    const std::vector<DiskComponentPtr>& old_components,
+    DiskComponentPtr replacement) {
+  std::lock_guard<std::mutex> l(components_mu_);
+  if (old_components.empty()) {
+    if (replacement != nullptr) {
+      components_.insert(components_.begin(), std::move(replacement));
+    }
+    return Status::OK();
+  }
+  auto it = std::find(components_.begin(), components_.end(),
+                      old_components.front());
+  if (it == components_.end() ||
+      static_cast<size_t>(components_.end() - it) < old_components.size()) {
+    return Status::InvalidArgument("components no longer current");
+  }
+  for (size_t i = 0; i < old_components.size(); i++) {
+    if (*(it + i) != old_components[i]) {
+      return Status::InvalidArgument("components no longer contiguous");
+    }
+  }
+  for (const auto& c : old_components) c->MarkRetired();
+  it = components_.erase(it, it + old_components.size());
+  if (replacement != nullptr) {
+    components_.insert(it, std::move(replacement));
+  }
+  return Status::OK();
+}
+
+uint64_t LsmTree::TotalDiskBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : Components()) total += c->size_bytes();
+  return total;
+}
+
+size_t LsmTree::NumDiskComponents() const {
+  std::lock_guard<std::mutex> l(components_mu_);
+  return components_.size();
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,148 @@
+// A single LSM-tree index: one memory component plus a newest-first list of
+// immutable disk components (§2.1, Figure 1). A Dataset (core/dataset.h)
+// composes several LsmTrees — primary index, primary key index, secondary
+// indexes — that flush together.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lsm/component.h"
+#include "lsm/merge_cursor.h"
+#include "lsm/merge_policy.h"
+#include "mem/memtable.h"
+
+namespace auxlsm {
+
+struct LsmTreeOptions {
+  std::string name = "lsm";
+  double bloom_fpr = 0.01;
+  /// Build a standard Bloom filter on each disk component's keys.
+  bool build_bloom = true;
+  /// Additionally build a cache-line blocked Bloom filter (§3.2).
+  bool build_blocked_bloom = false;
+  /// Attach an all-valid mutable bitmap to each new disk component
+  /// (Mutable-bitmap strategy, §5).
+  bool attach_bitmap = false;
+  /// Maintain a component-level range filter; the extractor maps an entry to
+  /// its filter-key value (e.g. the record's creation_time).
+  bool maintain_range_filter = false;
+  std::function<uint64_t(const Slice& key, const Slice& value)>
+      filter_key_extractor;
+  std::shared_ptr<MergePolicy> merge_policy;
+  uint32_t scan_readahead_pages = 32;
+};
+
+/// Where a point lookup found its entry.
+struct LookupResult {
+  bool found = false;
+  OwnedEntry entry;
+  bool from_memtable = false;
+  DiskComponentPtr component;  ///< null if from_memtable
+  uint64_t ordinal = 0;        ///< position within the disk component
+};
+
+struct GetOptions {
+  bool use_blocked_bloom = false;
+  /// Treat bitmap-invalid entries as absent.
+  bool respect_bitmaps = true;
+  /// Skip disk components whose max_ts < min_component_ts (component-ID
+  /// propagation, "pID" in §6.2).
+  Timestamp min_component_ts = 0;
+  bool search_memtable = true;
+};
+
+class LsmTree {
+ public:
+  LsmTree(Env* env, LsmTreeOptions options);
+
+  Env* env() const { return env_; }
+  const LsmTreeOptions& options() const { return options_; }
+  const std::string& name() const { return options_.name; }
+
+  // --- Write path -----------------------------------------------------------
+  /// Adds (or blindly overwrites) an entry in the memory component.
+  void Put(const Slice& key, const Slice& value, Timestamp ts);
+  /// Adds an anti-matter entry for key (§2.1).
+  void PutAntimatter(const Slice& key, Timestamp ts);
+
+  Memtable* memtable() { return &mem_; }
+  const Memtable& memtable() const { return mem_; }
+
+  /// The memory component's range filter; maintained by the Dataset's
+  /// strategy code (its widening rules differ per strategy, §3.1/§4.2/§5.2).
+  RangeFilter* mem_range_filter() { return &mem_filter_; }
+
+  // --- Point lookup ----------------------------------------------------------
+  /// Reconciling lookup: the newest entry for key wins; anti-matter maps to
+  /// NotFound.
+  Status Get(const Slice& key, OwnedEntry* out,
+             const GetOptions& opts = GetOptions()) const;
+
+  /// Raw lookup: returns the newest entry including anti-matter, with its
+  /// location (used by maintenance code and the Mutable-bitmap strategy).
+  Status GetRaw(const Slice& key, LookupResult* out,
+                const GetOptions& opts = GetOptions()) const;
+
+  // --- Flush & merge ----------------------------------------------------------
+  /// True if the memory component has entries to flush.
+  bool NeedsFlush() const { return !mem_.empty(); }
+
+  /// Flushes the memory component into a new disk component.
+  Status Flush();
+
+  /// Consults the merge policy; runs at most one merge. Sets *merged.
+  Status TryMerge(bool* merged);
+
+  /// Merges components [range.begin, range.end) of the newest-first list.
+  Status MergeComponentRange(const MergeRange& range);
+
+  /// Merges all disk components into one.
+  Status MergeAll();
+
+  // --- Component management (used by repair / concurrent builds) -------------
+  /// Snapshot of disk components, newest first.
+  std::vector<DiskComponentPtr> Components() const;
+
+  /// Atomically replaces components [begin, end) (which must still be the
+  /// current ones, identity-compared) with `replacement` (may be null to just
+  /// drop). Retired components' files are deleted when the last reference
+  /// drops.
+  Status ReplaceComponents(const std::vector<DiskComponentPtr>& old_components,
+                           DiskComponentPtr replacement);
+
+  /// Builds a disk component from an entry stream (shared by flush, merge,
+  /// and repair). Entries must arrive in ascending key order via `next`,
+  /// which returns false when exhausted.
+  Result<DiskComponentPtr> BuildComponent(
+      ComponentId id,
+      const std::function<bool(OwnedEntry*)>& next);
+
+  uint64_t TotalDiskBytes() const;
+  size_t NumDiskComponents() const;
+
+  /// Registers a hook invoked after every merge installs its new component;
+  /// used by the Dataset to trigger merge repair (§4.4).
+  using MergeHook = std::function<void(const std::vector<DiskComponentPtr>&,
+                                       const DiskComponentPtr&)>;
+  void set_merge_hook(MergeHook hook) { merge_hook_ = std::move(hook); }
+
+ private:
+  Status DoMerge(const std::vector<DiskComponentPtr>& picked);
+
+  Env* const env_;
+  LsmTreeOptions options_;
+  Memtable mem_;
+  RangeFilter mem_filter_;
+
+  mutable std::mutex components_mu_;
+  std::vector<DiskComponentPtr> components_;  // newest first
+
+  MergeHook merge_hook_;
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,47 @@
+#include "lsm/merge_policy.h"
+
+namespace auxlsm {
+
+MergeRange TieringMergePolicy::PickMerge(
+    const std::vector<ComponentSizeInfo>& newest_first) const {
+  // Consider only the run of components that are still mergeable (newest
+  // side of the list up to the first frozen component).
+  size_t mergeable_end = 0;
+  while (mergeable_end < newest_first.size() &&
+         newest_first[mergeable_end].size_bytes <= max_mergeable_bytes_) {
+    mergeable_end++;
+  }
+  if (mergeable_end < min_merge_components_) return MergeRange{};
+
+  // Walk candidate sequences from the longest (oldest anchor) to the
+  // shortest; merge when the younger components together outweigh the
+  // sequence's oldest component by the size ratio.
+  for (size_t anchor = mergeable_end; anchor >= min_merge_components_;
+       anchor--) {
+    const uint64_t oldest = newest_first[anchor - 1].size_bytes;
+    uint64_t younger_total = 0;
+    for (size_t i = 0; i + 1 < anchor; i++) {
+      younger_total += newest_first[i].size_bytes;
+    }
+    if (double(younger_total) >= size_ratio_ * double(oldest)) {
+      return MergeRange{0, anchor};
+    }
+  }
+  return MergeRange{};
+}
+
+MergeRange LevelingMergePolicy::PickMerge(
+    const std::vector<ComponentSizeInfo>& newest_first) const {
+  if (newest_first.size() < 2) return MergeRange{};
+  // Target size of level i (newest = level 0).
+  double target = double(base_level_bytes_);
+  for (size_t i = 0; i + 1 < newest_first.size(); i++) {
+    if (double(newest_first[i].size_bytes) > target) {
+      return MergeRange{i, i + 2};
+    }
+    target *= size_ratio_;
+  }
+  return MergeRange{};
+}
+
+}  // namespace auxlsm

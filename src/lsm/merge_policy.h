@@ -1,0 +1,85 @@
+// Merge policies (§2.1). The evaluation uses a tiering policy with size
+// ratio 1.2 and a maximum mergeable component size (§6.1); a leveling policy
+// is provided for completeness. The correlated merge policy (§4.4/§5.1) is a
+// dataset-level scheduling mode implemented in core/dataset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace auxlsm {
+
+/// Size summary of one disk component, newest first in the vector handed to
+/// PickMerge.
+struct ComponentSizeInfo {
+  uint64_t size_bytes = 0;
+};
+
+/// A merge decision: merge components [begin, end) of the newest-first list.
+struct MergeRange {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+  bool empty() const { return begin >= end; }
+  size_t count() const { return end - begin; }
+};
+
+class MergePolicy {
+ public:
+  virtual ~MergePolicy() = default;
+
+  /// Returns the range of the newest-first component list to merge, or an
+  /// empty range if no merge is warranted.
+  virtual MergeRange PickMerge(
+      const std::vector<ComponentSizeInfo>& newest_first) const = 0;
+};
+
+/// Tiering policy: merges a sequence of components when the total size of the
+/// younger components exceeds `size_ratio` times the oldest component of the
+/// sequence. Components larger than `max_mergeable_bytes` are frozen and
+/// never merged again, modelling the paper's 1 GB cap that lets components
+/// accumulate over the experiment.
+class TieringMergePolicy : public MergePolicy {
+ public:
+  TieringMergePolicy(double size_ratio, uint64_t max_mergeable_bytes,
+                     size_t min_merge_components = 2)
+      : size_ratio_(size_ratio),
+        max_mergeable_bytes_(max_mergeable_bytes),
+        min_merge_components_(min_merge_components) {}
+
+  MergeRange PickMerge(
+      const std::vector<ComponentSizeInfo>& newest_first) const override;
+
+ private:
+  const double size_ratio_;
+  const uint64_t max_mergeable_bytes_;
+  const size_t min_merge_components_;
+};
+
+/// Leveling policy: one component per level, level i sized size_ratio^i *
+/// base. A flush that makes the newest component overflow its level target
+/// triggers a merge with the next component.
+class LevelingMergePolicy : public MergePolicy {
+ public:
+  LevelingMergePolicy(double size_ratio, uint64_t base_level_bytes)
+      : size_ratio_(size_ratio), base_level_bytes_(base_level_bytes) {}
+
+  MergeRange PickMerge(
+      const std::vector<ComponentSizeInfo>& newest_first) const override;
+
+ private:
+  const double size_ratio_;
+  const uint64_t base_level_bytes_;
+};
+
+/// Never merges (used by tests and as a building block for externally
+/// scheduled merges such as the correlated policy).
+class NoMergePolicy : public MergePolicy {
+ public:
+  MergeRange PickMerge(
+      const std::vector<ComponentSizeInfo>&) const override {
+    return MergeRange{};
+  }
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,53 @@
+// Component-level range filter (§3): per-component [min, max] of a filter
+// key (the tweet creation_time in the evaluation). A scan can prune a
+// component whose filter is disjoint from the query's range predicate —
+// unless the maintenance strategy requires newer components to be read for
+// overriding updates (Validation, §4.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace auxlsm {
+
+class RangeFilter {
+ public:
+  RangeFilter() = default;
+
+  /// Widens the filter to cover v.
+  void Expand(uint64_t v) {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    has_value_ = true;
+  }
+
+  void Merge(const RangeFilter& other) {
+    if (!other.has_value_) return;
+    Expand(other.min_);
+    Expand(other.max_);
+  }
+
+  bool has_value() const { return has_value_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+
+  /// True if [lo, hi] intersects the filter range. An empty filter (no
+  /// entries) never overlaps.
+  bool Overlaps(uint64_t lo, uint64_t hi) const {
+    return has_value_ && lo <= max_ && hi >= min_;
+  }
+
+  void Reset() {
+    min_ = std::numeric_limits<uint64_t>::max();
+    max_ = 0;
+    has_value_ = false;
+  }
+
+ private:
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+  bool has_value_ = false;
+};
+
+}  // namespace auxlsm

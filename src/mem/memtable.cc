@@ -1,0 +1,109 @@
+#include "mem/memtable.h"
+#include <mutex>
+
+namespace auxlsm {
+
+void Memtable::Put(const Slice& key, const Slice& value, Timestamp ts,
+                   bool antimatter) {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  auto* existing = list_.Find(key.view());
+  if (existing != nullptr) {
+    bytes_ += value.size();
+    bytes_ -= existing->value.value.size();
+    existing->value = MemEntry{value.ToString(), ts, antimatter};
+  } else {
+    bool created = false;
+    list_.InsertOrAssign(key.view(), MemEntry{value.ToString(), ts, antimatter},
+                         &created);
+    bytes_ += key.size() + value.size() + 32;
+  }
+  if (min_ts_ == 0 || ts < min_ts_) min_ts_ = ts;
+  if (ts > max_ts_) max_ts_ = ts;
+}
+
+Status Memtable::Get(const Slice& key, OwnedEntry* out) const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  const auto* node = list_.Find(key.view());
+  if (node == nullptr) return Status::NotFound();
+  out->key = node->key;
+  out->value = node->value.value;
+  out->ts = node->value.ts;
+  out->antimatter = node->value.antimatter;
+  return Status::OK();
+}
+
+bool Memtable::Contains(const Slice& key) const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return list_.Find(key.view()) != nullptr;
+}
+
+bool Memtable::EraseIfTs(const Slice& key, Timestamp ts) {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  auto* node = list_.Find(key.view());
+  if (node == nullptr || node->value.ts != ts) return false;
+  bytes_ -= key.size() + node->value.value.size() + 32;
+  list_.Erase(key.view());
+  return true;
+}
+
+void Memtable::Restore(const Slice& key, const MemEntry& prev) {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  bool created = false;
+  list_.InsertOrAssign(key.view(), prev, &created);
+  if (created) bytes_ += key.size() + prev.value.size() + 32;
+}
+
+uint64_t Memtable::num_entries() const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return list_.size();
+}
+
+size_t Memtable::ApproximateMemory() const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return bytes_;
+}
+
+Timestamp Memtable::min_ts() const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return min_ts_;
+}
+
+Timestamp Memtable::max_ts() const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  return max_ts_;
+}
+
+std::vector<OwnedEntry> Memtable::Snapshot() const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  std::vector<OwnedEntry> out;
+  out.reserve(list_.size());
+  for (auto* n = list_.First(); n != nullptr;
+       n = SkipList<MemEntry>::Next(n)) {
+    out.push_back(OwnedEntry{n->key, n->value.value, n->value.ts,
+                             n->value.antimatter});
+  }
+  return out;
+}
+
+std::vector<OwnedEntry> Memtable::SnapshotRange(const Slice& lo,
+                                                const Slice& hi) const {
+  std::shared_lock<std::shared_mutex> l(mu_);
+  std::vector<OwnedEntry> out;
+  auto* n = lo.empty() ? list_.First() : list_.LowerBound(lo.view());
+  for (; n != nullptr; n = SkipList<MemEntry>::Next(n)) {
+    if (!hi.empty() && Slice(n->key).compare(hi) > 0) break;
+    out.push_back(OwnedEntry{n->key, n->value.value, n->value.ts,
+                             n->value.antimatter});
+  }
+  return out;
+}
+
+void Memtable::Clear() {
+  std::unique_lock<std::shared_mutex> l(mu_);
+  list_.Clear();
+  bytes_ = 0;
+  min_ts_ = 0;
+  max_ts_ = 0;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,83 @@
+// In-memory LSM component. Writes (inserts, upserts, anti-matter deletes)
+// land here and are flushed to an immutable disk component when the dataset's
+// shared memory budget fills (§2.2). Entries carry the ingestion timestamp
+// used by component IDs and by the Validation strategy.
+//
+// The ordered representation is a skiplist (mem/skiplist.h), the classic
+// LSM memory-component structure, guarded by a shared_mutex — ample for the
+// single-writer-per-dataset ingestion model of the paper's experiments
+// (§6.6's concurrent writers contend on disk-component bitmaps, not on the
+// memtable).
+#pragma once
+
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "mem/skiplist.h"
+
+namespace auxlsm {
+
+struct MemEntry {
+  std::string value;
+  Timestamp ts = 0;
+  bool antimatter = false;
+};
+
+/// A fully-owned entry snapshot handed to flush and to readers.
+struct OwnedEntry {
+  std::string key;
+  std::string value;
+  Timestamp ts = 0;
+  bool antimatter = false;
+};
+
+class Memtable {
+ public:
+  /// Inserts or replaces the entry for key. Newer writes to the same key
+  /// blindly override older ones (out-of-place update semantics).
+  void Put(const Slice& key, const Slice& value, Timestamp ts,
+           bool antimatter);
+
+  /// Looks up a key; fills *out on hit (including anti-matter entries).
+  Status Get(const Slice& key, OwnedEntry* out) const;
+
+  bool Contains(const Slice& key) const;
+
+  /// Removes the entry for key iff it carries exactly timestamp ts. Used by
+  /// transaction rollback (inverse operations, no-steal policy).
+  bool EraseIfTs(const Slice& key, Timestamp ts);
+
+  /// Restores a previous entry (rollback of an overwrite).
+  void Restore(const Slice& key, const MemEntry& prev);
+
+  uint64_t num_entries() const;
+  size_t ApproximateMemory() const;
+  bool empty() const { return num_entries() == 0; }
+
+  /// Component ID bounds: min/max timestamp over current entries' writes
+  /// (including overwritten ones, to keep IDs conservative).
+  Timestamp min_ts() const;
+  Timestamp max_ts() const;
+
+  /// Ordered snapshot of all entries (flush input).
+  std::vector<OwnedEntry> Snapshot() const;
+
+  /// Ordered snapshot of entries with key in [lo, hi] (inclusive bounds;
+  /// empty slices mean unbounded).
+  std::vector<OwnedEntry> SnapshotRange(const Slice& lo, const Slice& hi) const;
+
+  void Clear();
+
+ private:
+  mutable std::shared_mutex mu_;
+  SkipList<MemEntry> list_;
+  size_t bytes_ = 0;
+  Timestamp min_ts_ = 0;
+  Timestamp max_ts_ = 0;
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,150 @@
+// Ordered skiplist used as the memtable's internal representation (the
+// classic LSM memory-component structure; RocksDB uses the same shape).
+//
+// Single-writer / multi-reader is handled by the Memtable's latch; the list
+// itself is a plain (non-concurrent) skiplist with O(log n) expected search,
+// insert, and erase, plus ordered iteration and lower_bound — the operations
+// flush snapshots and range scans need.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace auxlsm {
+
+template <typename Value>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  SkipList() : rng_(0x5ee7c0de), head_(NewNode("", kMaxHeight)) {}
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      DeleteNode(n);
+      n = next;
+    }
+  }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  struct Node {
+    std::string key;
+    Value value;
+    int height;
+    Node* next[1];  // over-allocated to `height` entries
+  };
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts key -> value, or assigns if the key exists. Returns the node
+  /// and whether a new node was created.
+  Node* InsertOrAssign(std::string_view key, Value value, bool* created) {
+    Node* prev[kMaxHeight];
+    Node* n = FindGreaterOrEqual(key, prev);
+    if (n != nullptr && n->key == key) {
+      n->value = std::move(value);
+      *created = false;
+      return n;
+    }
+    const int height = RandomHeight();
+    Node* node = NewNode(key, height);
+    node->value = std::move(value);
+    for (int level = 0; level < height; level++) {
+      node->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = node;
+    }
+    size_++;
+    *created = true;
+    return node;
+  }
+
+  /// Returns the node for key, or nullptr.
+  Node* Find(std::string_view key) const {
+    Node* n = FindGreaterOrEqual(key, nullptr);
+    return (n != nullptr && n->key == key) ? n : nullptr;
+  }
+
+  /// First node with node->key >= key, or nullptr.
+  Node* LowerBound(std::string_view key) const {
+    return FindGreaterOrEqual(key, nullptr);
+  }
+
+  /// First node in order, or nullptr.
+  Node* First() const { return head_->next[0]; }
+
+  /// Successor (nullptr at the end).
+  static Node* Next(Node* n) { return n->next[0]; }
+
+  /// Erases key; returns true if it was present.
+  bool Erase(std::string_view key) {
+    Node* prev[kMaxHeight];
+    Node* n = FindGreaterOrEqual(key, prev);
+    if (n == nullptr || n->key != key) return false;
+    for (int level = 0; level < n->height; level++) {
+      if (prev[level]->next[level] == n) {
+        prev[level]->next[level] = n->next[level];
+      }
+    }
+    DeleteNode(n);
+    size_--;
+    return true;
+  }
+
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      DeleteNode(n);
+      n = next;
+    }
+    for (int level = 0; level < kMaxHeight; level++) {
+      head_->next[level] = nullptr;
+    }
+    size_ = 0;
+  }
+
+ private:
+  static Node* NewNode(std::string_view key, int height) {
+    // Over-allocate the trailing next[] array.
+    void* mem = ::operator new(sizeof(Node) + sizeof(Node*) * (height - 1));
+    Node* n = new (mem) Node{std::string(key), Value{}, height, {nullptr}};
+    for (int level = 0; level < height; level++) n->next[level] = nullptr;
+    return n;
+  }
+  static void DeleteNode(Node* n) {
+    n->~Node();
+    ::operator delete(n);
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    // P(level promotion) = 1/4, as in LevelDB.
+    while (h < kMaxHeight && (rng_.Next() & 3) == 0) h++;
+    return h;
+  }
+
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; level--) {
+      while (x->next[level] != nullptr &&
+             std::string_view(x->next[level]->key) < key) {
+        x = x->next[level];
+      }
+      if (prev != nullptr) prev[level] = x;
+    }
+    return x->next[0];
+  }
+
+  Random rng_;
+  Node* head_;
+  size_t size_ = 0;
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,100 @@
+#include "txn/lock_manager.h"
+
+#include "common/hash.h"
+
+namespace auxlsm {
+
+LockManager::LockManager(size_t num_shards) {
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LockManager::Shard& LockManager::ShardFor(const Slice& key) {
+  return *shards_[Hash64(key) % shards_.size()];
+}
+const LockManager::Shard& LockManager::ShardFor(const Slice& key) const {
+  return *shards_[Hash64(key) % shards_.size()];
+}
+
+bool LockManager::CanGrant(const LockState& st, TxnId txn, LockMode mode) {
+  if (mode == LockMode::kExclusive) {
+    if (st.x_holder != 0 && st.x_holder != txn) return false;
+    // Other readers block an X request (a self-held S lock upgrades).
+    for (const auto& [holder, n] : st.s_holders) {
+      if (holder != txn && n > 0) return false;
+    }
+    return true;
+  }
+  // Shared: granted unless another txn holds X.
+  return st.x_holder == 0 || st.x_holder == txn;
+}
+
+void LockManager::Lock(TxnId txn, const Slice& key, LockMode mode) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> l(shard.mu);
+  auto& st = shard.table[key.ToString()];
+  shard.cv.wait(l, [&] { return CanGrant(st, txn, mode); });
+  if (mode == LockMode::kExclusive) {
+    st.x_holder = txn;
+    st.x_count++;
+  } else {
+    st.s_holders[txn]++;
+  }
+}
+
+void LockManager::Unlock(TxnId txn, const Slice& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.table.find(key.ToString());
+    if (it == shard.table.end()) return;
+    LockState& st = it->second;
+    if (st.x_holder == txn && st.x_count > 0) {
+      if (--st.x_count == 0) st.x_holder = 0;
+    } else {
+      auto sit = st.s_holders.find(txn);
+      if (sit != st.s_holders.end() && --sit->second == 0) {
+        st.s_holders.erase(sit);
+      }
+    }
+    if (st.x_holder == 0 && st.s_holders.empty()) {
+      shard.table.erase(it);
+    }
+  }
+  shard.cv.notify_all();
+}
+
+void LockManager::UnlockAll(TxnId txn) {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> l(shard->mu);
+      for (auto it = shard->table.begin(); it != shard->table.end();) {
+        LockState& st = it->second;
+        if (st.x_holder == txn) {
+          st.x_holder = 0;
+          st.x_count = 0;
+        }
+        st.s_holders.erase(txn);
+        if (st.x_holder == 0 && st.s_holders.empty()) {
+          it = shard->table.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    shard->cv.notify_all();
+  }
+}
+
+size_t LockManager::NumLockedKeys() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> l(shard->mu);
+    n += shard->table.size();
+  }
+  return n;
+}
+
+}  // namespace auxlsm

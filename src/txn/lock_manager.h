@@ -1,0 +1,76 @@
+// Record-level S/X lock manager (§5.2: "each writer acquires an exclusive
+// lock on a primary key throughout the record-level transaction"; §5.3's
+// Lock method additionally takes shared locks per scanned key in the
+// component builder).
+//
+// The table is sharded by key hash; each shard serializes with its own mutex
+// and condition variable. Locks are held by transaction id and are
+// re-entrant for the same holder (X subsumes S).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace auxlsm {
+
+using TxnId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  explicit LockManager(size_t num_shards = 16);
+
+  /// Blocks until the lock is granted.
+  void Lock(TxnId txn, const Slice& key, LockMode mode);
+  void Unlock(TxnId txn, const Slice& key);
+
+  /// Releases every lock held by txn (commit/abort).
+  void UnlockAll(TxnId txn);
+
+  /// Counts currently held locks (tests/diagnostics).
+  size_t NumLockedKeys() const;
+
+ private:
+  struct LockState {
+    TxnId x_holder = 0;             // 0 = none
+    uint32_t x_count = 0;           // re-entrancy
+    std::unordered_map<TxnId, uint32_t> s_holders;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, LockState> table;
+  };
+
+  Shard& ShardFor(const Slice& key);
+  const Shard& ShardFor(const Slice& key) const;
+  static bool CanGrant(const LockState& st, TxnId txn, LockMode mode);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII lock holder.
+class ScopedLock {
+ public:
+  ScopedLock(LockManager* mgr, TxnId txn, const Slice& key, LockMode mode)
+      : mgr_(mgr), txn_(txn), key_(key.ToString()) {
+    mgr_->Lock(txn_, key_, mode);
+  }
+  ~ScopedLock() { mgr_->Unlock(txn_, key_); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  LockManager* mgr_;
+  TxnId txn_;
+  std::string key_;
+};
+
+}  // namespace auxlsm

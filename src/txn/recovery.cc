@@ -1,0 +1,45 @@
+#include "txn/recovery.h"
+
+#include <unordered_set>
+
+namespace auxlsm {
+
+Status RecoverFromWal(
+    const Wal& wal, Lsn max_component_lsn, Lsn bitmap_checkpoint_lsn,
+    const std::function<Status(const LogRecord&)>& redo_op,
+    const std::function<Status(const LogRecord&)>& redo_bitmap,
+    RecoveryStats* stats) {
+  RecoveryStats local;
+  const std::vector<LogRecord> records = wal.ReadFrom(kInvalidLsn);
+
+  // Pass 1: committed transaction ids.
+  std::unordered_set<uint64_t> committed;
+  for (const auto& r : records) {
+    if (r.type == LogRecordType::kCommit) committed.insert(r.txn_id);
+  }
+
+  // Pass 2: redo committed work in log order.
+  for (const auto& r : records) {
+    local.records_scanned++;
+    if (r.type == LogRecordType::kCommit || r.type == LogRecordType::kAbort ||
+        r.type == LogRecordType::kCheckpoint) {
+      continue;
+    }
+    if (committed.find(r.txn_id) == committed.end()) {
+      local.uncommitted_skipped++;
+      continue;
+    }
+    if (r.lsn > max_component_lsn && redo_op) {
+      AUXLSM_RETURN_NOT_OK(redo_op(r));
+      local.ops_replayed++;
+    }
+    if (r.update_bit && r.lsn > bitmap_checkpoint_lsn && redo_bitmap) {
+      AUXLSM_RETURN_NOT_OK(redo_bitmap(r));
+      local.bitmap_ops_replayed++;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,33 @@
+// Crash recovery (§2.2): find the maximum component LSN across valid disk
+// components, then replay committed transactions beyond it. No undo pass is
+// needed — the no-steal policy guarantees disk components contain only
+// committed data. Mutable-bitmap changes are replayed from the last bitmap
+// checkpoint using each record's update bit (§5.2).
+#pragma once
+
+#include <functional>
+
+#include "txn/wal.h"
+
+namespace auxlsm {
+
+struct RecoveryStats {
+  uint64_t records_scanned = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t bitmap_ops_replayed = 0;
+  uint64_t uncommitted_skipped = 0;
+};
+
+/// Replays the log.
+///  - redo_op(record) is invoked for every committed data operation with
+///    lsn > max_component_lsn (these rebuild memory-component state).
+///  - redo_bitmap(record) is invoked for every committed record with the
+///    update bit set and lsn > bitmap_checkpoint_lsn (these re-mark deleted
+///    keys in disk-component bitmaps).
+Status RecoverFromWal(
+    const Wal& wal, Lsn max_component_lsn, Lsn bitmap_checkpoint_lsn,
+    const std::function<Status(const LogRecord&)>& redo_op,
+    const std::function<Status(const LogRecord&)>& redo_bitmap,
+    RecoveryStats* stats = nullptr);
+
+}  // namespace auxlsm

@@ -1,0 +1,46 @@
+#include "txn/transaction.h"
+
+namespace auxlsm {
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) {
+    Abort();
+  }
+}
+
+Lsn Transaction::Log(LogRecord record) {
+  record.txn_id = id_;
+  return wal_->Append(std::move(record));
+}
+
+Status Transaction::Commit() {
+  if (state_ != State::kActive) {
+    return Status::InvalidArgument("transaction not active");
+  }
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  Log(std::move(commit));
+  undo_.clear();
+  state_ = State::kCommitted;
+  ReleaseLocks();
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (state_ != State::kActive) {
+    return Status::InvalidArgument("transaction not active");
+  }
+  // Inverse operations in reverse order (§2.2).
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    (*it)();
+  }
+  undo_.clear();
+  LogRecord abort;
+  abort.type = LogRecordType::kAbort;
+  Log(std::move(abort));
+  state_ = State::kAborted;
+  ReleaseLocks();
+  return Status::OK();
+}
+
+}  // namespace auxlsm

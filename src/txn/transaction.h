@@ -1,0 +1,75 @@
+// Record-level ACID transactions over a dataset's LSM indexes (§2.2).
+//
+// No-steal / no-force: all transaction effects live in memory components and
+// mutable bitmaps until commit; disk components only ever contain committed
+// data. Rollback applies inverse operations in reverse order. Durability
+// comes from the WAL (commit record) plus recovery replay.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "txn/lock_manager.h"
+#include "txn/log_record.h"
+#include "txn/wal.h"
+
+namespace auxlsm {
+
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  Transaction(TxnId id, LockManager* locks, Wal* wal)
+      : id_(id), locks_(locks), wal_(wal) {}
+  ~Transaction();
+
+  TxnId id() const { return id_; }
+  State state() const { return state_; }
+  LockManager* locks() const { return locks_; }
+
+  /// Acquires a key lock held until commit/abort.
+  void Lock(const Slice& key, LockMode mode) { locks_->Lock(id_, key, mode); }
+
+  /// Appends a log record stamped with this transaction's id.
+  Lsn Log(LogRecord record);
+
+  /// Registers an inverse operation executed (in reverse order) on abort.
+  void PushUndo(std::function<void()> inverse) {
+    undo_.push_back(std::move(inverse));
+  }
+
+  Status Commit();
+  Status Abort();
+
+ private:
+  void ReleaseLocks() { locks_->UnlockAll(id_); }
+
+  const TxnId id_;
+  LockManager* const locks_;
+  Wal* const wal_;
+  State state_ = State::kActive;
+  std::vector<std::function<void()>> undo_;
+};
+
+class TransactionManager {
+ public:
+  TransactionManager(LockManager* locks, Wal* wal)
+      : locks_(locks), wal_(wal) {}
+
+  std::unique_ptr<Transaction> Begin() {
+    return std::make_unique<Transaction>(
+        next_id_.fetch_add(1, std::memory_order_relaxed), locks_, wal_);
+  }
+
+  LockManager* locks() const { return locks_; }
+  Wal* wal() const { return wal_; }
+
+ private:
+  LockManager* const locks_;
+  Wal* const wal_;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace auxlsm

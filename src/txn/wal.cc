@@ -1,0 +1,49 @@
+#include "txn/wal.h"
+
+#include <algorithm>
+
+namespace auxlsm {
+
+Lsn Wal::Append(LogRecord record) {
+  std::lock_guard<std::mutex> l(mu_);
+  record.lsn = next_lsn_++;
+  // Charge sequential log I/O one page at a time as bytes accumulate.
+  bytes_since_page_ += record.Encode().size();
+  while (bytes_since_page_ >= log_page_bytes_) {
+    disk_.ChargeWrite(1);
+    bytes_since_page_ -= log_page_bytes_;
+  }
+  const Lsn lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+Lsn Wal::tail_lsn() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return records_.empty() ? kInvalidLsn : records_.back().lsn;
+}
+
+std::vector<LogRecord> Wal::ReadFrom(Lsn after) const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.lsn > after) out.push_back(r);
+  }
+  return out;
+}
+
+void Wal::TruncateUpTo(Lsn up_to) {
+  std::lock_guard<std::mutex> l(mu_);
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [&](const LogRecord& r) {
+                                  return r.lsn <= up_to;
+                                }),
+                 records_.end());
+}
+
+size_t Wal::num_records() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return records_.size();
+}
+
+}  // namespace auxlsm

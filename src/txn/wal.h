@@ -1,0 +1,49 @@
+// Write-ahead log. The paper's setup dedicates a separate disk to logging
+// (§6.1); we model the log as an append-only byte stream with sequential
+// write cost charged to its own DiskModel, so log I/O never perturbs the
+// storage disk's sequential/random accounting.
+//
+// The log survives a simulated crash (tests drop the Dataset but keep the
+// Wal + Env), which is what recovery replays from.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "env/disk_model.h"
+#include "txn/log_record.h"
+
+namespace auxlsm {
+
+class Wal {
+ public:
+  explicit Wal(DiskProfile profile = DiskProfile::Hdd(),
+               size_t log_page_bytes = 4096)
+      : disk_(profile), log_page_bytes_(log_page_bytes) {}
+
+  /// Appends a record, assigning it the next LSN (returned).
+  Lsn Append(LogRecord record);
+
+  /// Current tail LSN (last assigned); kInvalidLsn if empty.
+  Lsn tail_lsn() const;
+
+  /// All records with lsn > after, in order.
+  std::vector<LogRecord> ReadFrom(Lsn after) const;
+
+  /// Truncates records with lsn <= up_to (checkpointing).
+  void TruncateUpTo(Lsn up_to);
+
+  IoStats stats() const { return disk_.stats(); }
+  size_t num_records() const;
+
+ private:
+  mutable std::mutex mu_;
+  DiskModel disk_;
+  const size_t log_page_bytes_;
+  size_t bytes_since_page_ = 0;
+  Lsn next_lsn_ = 1;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace auxlsm

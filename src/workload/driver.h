@@ -1,0 +1,48 @@
+// Workload drivers for the paper's ingestion experiments (§6.3): insert
+// workloads controlled by a duplicate ratio and upsert workloads controlled
+// by an update ratio with uniform or Zipf (theta 0.99) key skew.
+#pragma once
+
+#include "common/random.h"
+#include "core/dataset.h"
+#include "workload/tweet_gen.h"
+
+namespace auxlsm {
+
+enum class UpdateDistribution { kUniform, kZipf };
+
+struct InsertWorkloadOptions {
+  uint64_t num_ops = 100000;
+  double duplicate_ratio = 0.0;  ///< fraction of ops re-inserting past keys
+  uint64_t seed = 7;
+};
+
+struct UpsertWorkloadOptions {
+  uint64_t num_ops = 100000;
+  double update_ratio = 0.1;  ///< fraction of ops updating past keys
+  UpdateDistribution distribution = UpdateDistribution::kUniform;
+  uint64_t seed = 7;
+};
+
+struct WorkloadReport {
+  uint64_t ops = 0;
+  uint64_t new_records = 0;
+  uint64_t duplicate_or_update_ops = 0;
+  double elapsed_seconds = 0;     ///< wall-clock CPU-side time
+  double simulated_io_seconds = 0;///< simulated disk time (env + wal)
+};
+
+/// Runs an insert workload (duplicates are uniform over past keys).
+Status RunInsertWorkload(Dataset* dataset, TweetGenerator* gen,
+                         const InsertWorkloadOptions& options,
+                         WorkloadReport* report);
+
+/// Runs an upsert workload.
+Status RunUpsertWorkload(Dataset* dataset, TweetGenerator* gen,
+                         const UpsertWorkloadOptions& options,
+                         WorkloadReport* report);
+
+/// Loads `n` fresh records via upsert (dataset preparation helper).
+Status LoadRecords(Dataset* dataset, TweetGenerator* gen, uint64_t n);
+
+}  // namespace auxlsm

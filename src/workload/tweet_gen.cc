@@ -1,0 +1,45 @@
+#include "workload/tweet_gen.h"
+
+namespace auxlsm {
+
+namespace {
+const char* kStates[] = {"CA", "NY", "TX", "WA", "MA", "UT", "FL", "IL",
+                         "OH", "GA", "NC", "PA", "AZ", "MI", "NJ", "VA"};
+constexpr size_t kNumStates = sizeof(kStates) / sizeof(kStates[0]);
+}  // namespace
+
+TweetGenerator::TweetGenerator(TweetGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+TweetRecord TweetGenerator::MakeBody(uint64_t id) {
+  TweetRecord r;
+  r.id = id;
+  r.user_id = rng_.Uniform(options_.user_id_domain);
+  r.location = kStates[rng_.Uniform(kNumStates)];
+  r.creation_time = next_time_++;
+  const size_t len =
+      options_.min_message_bytes +
+      rng_.Uniform(options_.max_message_bytes - options_.min_message_bytes + 1);
+  r.message.resize(len);
+  for (size_t i = 0; i < len; i++) {
+    r.message[i] = static_cast<char>('a' + (rng_.Next() % 26));
+  }
+  return r;
+}
+
+TweetRecord TweetGenerator::Next() {
+  uint64_t id;
+  if (options_.sequential_ids) {
+    id = next_seq_id_++;
+  } else {
+    id = rng_.Next();
+  }
+  history_.push_back(id);
+  return MakeBody(id);
+}
+
+TweetRecord TweetGenerator::Update(uint64_t history_index) {
+  return MakeBody(history_[history_index]);
+}
+
+}  // namespace auxlsm

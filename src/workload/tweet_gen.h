@@ -1,0 +1,54 @@
+// Synthetic tweet generator (§6.1): ~500-byte records with a random 64-bit
+// primary key, a user id uniform in [0, 100K), a US-state location, a
+// monotonically increasing creation time, and a 450-550 byte message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "format/record.h"
+
+namespace auxlsm {
+
+struct TweetGenOptions {
+  uint64_t seed = 20190501;
+  uint64_t user_id_domain = 100000;
+  size_t min_message_bytes = 450;
+  size_t max_message_bytes = 550;
+  /// Sequential primary keys instead of random ones (the Fig 12b
+  /// "scan (seq keys)" dataset).
+  bool sequential_ids = false;
+};
+
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(TweetGenOptions options = TweetGenOptions());
+
+  /// Generates the next new tweet (fresh primary key, next creation time).
+  TweetRecord Next();
+
+  /// Generates an updated version of a previously generated tweet: same
+  /// primary key (by index into the generation history), fresh user id,
+  /// location, message, and a new creation time.
+  TweetRecord Update(uint64_t history_index);
+
+  /// Primary key of the i-th generated tweet.
+  uint64_t IdAt(uint64_t history_index) const {
+    return history_[history_index];
+  }
+  uint64_t generated() const { return history_.size(); }
+
+  Random* rng() { return &rng_; }
+
+ private:
+  TweetRecord MakeBody(uint64_t id);
+
+  TweetGenOptions options_;
+  Random rng_;
+  uint64_t next_time_ = 1;
+  uint64_t next_seq_id_ = 1;
+  std::vector<uint64_t> history_;
+};
+
+}  // namespace auxlsm

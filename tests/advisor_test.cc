@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+
+namespace auxlsm {
+namespace {
+
+TEST(AdvisorTest, QueryDominatedPicksEager) {
+  WorkloadProfile p;
+  p.writes_per_query = 0.5;
+  p.update_ratio = 0.5;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kEager);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(AdvisorTest, AppendOnlyIngestionPicksValidationNoRepair) {
+  WorkloadProfile p;
+  p.writes_per_query = 1000;
+  p.update_ratio = 0.0;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kValidation);
+  EXPECT_FALSE(rec.merge_repair);
+}
+
+TEST(AdvisorTest, UpdateHeavyIngestionPicksValidationWithBloomOpt) {
+  WorkloadProfile p;
+  p.writes_per_query = 1000;
+  p.update_ratio = 0.5;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kValidation);
+  EXPECT_TRUE(rec.merge_repair);
+  EXPECT_TRUE(rec.correlated_merges);
+  EXPECT_TRUE(rec.repair_bloom_opt);
+}
+
+TEST(AdvisorTest, ModerateUpdatesPicksMergeRepairOnly) {
+  WorkloadProfile p;
+  p.writes_per_query = 100;
+  p.update_ratio = 0.1;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kValidation);
+  EXPECT_TRUE(rec.merge_repair);
+  EXPECT_FALSE(rec.repair_bloom_opt);
+}
+
+TEST(AdvisorTest, OldRangeScansUnderUpdatesPickMutableBitmap) {
+  WorkloadProfile p;
+  p.writes_per_query = 100;
+  p.update_ratio = 0.3;
+  p.old_range_scan_fraction = 0.5;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kMutableBitmap);
+}
+
+TEST(AdvisorTest, IndexOnlyHeavyQueriesKeepEager) {
+  WorkloadProfile p;
+  p.writes_per_query = 10;
+  p.update_ratio = 0.2;
+  p.index_only_fraction = 0.9;
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kEager);
+}
+
+TEST(AdvisorTest, ApplyToSetsOptions) {
+  WorkloadProfile p;
+  p.writes_per_query = 1000;
+  p.update_ratio = 0.5;
+  const auto rec = AdviseStrategy(p);
+  DatasetOptions o;
+  rec.ApplyTo(&o);
+  EXPECT_EQ(o.strategy, MaintenanceStrategy::kValidation);
+  EXPECT_TRUE(o.merge_repair);
+  EXPECT_TRUE(o.correlated_merges);
+  EXPECT_TRUE(o.repair_bloom_opt);
+}
+
+TEST(WorkloadTrackerTest, ProfileFromCounters) {
+  WorkloadTracker t;
+  for (int i = 0; i < 80; i++) t.RecordWrite(/*is_update=*/false);
+  for (int i = 0; i < 20; i++) t.RecordWrite(/*is_update=*/true);
+  for (int i = 0; i < 10; i++) {
+    t.RecordQuery(/*index_only=*/i < 3, /*old_range_scan=*/i < 5);
+  }
+  const WorkloadProfile p = t.Profile();
+  EXPECT_DOUBLE_EQ(p.update_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(p.writes_per_query, 10.0);
+  EXPECT_DOUBLE_EQ(p.index_only_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(p.old_range_scan_fraction, 0.5);
+}
+
+TEST(WorkloadTrackerTest, NoQueriesMeansWriteDominated) {
+  WorkloadTracker t;
+  for (int i = 0; i < 50; i++) t.RecordWrite(false);
+  const WorkloadProfile p = t.Profile();
+  EXPECT_GE(p.writes_per_query, 50.0);
+  const auto rec = AdviseStrategy(p);
+  EXPECT_EQ(rec.strategy, MaintenanceStrategy::kValidation);
+}
+
+TEST(AdvisorEndToEndTest, RecommendedOptionsProduceWorkingDataset) {
+  WorkloadProfile p;
+  p.writes_per_query = 500;
+  p.update_ratio = 0.4;
+  const auto rec = AdviseStrategy(p);
+
+  EnvOptions eo;
+  eo.page_size = 1024;
+  eo.disk_profile = DiskProfile::Null();
+  Env env(eo);
+  DatasetOptions o;
+  o.mem_budget_bytes = 64 << 10;
+  rec.ApplyTo(&o);
+  Dataset ds(&env, o);
+  for (uint64_t i = 1; i <= 300; i++) {
+    TweetRecord r;
+    r.id = i % 120 + 1;
+    r.user_id = i % 9;
+    r.location = "CA";
+    r.creation_time = i;
+    r.message = "m";
+    ASSERT_TRUE(ds.Upsert(r).ok());
+  }
+  SecondaryQueryOptions q;
+  QueryResult res;
+  ASSERT_TRUE(ds.QueryUserRange(0, 8, q, &res).ok());
+  EXPECT_EQ(res.records.size(), 120u);
+}
+
+}  // namespace
+}  // namespace auxlsm

@@ -1,0 +1,129 @@
+// Randomized differential tests: the disk B+-tree, its iterators, and the
+// stateful cursor must agree with a std::map reference under random key
+// shapes (variable lengths, shared prefixes, random bytes) and random page
+// sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/btree_builder.h"
+#include "btree/btree_cursor.h"
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace auxlsm {
+namespace {
+
+struct FuzzCase {
+  size_t page_size;
+  int n_keys;
+  int max_key_len;
+  int max_val_len;
+  uint64_t seed;
+};
+
+class BtreeFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+std::string RandomKey(Random* rng, int max_len) {
+  // Biased toward shared prefixes to stress separator handling.
+  std::string key = rng->Bernoulli(0.5) ? "prefix/" : "";
+  const int len = 1 + static_cast<int>(rng->Uniform(max_len));
+  for (int i = 0; i < len; i++) {
+    key.push_back(static_cast<char>('a' + rng->Uniform(8)));
+  }
+  return key;
+}
+
+TEST_P(BtreeFuzzTest, MatchesReferenceMap) {
+  const FuzzCase c = GetParam();
+  EnvOptions eo;
+  eo.page_size = c.page_size;
+  eo.cache_pages = 1 << 16;
+  eo.disk_profile = DiskProfile::Null();
+  Env env(eo);
+  Random rng(c.seed);
+
+  std::map<std::string, std::pair<std::string, Timestamp>> model;
+  for (int i = 0; i < c.n_keys; i++) {
+    std::string v(rng.Uniform(c.max_val_len + 1), 'v');
+    model[RandomKey(&rng, c.max_key_len)] = {v, Timestamp(i + 1)};
+  }
+
+  BtreeBuilder b(&env);
+  for (const auto& [k, ve] : model) {
+    ASSERT_TRUE(b.Add(k, ve.first, ve.second, false).ok());
+  }
+  BtreeMeta meta;
+  ASSERT_TRUE(b.Finish(&meta).ok());
+  ASSERT_EQ(meta.num_entries, model.size());
+  Btree tree(&env, meta);
+
+  // 1. Full iteration matches in order, content, and ordinals.
+  {
+    auto it = tree.NewIterator(8);
+    ASSERT_TRUE(it.SeekToFirst().ok());
+    uint64_t ordinal = 0;
+    for (const auto& [k, ve] : model) {
+      ASSERT_TRUE(it.Valid());
+      EXPECT_EQ(it.key().ToString(), k);
+      EXPECT_EQ(it.value().ToString(), ve.first);
+      EXPECT_EQ(it.ts(), ve.second);
+      EXPECT_EQ(it.ordinal(), ordinal++);
+      ASSERT_TRUE(it.Next().ok());
+    }
+    EXPECT_FALSE(it.Valid());
+  }
+
+  // 2. Point lookups: every present key hits; random keys match the model.
+  for (const auto& [k, ve] : model) {
+    LeafEntry e;
+    std::string back;
+    ASSERT_TRUE(tree.Get(k, &e, &back).ok()) << k;
+    EXPECT_EQ(e.value.ToString(), ve.first);
+  }
+  for (int i = 0; i < 500; i++) {
+    const std::string k = RandomKey(&rng, c.max_key_len);
+    LeafEntry e;
+    std::string back;
+    const Status st = tree.Get(k, &e, &back);
+    EXPECT_EQ(st.ok(), model.count(k) > 0) << k;
+  }
+
+  // 3. Seek = lower_bound semantics on random targets.
+  auto it = tree.NewIterator();
+  for (int i = 0; i < 300; i++) {
+    const std::string target = RandomKey(&rng, c.max_key_len);
+    ASSERT_TRUE(it.Seek(target).ok());
+    auto mit = model.lower_bound(target);
+    if (mit == model.end()) {
+      EXPECT_FALSE(it.Valid()) << target;
+    } else {
+      ASSERT_TRUE(it.Valid()) << target;
+      EXPECT_EQ(it.key().ToString(), mit->first);
+    }
+  }
+
+  // 4. Stateful cursor agrees with the model on a random probe sequence.
+  StatefulBtreeCursor cursor(&tree);
+  for (int i = 0; i < 1000; i++) {
+    const std::string k = RandomKey(&rng, c.max_key_len);
+    LeafEntry e;
+    std::string back;
+    bool found = false;
+    ASSERT_TRUE(cursor.SeekExact(k, &e, &back, &found).ok());
+    EXPECT_EQ(found, model.count(k) > 0) << k;
+    if (found) EXPECT_EQ(e.value.ToString(), model[k].first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BtreeFuzzTest,
+    ::testing::Values(FuzzCase{256, 200, 12, 20, 1},
+                      FuzzCase{512, 2000, 20, 40, 2},
+                      FuzzCase{1024, 5000, 8, 100, 3},
+                      FuzzCase{4096, 8000, 30, 200, 4},
+                      FuzzCase{512, 1, 5, 5, 5},
+                      FuzzCase{256, 3000, 40, 0, 6}));
+
+}  // namespace
+}  // namespace auxlsm

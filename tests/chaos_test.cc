@@ -1,0 +1,211 @@
+// End-to-end chaos tests: long random interleavings of upserts, deletes,
+// point queries, secondary queries, filter scans, explicit-transaction
+// aborts, manual flushes/merges, repairs, and checkpoint+crash+recover —
+// all validated against an in-memory reference model, under every
+// maintenance strategy. This is the "whole system under one roof" safety
+// net behind the per-module suites.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/dataset.h"
+
+namespace auxlsm {
+namespace {
+
+EnvOptions TestEnv() {
+  EnvOptions o;
+  o.page_size = 1024;
+  o.cache_pages = 1 << 14;
+  o.disk_profile = DiskProfile::Null();
+  return o;
+}
+
+DatasetOptions Opts(MaintenanceStrategy s) {
+  DatasetOptions o;
+  o.strategy = s;
+  o.mem_budget_bytes = 48 << 10;  // frequent flushes and merges
+  o.max_mergeable_bytes = 1 << 20;
+  if (s == MaintenanceStrategy::kValidation) o.merge_repair = true;
+  return o;
+}
+
+TweetRecord MakeTweet(uint64_t id, uint64_t user, uint64_t time) {
+  TweetRecord r;
+  r.id = id;
+  r.user_id = user;
+  r.location = "GA";
+  r.creation_time = time;
+  r.message = std::string(40 + id % 30, 'z');
+  return r;
+}
+
+class ChaosTest : public ::testing::TestWithParam<MaintenanceStrategy> {
+ protected:
+  void VerifyAgainstModel(Dataset* ds,
+                          const std::map<uint64_t, TweetRecord>& model,
+                          Random* rng) {
+    ASSERT_EQ(ds->num_records(), model.size());
+    // Sampled point queries.
+    for (int i = 0; i < 30; i++) {
+      const uint64_t id = 1 + rng->Uniform(kKeySpace);
+      TweetRecord got;
+      const Status st = ds->GetById(id, &got);
+      auto it = model.find(id);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok()) << "id " << id;
+        EXPECT_EQ(got.user_id, it->second.user_id) << "id " << id;
+        EXPECT_EQ(got.creation_time, it->second.creation_time);
+      } else {
+        EXPECT_TRUE(st.IsNotFound()) << "id " << id;
+      }
+    }
+    // Sampled secondary queries.
+    SecondaryQueryOptions q;
+    for (uint64_t user = 0; user < kUserSpace; user += 7) {
+      std::set<uint64_t> expected;
+      for (const auto& [id, r] : model) {
+        if (r.user_id >= user && r.user_id <= user + 2) expected.insert(id);
+      }
+      QueryResult res;
+      ASSERT_TRUE(ds->QueryUserRange(user, user + 2, q, &res).ok());
+      std::set<uint64_t> got;
+      for (const auto& r : res.records) got.insert(r.id);
+      EXPECT_EQ(got, expected) << "users " << user << "-" << user + 2;
+    }
+    // Sampled time scans.
+    for (int i = 0; i < 5; i++) {
+      const uint64_t lo = rng->Uniform(1000) + 1;
+      const uint64_t hi = lo + rng->Uniform(3000);
+      uint64_t expected = 0;
+      for (const auto& [id, r] : model) {
+        if (r.creation_time >= lo && r.creation_time <= hi) expected++;
+      }
+      ScanResult res;
+      ASSERT_TRUE(ds->ScanTimeRange(lo, hi, &res).ok());
+      EXPECT_EQ(res.records_matched, expected) << lo << "-" << hi;
+    }
+  }
+
+  static constexpr uint64_t kKeySpace = 600;
+  static constexpr uint64_t kUserSpace = 40;
+};
+
+TEST_P(ChaosTest, LongRandomInterleaving) {
+  Env env(TestEnv());
+  Dataset ds(&env, Opts(GetParam()));
+  std::map<uint64_t, TweetRecord> model;
+  Random rng(2024);
+  uint64_t time = 0;
+
+  for (int step = 0; step < 6000; step++) {
+    const uint64_t id = 1 + rng.Uniform(kKeySpace);
+    const double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      const TweetRecord r = MakeTweet(id, rng.Uniform(kUserSpace), ++time);
+      ASSERT_TRUE(ds.Upsert(r).ok());
+      model[id] = r;
+    } else if (dice < 0.70) {
+      ASSERT_TRUE(ds.Delete(id).ok());
+      model.erase(id);
+    } else if (dice < 0.78) {
+      bool inserted = false;
+      const TweetRecord r = MakeTweet(id, rng.Uniform(kUserSpace), ++time);
+      ASSERT_TRUE(ds.Insert(r, &inserted).ok());
+      if (inserted) {
+        EXPECT_EQ(model.count(id), 0u);
+        model[id] = r;
+      } else {
+        EXPECT_EQ(model.count(id), 1u);
+      }
+    } else if (dice < 0.86) {
+      // An explicit transaction that aborts: no model change.
+      auto txn = ds.Begin();
+      ASSERT_TRUE(
+          ds.UpsertTxn(MakeTweet(id, 999, ++time), txn.get()).ok());
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(
+            ds.DeleteTxn(1 + rng.Uniform(kKeySpace), txn.get()).ok());
+      }
+      ASSERT_TRUE(txn->Abort().ok());
+    } else if (dice < 0.92) {
+      ASSERT_TRUE(ds.FlushAll().ok());
+    } else if (dice < 0.96) {
+      ASSERT_TRUE(ds.MergeAllIndexes().ok());
+    } else {
+      ASSERT_TRUE(ds.RepairAllSecondaries().ok());
+    }
+
+    if (step % 1500 == 1499) VerifyAgainstModel(&ds, model, &rng);
+  }
+  VerifyAgainstModel(&ds, model, &rng);
+}
+
+TEST_P(ChaosTest, CrashRecoverMidChaosPreservesCommittedState) {
+  Env env(TestEnv());
+  Wal durable_wal;
+  std::map<uint64_t, TweetRecord> model;
+  Random rng(777);
+  uint64_t time = 0;
+  DatasetCatalog catalog;
+  {
+    Dataset ds(&env, Opts(GetParam()));
+    for (int step = 0; step < 1500; step++) {
+      const uint64_t id = 1 + rng.Uniform(kKeySpace);
+      if (rng.Bernoulli(0.8)) {
+        const TweetRecord r = MakeTweet(id, rng.Uniform(kUserSpace), ++time);
+        ASSERT_TRUE(ds.Upsert(r).ok());
+        model[id] = r;
+      } else {
+        ASSERT_TRUE(ds.Delete(id).ok());
+        model.erase(id);
+      }
+    }
+    // In-flight uncommitted txn at crash time.
+    auto txn = ds.Begin();
+    ASSERT_TRUE(ds.UpsertTxn(MakeTweet(9999, 1, ++time), txn.get()).ok());
+    // The catalog models per-component metadata, which a real system keeps
+    // current as flushes/merges happen — so recovery sees the component set
+    // as of the crash (§2.2: "examines all valid disk components").
+    catalog = ds.Checkpoint();
+    for (const auto& r : ds.wal()->ReadFrom(kInvalidLsn)) {
+      durable_wal.Append(r);
+    }
+  }
+  RecoveryStats stats;
+  auto recovered =
+      Dataset::Recover(&env, &durable_wal, catalog, Opts(GetParam()), &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Dataset* ds = recovered->get();
+  ASSERT_EQ(ds->num_records(), model.size());
+  TweetRecord got;
+  EXPECT_TRUE(ds->GetById(9999, &got).IsNotFound());
+  for (uint64_t id = 1; id <= kKeySpace; id += 11) {
+    const Status st = ds->GetById(id, &got);
+    if (model.count(id)) {
+      ASSERT_TRUE(st.ok()) << id;
+      EXPECT_EQ(got.user_id, model[id].user_id);
+    } else {
+      EXPECT_TRUE(st.IsNotFound()) << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ChaosTest,
+    ::testing::Values(MaintenanceStrategy::kEager,
+                      MaintenanceStrategy::kValidation,
+                      MaintenanceStrategy::kMutableBitmap,
+                      MaintenanceStrategy::kDeletedKeyBtree),
+    [](const ::testing::TestParamInfo<MaintenanceStrategy>& info) {
+      std::string name = StrategyName(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace auxlsm

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "env/env.h"
+
+namespace auxlsm {
+namespace {
+
+std::string Page(Env& env, char fill) {
+  return std::string(env.page_size(), fill);
+}
+
+EnvOptions SmallEnv(size_t cache_pages = 8) {
+  EnvOptions o;
+  o.page_size = 256;
+  o.cache_pages = cache_pages;
+  o.disk_profile = DiskProfile::Hdd();
+  return o;
+}
+
+TEST(PageStoreTest, CreateAppendRead) {
+  PageStore store(128);
+  const uint32_t f = store.CreateFile();
+  uint32_t p0, p1;
+  ASSERT_TRUE(store.AppendPage(f, std::string(128, 'a'), &p0).ok());
+  ASSERT_TRUE(store.AppendPage(f, std::string(128, 'b'), &p1).ok());
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(store.NumPages(f), 2u);
+  PageData d;
+  ASSERT_TRUE(store.ReadPage(f, 1, &d).ok());
+  EXPECT_EQ((*d)[0], 'b');
+}
+
+TEST(PageStoreTest, RejectsWrongPageSize) {
+  PageStore store(128);
+  const uint32_t f = store.CreateFile();
+  EXPECT_TRUE(store.AppendPage(f, "tiny", nullptr).IsInvalidArgument());
+}
+
+TEST(PageStoreTest, MissingFileAndRange) {
+  PageStore store(128);
+  PageData d;
+  EXPECT_TRUE(store.ReadPage(999, 0, &d).IsNotFound());
+  const uint32_t f = store.CreateFile();
+  EXPECT_TRUE(store.ReadPage(f, 0, &d).IsInvalidArgument());
+}
+
+TEST(PageStoreTest, DeleteKeepsInFlightReaders) {
+  PageStore store(128);
+  const uint32_t f = store.CreateFile();
+  ASSERT_TRUE(store.AppendPage(f, std::string(128, 'x'), nullptr).ok());
+  PageData d;
+  ASSERT_TRUE(store.ReadPage(f, 0, &d).ok());
+  ASSERT_TRUE(store.DeleteFile(f).ok());
+  EXPECT_FALSE(store.FileExists(f));
+  EXPECT_EQ((*d)[0], 'x');  // still valid through the shared_ptr
+}
+
+TEST(DiskModelTest, SequentialVsRandomClassification) {
+  DiskModel disk(DiskProfile::Hdd());
+  disk.ChargeRead(1, 0);    // first read: random (seek)
+  disk.ChargeRead(1, 1);    // next page: sequential
+  disk.ChargeRead(1, 2);
+  disk.ChargeRead(2, 0);    // file switch: random
+  disk.ChargeRead(1, 100);  // back to file 1: random
+  const IoStats s = disk.stats();
+  EXPECT_EQ(s.pages_read, 5u);
+  EXPECT_EQ(s.random_reads, 3u);
+  EXPECT_EQ(s.sequential_reads, 2u);
+}
+
+TEST(DiskModelTest, ShortForwardSkipCostsRotationNotSeek) {
+  DiskProfile p = DiskProfile::Hdd();
+  DiskModel disk(p);
+  disk.ChargeRead(1, 0);
+  const double before = disk.stats().simulated_us;
+  disk.ChargeRead(1, 5);  // forward gap of 5 pages, same file
+  const double skip_cost = disk.stats().simulated_us - before;
+  EXPECT_DOUBLE_EQ(skip_cost, 5 * p.read_transfer_us + p.read_transfer_us);
+  EXPECT_LT(skip_cost, p.seek_us);
+  // A backward jump pays the full seek.
+  const double before2 = disk.stats().simulated_us;
+  disk.ChargeRead(1, 1);
+  EXPECT_DOUBLE_EQ(disk.stats().simulated_us - before2,
+                   p.seek_us + p.read_transfer_us);
+}
+
+TEST(DiskModelTest, RereadSamePageIsSequential) {
+  DiskModel disk(DiskProfile::Ssd());
+  disk.ChargeRead(3, 7);
+  disk.ChargeRead(3, 7);
+  EXPECT_EQ(disk.stats().sequential_reads, 1u);
+}
+
+TEST(DiskModelTest, CostModelCharges) {
+  DiskProfile p = DiskProfile::Hdd();
+  DiskModel disk(p);
+  disk.ChargeRead(1, 0);  // random: seek + transfer
+  disk.ChargeRead(1, 1);  // sequential: transfer
+  disk.ChargeWrite(10);
+  const IoStats s = disk.stats();
+  EXPECT_DOUBLE_EQ(s.simulated_us, p.seek_us + 2 * p.read_transfer_us +
+                                       10 * p.write_transfer_us);
+}
+
+TEST(DiskModelTest, HddRandomReadsDominateSsd) {
+  DiskModel hdd(DiskProfile::Hdd()), ssd(DiskProfile::Ssd());
+  for (uint32_t i = 0; i < 100; i++) {
+    // Alternating files forces full seeks on every read.
+    hdd.ChargeRead(1 + (i % 2), i * 10);
+    ssd.ChargeRead(1 + (i % 2), i * 10);
+  }
+  EXPECT_GT(hdd.stats().simulated_us, 10 * ssd.stats().simulated_us);
+}
+
+TEST(BufferCacheTest, HitAvoidsSecondCharge) {
+  Env env(SmallEnv());
+  const uint32_t f = env.CreateFile();
+  ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  const IoStats after_first = env.stats();
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  const IoStats after_second = env.stats();
+  EXPECT_EQ(after_second.pages_read, after_first.pages_read);
+  EXPECT_EQ(after_second.cache_hits, after_first.cache_hits + 1);
+}
+
+TEST(BufferCacheTest, LruEvictsOldest) {
+  Env env(SmallEnv(/*cache_pages=*/2));
+  const uint32_t f = env.CreateFile();
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(env.AppendPage(f, Page(env, char('a' + i)), nullptr).ok());
+  }
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  ASSERT_TRUE(env.ReadPage(f, 1, &d).ok());
+  ASSERT_TRUE(env.ReadPage(f, 2, &d).ok());  // evicts page 0
+  const uint64_t misses_before = env.stats().cache_misses;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());  // miss again
+  EXPECT_EQ(env.stats().cache_misses, misses_before + 1);
+}
+
+TEST(BufferCacheTest, ReadAheadFaultsFollowingPagesSequentially) {
+  Env env(SmallEnv(/*cache_pages=*/16));
+  const uint32_t f = env.CreateFile();
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(env.AppendPage(f, Page(env, 'x'), nullptr).ok());
+  }
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d, /*readahead_pages=*/4).ok());
+  const IoStats s = env.stats();
+  EXPECT_EQ(s.pages_read, 5u);  // 1 demand + 4 read-ahead
+  EXPECT_EQ(s.sequential_reads, 4u);
+  // Following reads are cache hits.
+  const uint64_t reads_before = s.pages_read;
+  ASSERT_TRUE(env.ReadPage(f, 1, &d).ok());
+  ASSERT_TRUE(env.ReadPage(f, 4, &d).ok());
+  EXPECT_EQ(env.stats().pages_read, reads_before);
+}
+
+TEST(BufferCacheTest, ZeroCapacityDisablesCaching) {
+  Env env(SmallEnv(/*cache_pages=*/0));
+  const uint32_t f = env.CreateFile();
+  ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  EXPECT_EQ(env.stats().pages_read, 2u);
+}
+
+TEST(BufferCacheTest, EvictDropsFilePages) {
+  Env env(SmallEnv());
+  const uint32_t f = env.CreateFile();
+  ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  EXPECT_EQ(env.cache()->size(), 1u);
+  env.cache()->Evict(f);
+  EXPECT_EQ(env.cache()->size(), 0u);
+}
+
+TEST(BufferCacheTest, SetCapacityShrinks) {
+  Env env(SmallEnv(/*cache_pages=*/8));
+  const uint32_t f = env.CreateFile();
+  PageData d;
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(env.AppendPage(f, Page(env, 'x'), nullptr).ok());
+    ASSERT_TRUE(env.ReadPage(f, i, &d).ok());
+  }
+  EXPECT_EQ(env.cache()->size(), 6u);
+  env.cache()->set_capacity(2);
+  EXPECT_LE(env.cache()->size(), 2u);
+}
+
+TEST(EnvTest, DeleteFileEvictsAndForgets) {
+  Env env(SmallEnv());
+  const uint32_t f = env.CreateFile();
+  ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+  PageData d;
+  ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
+  ASSERT_TRUE(env.DeleteFile(f).ok());
+  EXPECT_TRUE(env.ReadPage(f, 0, &d).IsNotFound());
+}
+
+TEST(EnvTest, WriteChargesSequentialCost) {
+  Env env(SmallEnv());
+  const uint32_t f = env.CreateFile();
+  ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+  EXPECT_EQ(env.stats().pages_written, 1u);
+  EXPECT_GT(env.stats().simulated_us, 0.0);
+}
+
+}  // namespace
+}  // namespace auxlsm

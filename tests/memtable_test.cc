@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "mem/memtable.h"
+
+namespace auxlsm {
+namespace {
+
+TEST(MemtableTest, PutGetOverride) {
+  Memtable m;
+  m.Put("k1", "v1", 1, false);
+  OwnedEntry e;
+  ASSERT_TRUE(m.Get("k1", &e).ok());
+  EXPECT_EQ(e.value, "v1");
+  EXPECT_EQ(e.ts, 1u);
+  m.Put("k1", "v2", 2, false);
+  ASSERT_TRUE(m.Get("k1", &e).ok());
+  EXPECT_EQ(e.value, "v2");  // blind override
+  EXPECT_EQ(m.num_entries(), 1u);
+}
+
+TEST(MemtableTest, AntimatterStoredAsEntry) {
+  Memtable m;
+  m.Put("k", "v", 1, false);
+  m.Put("k", "", 2, true);
+  OwnedEntry e;
+  ASSERT_TRUE(m.Get("k", &e).ok());
+  EXPECT_TRUE(e.antimatter);
+}
+
+TEST(MemtableTest, GetMissing) {
+  Memtable m;
+  OwnedEntry e;
+  EXPECT_TRUE(m.Get("nope", &e).IsNotFound());
+  EXPECT_FALSE(m.Contains("nope"));
+}
+
+TEST(MemtableTest, TimestampBoundsTrackAllWrites) {
+  Memtable m;
+  m.Put("a", "1", 10, false);
+  m.Put("b", "2", 5, false);
+  m.Put("a", "3", 20, false);
+  EXPECT_EQ(m.min_ts(), 5u);
+  EXPECT_EQ(m.max_ts(), 20u);
+}
+
+TEST(MemtableTest, SnapshotSorted) {
+  Memtable m;
+  m.Put("c", "3", 3, false);
+  m.Put("a", "1", 1, false);
+  m.Put("b", "2", 2, true);
+  const auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].key, "a");
+  EXPECT_EQ(snap[1].key, "b");
+  EXPECT_TRUE(snap[1].antimatter);
+  EXPECT_EQ(snap[2].key, "c");
+}
+
+TEST(MemtableTest, SnapshotRangeInclusive) {
+  Memtable m;
+  for (char c = 'a'; c <= 'f'; c++) {
+    m.Put(std::string(1, c), "v", 1, false);
+  }
+  const auto snap = m.SnapshotRange("b", "d");
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().key, "b");
+  EXPECT_EQ(snap.back().key, "d");
+  EXPECT_EQ(m.SnapshotRange("x", "z").size(), 0u);
+  EXPECT_EQ(m.SnapshotRange("", "").size(), 6u);  // unbounded
+}
+
+TEST(MemtableTest, EraseIfTsOnlyMatchingTimestamp) {
+  Memtable m;
+  m.Put("k", "v", 7, false);
+  EXPECT_FALSE(m.EraseIfTs("k", 8));
+  EXPECT_TRUE(m.Contains("k"));
+  EXPECT_TRUE(m.EraseIfTs("k", 7));
+  EXPECT_FALSE(m.Contains("k"));
+}
+
+TEST(MemtableTest, RestorePreviousEntry) {
+  Memtable m;
+  m.Put("k", "old", 1, false);
+  m.Put("k", "new", 2, false);
+  m.Restore("k", MemEntry{"old", 1, false});
+  OwnedEntry e;
+  ASSERT_TRUE(m.Get("k", &e).ok());
+  EXPECT_EQ(e.value, "old");
+  EXPECT_EQ(e.ts, 1u);
+}
+
+TEST(MemtableTest, MemoryAccountingGrowsAndClears) {
+  Memtable m;
+  EXPECT_EQ(m.ApproximateMemory(), 0u);
+  m.Put("key", std::string(1000, 'v'), 1, false);
+  const size_t after_put = m.ApproximateMemory();
+  EXPECT_GT(after_put, 1000u);
+  m.Put("key", "tiny", 2, false);  // replacement shrinks accounting
+  EXPECT_LT(m.ApproximateMemory(), after_put);
+  m.Clear();
+  EXPECT_EQ(m.ApproximateMemory(), 0u);
+  EXPECT_EQ(m.num_entries(), 0u);
+  EXPECT_EQ(m.min_ts(), 0u);
+}
+
+}  // namespace
+}  // namespace auxlsm

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+#include "common/rwlatch.h"
+
+namespace auxlsm {
+namespace {
+
+TEST(RwLatchTest, BasicSharedExclusive) {
+  RwLatch latch;
+  latch.lock_shared();
+  latch.lock_shared();  // readers coexist
+  EXPECT_FALSE(latch.try_lock());
+  latch.unlock_shared();
+  latch.unlock_shared();
+  EXPECT_TRUE(latch.try_lock());
+  EXPECT_FALSE(latch.try_lock_shared());
+  latch.unlock();
+  EXPECT_TRUE(latch.try_lock_shared());
+  latch.unlock_shared();
+}
+
+TEST(RwLatchTest, WorksWithStdLockAdapters) {
+  RwLatch latch;
+  {
+    std::shared_lock<RwLatch> shared(latch);
+    EXPECT_FALSE(latch.try_lock());
+  }
+  {
+    std::unique_lock<RwLatch> exclusive(latch);
+    EXPECT_FALSE(latch.try_lock_shared());
+  }
+}
+
+TEST(RwLatchTest, WriterNotStarvedByContinuousReaders) {
+  // The reason this latch exists (§5.3's dataset drain): two reader threads
+  // re-acquiring in a tight loop must not block a writer forever.
+  RwLatch latch;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; t++) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        latch.lock_shared();
+        latch.unlock_shared();
+      }
+    });
+  }
+  std::thread writer([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    latch.lock();
+    latch.unlock();
+    writer_done.store(true);
+  });
+  // The writer must complete well within the test timeout.
+  for (int i = 0; i < 500 && !writer_done.load(); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RwLatchTest, ExclusiveSectionsAreMutuallyExclusive) {
+  RwLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 10000; i++) {
+        std::unique_lock<RwLatch> l(latch);
+        counter++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(RwLatchTest, ReadersSeeConsistentStateUnderWriter) {
+  RwLatch latch;
+  // Writer maintains the invariant a == b inside the exclusive section;
+  // readers must never observe a != b.
+  int64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&]() {
+    for (int i = 0; i < 20000; i++) {
+      std::unique_lock<RwLatch> l(latch);
+      a++;
+      b++;
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; t++) {
+    readers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_lock<RwLatch> l(latch);
+        if (a != b) violations.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace auxlsm

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "mem/skiplist.h"
+
+namespace auxlsm {
+namespace {
+
+using IntList = SkipList<int>;
+
+TEST(SkipListTest, EmptyList) {
+  IntList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.First(), nullptr);
+  EXPECT_EQ(list.Find("x"), nullptr);
+  EXPECT_EQ(list.LowerBound(""), nullptr);
+  EXPECT_FALSE(list.Erase("x"));
+}
+
+TEST(SkipListTest, InsertFindAssign) {
+  IntList list;
+  bool created = false;
+  list.InsertOrAssign("b", 2, &created);
+  EXPECT_TRUE(created);
+  list.InsertOrAssign("a", 1, &created);
+  EXPECT_TRUE(created);
+  list.InsertOrAssign("b", 22, &created);
+  EXPECT_FALSE(created);  // assignment, not insert
+  EXPECT_EQ(list.size(), 2u);
+  ASSERT_NE(list.Find("b"), nullptr);
+  EXPECT_EQ(list.Find("b")->value, 22);
+  EXPECT_EQ(list.Find("c"), nullptr);
+}
+
+TEST(SkipListTest, OrderedIteration) {
+  IntList list;
+  bool created;
+  for (const char* k : {"delta", "alpha", "echo", "charlie", "bravo"}) {
+    list.InsertOrAssign(k, 0, &created);
+  }
+  std::string prev;
+  size_t n = 0;
+  for (auto* node = list.First(); node != nullptr; node = IntList::Next(node)) {
+    if (n > 0) EXPECT_LT(prev, node->key);
+    prev = node->key;
+    n++;
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(SkipListTest, LowerBoundSemantics) {
+  IntList list;
+  bool created;
+  for (const char* k : {"b", "d", "f"}) list.InsertOrAssign(k, 0, &created);
+  EXPECT_EQ(list.LowerBound("a")->key, "b");
+  EXPECT_EQ(list.LowerBound("b")->key, "b");
+  EXPECT_EQ(list.LowerBound("c")->key, "d");
+  EXPECT_EQ(list.LowerBound("f")->key, "f");
+  EXPECT_EQ(list.LowerBound("g"), nullptr);
+}
+
+TEST(SkipListTest, EraseRelinksAllLevels) {
+  IntList list;
+  bool created;
+  for (int i = 0; i < 100; i++) {
+    list.InsertOrAssign("k" + std::to_string(i), i, &created);
+  }
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_TRUE(list.Erase("k" + std::to_string(i)));
+  }
+  EXPECT_EQ(list.size(), 50u);
+  // Remaining entries are intact and ordered.
+  size_t n = 0;
+  for (auto* node = list.First(); node != nullptr; node = IntList::Next(node)) {
+    EXPECT_EQ(node->value % 2, 1);
+    n++;
+  }
+  EXPECT_EQ(n, 50u);
+}
+
+TEST(SkipListTest, ClearThenReuse) {
+  IntList list;
+  bool created;
+  for (int i = 0; i < 50; i++) {
+    list.InsertOrAssign(std::to_string(i), i, &created);
+  }
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.First(), nullptr);
+  list.InsertOrAssign("fresh", 1, &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SkipListTest, RandomOpsMatchStdMap) {
+  IntList list;
+  std::map<std::string, int> model;
+  Random rng(31337);
+  for (int i = 0; i < 20000; i++) {
+    const std::string key = std::to_string(rng.Uniform(2000));
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 || op == 1) {
+      bool created;
+      list.InsertOrAssign(key, i, &created);
+      EXPECT_EQ(created, model.find(key) == model.end());
+      model[key] = i;
+    } else {
+      EXPECT_EQ(list.Erase(key), model.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(list.size(), model.size());
+  auto* node = list.First();
+  for (const auto& [k, v] : model) {
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->key, k);
+    EXPECT_EQ(node->value, v);
+    node = IntList::Next(node);
+  }
+  EXPECT_EQ(node, nullptr);
+}
+
+}  // namespace
+}  // namespace auxlsm

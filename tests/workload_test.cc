@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/driver.h"
+#include "workload/tweet_gen.h"
+
+namespace auxlsm {
+namespace {
+
+EnvOptions TestEnv() {
+  EnvOptions o;
+  o.page_size = 1024;
+  o.cache_pages = 1 << 16;
+  o.disk_profile = DiskProfile::Null();
+  return o;
+}
+
+TEST(TweetGeneratorTest, RecordShapeMatchesPaper) {
+  TweetGenerator gen;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 500; i++) {
+    const TweetRecord r = gen.Next();
+    EXPECT_LT(r.user_id, 100000u);
+    EXPECT_GE(r.message.size(), 450u);
+    EXPECT_LE(r.message.size(), 550u);
+    EXPECT_EQ(r.location.size(), 2u);
+    ids.insert(r.id);
+  }
+  EXPECT_EQ(ids.size(), 500u);  // random 64-bit keys: unique w.h.p.
+  // creation_time is monotonically increasing.
+  TweetGenerator gen2;
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; i++) {
+    const TweetRecord r = gen2.Next();
+    EXPECT_GT(r.creation_time, prev);
+    prev = r.creation_time;
+  }
+}
+
+TEST(TweetGeneratorTest, SequentialIdsOption) {
+  TweetGenOptions o;
+  o.sequential_ids = true;
+  TweetGenerator gen(o);
+  EXPECT_EQ(gen.Next().id, 1u);
+  EXPECT_EQ(gen.Next().id, 2u);
+  EXPECT_EQ(gen.Next().id, 3u);
+}
+
+TEST(TweetGeneratorTest, UpdateReusesIdWithNewTime) {
+  TweetGenerator gen;
+  const TweetRecord first = gen.Next();
+  const TweetRecord updated = gen.Update(0);
+  EXPECT_EQ(updated.id, first.id);
+  EXPECT_GT(updated.creation_time, first.creation_time);
+}
+
+TEST(TweetGeneratorTest, DeterministicAcrossSeeds) {
+  TweetGenOptions o;
+  o.seed = 123;
+  TweetGenerator a(o), b(o);
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(a.Next().id, b.Next().id);
+  }
+}
+
+TEST(InsertWorkloadTest, DuplicateRatioProducesDuplicates) {
+  Env env(TestEnv());
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kEager;
+  o.mem_budget_bytes = 256 << 10;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  InsertWorkloadOptions w;
+  w.num_ops = 2000;
+  w.duplicate_ratio = 0.5;
+  WorkloadReport report;
+  ASSERT_TRUE(RunInsertWorkload(&ds, &gen, w, &report).ok());
+  EXPECT_EQ(report.ops, 2000u);
+  EXPECT_GT(report.duplicate_or_update_ops, 700u);
+  EXPECT_LT(report.duplicate_or_update_ops, 1300u);
+  EXPECT_EQ(ds.ingest_stats().duplicates_ignored,
+            report.duplicate_or_update_ops);
+  EXPECT_EQ(ds.num_records(), report.new_records);
+}
+
+TEST(UpsertWorkloadTest, UpdateRatioRespected) {
+  Env env(TestEnv());
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kValidation;
+  o.mem_budget_bytes = 256 << 10;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  UpsertWorkloadOptions w;
+  w.num_ops = 2000;
+  w.update_ratio = 0.3;
+  WorkloadReport report;
+  ASSERT_TRUE(RunUpsertWorkload(&ds, &gen, w, &report).ok());
+  EXPECT_EQ(report.ops, 2000u);
+  EXPECT_GT(report.duplicate_or_update_ops, 400u);
+  EXPECT_LT(report.duplicate_or_update_ops, 800u);
+  EXPECT_EQ(ds.num_records(), report.new_records);
+}
+
+TEST(UpsertWorkloadTest, ZipfSkewsUpdatesTowardRecentKeys) {
+  Env env(TestEnv());
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kValidation;
+  o.mem_budget_bytes = 1 << 30;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  ASSERT_TRUE(LoadRecords(&ds, &gen, 1000).ok());
+  // Zipf updates should hit recent history indexes far more often; verify
+  // statistically by regenerating the same distribution.
+  ZipfGenerator z(1000, 0.99, 7);
+  uint64_t recent = 0;
+  for (int i = 0; i < 2000; i++) {
+    if (z.Next() < 100) recent++;  // rank<100 => 100 most recent keys
+  }
+  EXPECT_GT(recent, 600u);
+
+  UpsertWorkloadOptions w;
+  w.num_ops = 500;
+  w.update_ratio = 1.0;
+  w.distribution = UpdateDistribution::kZipf;
+  WorkloadReport report;
+  ASSERT_TRUE(RunUpsertWorkload(&ds, &gen, w, &report).ok());
+  EXPECT_EQ(report.duplicate_or_update_ops, 500u);
+  EXPECT_EQ(ds.num_records(), 1000u);  // updates never add records
+}
+
+TEST(WorkloadReportTest, TracksSimulatedIo) {
+  EnvOptions eo = TestEnv();
+  eo.disk_profile = DiskProfile::Hdd();
+  Env env(eo);
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kEager;
+  o.mem_budget_bytes = 64 << 10;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  UpsertWorkloadOptions w;
+  w.num_ops = 1000;
+  w.update_ratio = 0.5;
+  WorkloadReport report;
+  ASSERT_TRUE(RunUpsertWorkload(&ds, &gen, w, &report).ok());
+  EXPECT_GT(report.simulated_io_seconds, 0.0);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace auxlsm
