@@ -68,11 +68,15 @@ inline void PrintNote(const std::string& note) {
 }
 
 /// Common scaled-down environment: 4 KiB pages, HDD cost model. Cache sized
-/// by the caller to mimic the paper's cache:data ratios.
-inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false) {
+/// by the caller to mimic the paper's cache:data ratios. cache_shards > 1
+/// lock-stripes the buffer cache for runs with a parallel maintenance
+/// engine (serial runs keep 1 to stay bit-for-bit comparable).
+inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false,
+                           size_t cache_shards = 1) {
   EnvOptions o;
   o.page_size = 4096;
   o.cache_pages = cache_mb * 1024 * 1024 / o.page_size;
+  o.cache_shards = cache_shards;
   o.disk_profile = ssd ? DiskProfile::Ssd() : DiskProfile::Hdd();
   o.scan_readahead_pages = 64;
   return o;
@@ -99,6 +103,9 @@ inline QueryFixture BuildQueryFixture(MaintenanceStrategy strategy,
   o.merge_repair = merge_repair;
   o.mem_budget_bytes = 1 << 20;
   o.max_mergeable_bytes = 4 << 20;
+  // Paper figures reproduce the serial engine; pin the maintenance path so
+  // modeled I/O stays deterministic on multi-core hosts.
+  o.maintenance_threads = 1;
   f.ds = std::make_unique<Dataset>(f.env.get(), o);
   TweetGenOptions go;
   if (record_bytes > 0) {

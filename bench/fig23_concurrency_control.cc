@@ -22,6 +22,9 @@ struct CaseConfig {
 double RunCase(BuildCcMethod method, const CaseConfig& cfg) {
   Env env(BenchEnv(/*cache_mb=*/64));
   DatasetOptions o;
+  // Paper figures reproduce the serial engine; pin the maintenance path
+  // so modeled I/O stays deterministic on multi-core hosts.
+  o.maintenance_threads = 1;
   o.strategy = MaintenanceStrategy::kMutableBitmap;
   o.mem_budget_bytes = 1u << 30;  // no flushes during the merge
   Dataset ds(&env, o);

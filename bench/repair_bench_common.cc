@@ -8,6 +8,9 @@ namespace bench {
 void RunRepairBench(RepairMethod method, const RepairBenchConfig& cfg) {
   Env env(BenchEnv(/*cache_mb=*/8));
   DatasetOptions o;
+  // Paper figures reproduce the serial engine; pin the maintenance path
+  // so modeled I/O stays deterministic on multi-core hosts.
+  o.maintenance_threads = 1;
   o.strategy = MaintenanceStrategy::kValidation;
   o.merge_repair = false;  // repairs are triggered explicitly
   o.repair_bloom_opt = method == RepairMethod::kSecondaryBloom;

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "btree/btree_builder.h"
 #include "btree/btree_page.h"
@@ -62,6 +64,13 @@ class Btree {
   Iterator NewIterator(uint32_t readahead_pages = 0) const {
     return Iterator(this, readahead_pages);
   }
+
+  /// Returns up to `partitions - 1` keys that split the tree's key space
+  /// into roughly equal-sized runs of leaf pages (used by partitioned
+  /// merges). Keys are strictly ascending first-keys of evenly spaced
+  /// leaves; fewer (possibly zero) keys come back for small trees.
+  Status ApproximateSplitKeys(size_t partitions,
+                              std::vector<std::string>* out) const;
 
   /// Descends to the leaf that may contain key; returns the loaded page and
   /// its page number. Shared by Get and the stateful cursor.

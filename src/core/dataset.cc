@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "core/deleted_key.h"
+#include "exec/maintenance.h"
 #include "format/key_codec.h"
 
 namespace auxlsm {
@@ -98,7 +99,17 @@ Dataset::Dataset(Env* env, DatasetOptions options)
     }
     secondaries_.push_back(std::move(idx));
   }
+  MaintenanceOptions mopts;
+  mopts.threads = options_.maintenance_threads;
+  mopts.partition_min_bytes = options_.merge_partition_min_bytes == 0
+                                  ? UINT64_MAX
+                                  : options_.merge_partition_min_bytes;
+  auto scheduler = std::make_unique<MaintenanceScheduler>(mopts);
+  // threads == 1 keeps the serial code paths untouched (no scheduler).
+  if (scheduler->parallel()) maintenance_ = std::move(scheduler);
 }
+
+Dataset::~Dataset() = default;
 
 size_t Dataset::MemComponentBytes() const {
   size_t total = primary_->memtable()->ApproximateMemory();
@@ -119,18 +130,36 @@ Status Dataset::FlushAll() {
 
 Status Dataset::FlushAllLocked() {
   const Lsn flush_lsn = wal_.tail_lsn();
-  auto flush_tree = [&](LsmTree* t) -> Status {
+  auto flush_tree = [flush_lsn](LsmTree* t) -> Status {
     if (t == nullptr || !t->NeedsFlush()) return Status::OK();
     AUXLSM_RETURN_NOT_OK(t->Flush());
     auto comps = t->Components();
     if (!comps.empty()) comps.front()->set_max_lsn(flush_lsn);
     return Status::OK();
   };
-  AUXLSM_RETURN_NOT_OK(flush_tree(primary_.get()));
-  AUXLSM_RETURN_NOT_OK(flush_tree(pk_index_.get()));
-  for (auto& s : secondaries_) {
-    AUXLSM_RETURN_NOT_OK(flush_tree(s->tree.get()));
-    AUXLSM_RETURN_NOT_OK(flush_tree(s->deleted_keys.get()));
+  if (maintenance_ != nullptr) {
+    // All indexes flush together (shared budget); their flushes write to
+    // distinct trees and files, so they run concurrently on the pool.
+    std::vector<std::function<Status()>> tasks;
+    auto add = [&](LsmTree* t) {
+      if (t != nullptr && t->NeedsFlush()) {
+        tasks.push_back([t, flush_tree]() { return flush_tree(t); });
+      }
+    };
+    add(primary_.get());
+    add(pk_index_.get());
+    for (auto& s : secondaries_) {
+      add(s->tree.get());
+      add(s->deleted_keys.get());
+    }
+    AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+  } else {
+    AUXLSM_RETURN_NOT_OK(flush_tree(primary_.get()));
+    AUXLSM_RETURN_NOT_OK(flush_tree(pk_index_.get()));
+    for (auto& s : secondaries_) {
+      AUXLSM_RETURN_NOT_OK(flush_tree(s->tree.get()));
+      AUXLSM_RETURN_NOT_OK(flush_tree(s->deleted_keys.get()));
+    }
   }
   // Under the Mutable-bitmap strategy the primary and primary key index are
   // synchronized and share one validity bitmap per component (§5.1).
@@ -146,8 +175,40 @@ Status Dataset::FlushAllLocked() {
   return Status::OK();
 }
 
+Status Dataset::MergeRepairToPolicy(SecondaryIndex* index, uint64_t* merges,
+                                    uint64_t* repairs) {
+  // Merge repair replaces the plain merge for secondary indexes (§4.4). The
+  // tree's own policy is the same tiering policy the options describe.
+  std::vector<DiskComponentPtr> picked;
+  while (index->tree->PickMergeCandidates(&picked)) {
+    AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, index, picked));
+    (*merges)++;
+    (*repairs)++;
+  }
+  return Status::OK();
+}
+
+Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
+                                         uint64_t* merges) {
+  while (true) {
+    auto comps = index->tree->Components();
+    std::vector<ComponentSizeInfo> sizes;
+    for (const auto& c : comps) {
+      sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+    }
+    TieringMergePolicy policy(options_.merge_size_ratio,
+                              options_.max_mergeable_bytes);
+    const MergeRange r = policy.PickMerge(sizes);
+    if (r.empty() || r.count() < 2) break;
+    AUXLSM_RETURN_NOT_OK(RunDeletedKeyMerge(this, index, r));
+    (*merges)++;
+  }
+  return Status::OK();
+}
+
 Status Dataset::RunMerges() {
   if (options_.correlated_merges) return CorrelatedMerge();
+  if (maintenance_ != nullptr) return ParallelMerges();
   auto merge_tree = [&](LsmTree* t) -> Status {
     if (t == nullptr) return Status::OK();
     bool merged = true;
@@ -162,42 +223,58 @@ Status Dataset::RunMerges() {
   for (auto& s : secondaries_) {
     if (options_.strategy == MaintenanceStrategy::kValidation &&
         options_.merge_repair) {
-      // Merge repair replaces the plain merge for secondary indexes (§4.4).
-      while (true) {
-        auto comps = s->tree->Components();
-        std::vector<ComponentSizeInfo> sizes;
-        for (const auto& c : comps) {
-          sizes.push_back(ComponentSizeInfo{c->size_bytes()});
-        }
-        TieringMergePolicy policy(options_.merge_size_ratio,
-                                  options_.max_mergeable_bytes);
-        const MergeRange r = policy.PickMerge(sizes);
-        if (r.empty() || r.count() < 2) break;
-        std::vector<DiskComponentPtr> picked(comps.begin() + r.begin,
-                                             comps.begin() + r.end);
-        AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s.get(), picked));
-        stats_.merges++;
-        stats_.repairs++;
-      }
+      AUXLSM_RETURN_NOT_OK(
+          MergeRepairToPolicy(s.get(), &stats_.merges, &stats_.repairs));
     } else if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
-      while (true) {
-        auto comps = s->tree->Components();
-        std::vector<ComponentSizeInfo> sizes;
-        for (const auto& c : comps) {
-          sizes.push_back(ComponentSizeInfo{c->size_bytes()});
-        }
-        TieringMergePolicy policy(options_.merge_size_ratio,
-                                  options_.max_mergeable_bytes);
-        const MergeRange r = policy.PickMerge(sizes);
-        if (r.empty() || r.count() < 2) break;
-        AUXLSM_RETURN_NOT_OK(RunDeletedKeyMerge(this, s.get(), r));
-        stats_.merges++;
-      }
+      AUXLSM_RETURN_NOT_OK(DeletedKeyMergesToPolicy(s.get(), &stats_.merges));
     } else {
       AUXLSM_RETURN_NOT_OK(merge_tree(s->tree.get()));
       AUXLSM_RETURN_NOT_OK(merge_tree(s->deleted_keys.get()));
     }
   }
+  return Status::OK();
+}
+
+Status Dataset::ParallelMerges() {
+  // One task per tree: independent trees merge concurrently while each
+  // tree's own merges stay serialized inside its task (the engine's
+  // per-tree serialization rule). Secondary repair/deleted-key merges read
+  // the primary-key index concurrently with its own merge — safe because
+  // readers work on component snapshots and ReplaceComponents swaps
+  // atomically. IngestStats is only updated after the join.
+  std::vector<std::function<Status()>> tasks;
+  std::vector<uint64_t> merge_counts(2 + secondaries_.size(), 0);
+  std::vector<uint64_t> repair_counts(secondaries_.size(), 0);
+
+  tasks.push_back([this, c = &merge_counts[0]]() {
+    return maintenance_->MergeToPolicy(primary_.get(), c);
+  });
+  if (pk_index_ != nullptr) {
+    tasks.push_back([this, c = &merge_counts[1]]() {
+      return maintenance_->MergeToPolicy(pk_index_.get(), c);
+    });
+  }
+  for (size_t i = 0; i < secondaries_.size(); i++) {
+    SecondaryIndex* s = secondaries_[i].get();
+    uint64_t* mc = &merge_counts[2 + i];
+    uint64_t* rc = &repair_counts[i];
+    if (options_.strategy == MaintenanceStrategy::kValidation &&
+        options_.merge_repair) {
+      tasks.push_back(
+          [this, s, mc, rc]() { return MergeRepairToPolicy(s, mc, rc); });
+    } else if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
+      tasks.push_back(
+          [this, s, mc]() { return DeletedKeyMergesToPolicy(s, mc); });
+    } else {
+      tasks.push_back([this, s, mc]() -> Status {
+        AUXLSM_RETURN_NOT_OK(maintenance_->MergeToPolicy(s->tree.get(), mc));
+        return maintenance_->MergeToPolicy(s->deleted_keys.get(), mc);
+      });
+    }
+  }
+  AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+  for (uint64_t c : merge_counts) stats_.merges += c;
+  for (uint64_t c : repair_counts) stats_.repairs += c;
   return Status::OK();
 }
 
@@ -218,8 +295,31 @@ Status Dataset::CorrelatedMerge() {
     const MergeRange r = policy.PickMerge(sizes);
     if (r.empty() || r.count() < 2) break;
 
-    AUXLSM_RETURN_NOT_OK(primary_->MergeComponentRange(r));
-    if (pk_index_) AUXLSM_RETURN_NOT_OK(pk_index_->MergeComponentRange(r));
+    // Ranged merge of one tree; routed through the maintenance engine (which
+    // may partition large merges) when it is active.
+    auto ranged = [this](LsmTree* t, const MergeRange& range) -> Status {
+      if (maintenance_ == nullptr) return t->MergeComponentRange(range);
+      auto comps = t->Components();
+      if (range.end > comps.size() || range.empty()) {
+        return Status::InvalidArgument("bad merge range");
+      }
+      std::vector<DiskComponentPtr> picked(comps.begin() + range.begin,
+                                           comps.begin() + range.end);
+      return maintenance_->MergeComponents(t, picked);
+    };
+
+    // Phase 1: primary and primary key index merge (concurrently when the
+    // engine is active) — their post-merge components must exist before the
+    // bitmap re-share and before secondary repair validates against them.
+    if (maintenance_ != nullptr && pk_index_ != nullptr) {
+      std::vector<std::function<Status()>> tasks;
+      tasks.push_back([&ranged, this, r]() { return ranged(primary_.get(), r); });
+      tasks.push_back([&ranged, this, r]() { return ranged(pk_index_.get(), r); });
+      AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+    } else {
+      AUXLSM_RETURN_NOT_OK(ranged(primary_.get(), r));
+      if (pk_index_) AUXLSM_RETURN_NOT_OK(ranged(pk_index_.get(), r));
+    }
     if (options_.strategy == MaintenanceStrategy::kMutableBitmap &&
         pk_index_) {
       // Re-share the merged components' bitmap.
@@ -229,23 +329,46 @@ Status Dataset::CorrelatedMerge() {
         kcomps[r.begin]->set_bitmap(pcomps[r.begin]->bitmap());
       }
     }
-    for (auto& s : secondaries_) {
+    // Phase 2: secondary indexes, one task per index.
+    uint64_t round_repairs = 0;
+    std::vector<std::function<Status()>> stasks;
+    std::vector<uint64_t> srepairs(secondaries_.size(), 0);
+    for (size_t i = 0; i < secondaries_.size(); i++) {
+      SecondaryIndex* s = secondaries_[i].get();
       if (s->tree->NumDiskComponents() < r.end) continue;
+      std::function<Status()> work;
       if (options_.strategy == MaintenanceStrategy::kValidation &&
           options_.merge_repair) {
-        auto scomps = s->tree->Components();
-        std::vector<DiskComponentPtr> picked(scomps.begin() + r.begin,
-                                             scomps.begin() + r.end);
-        AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s.get(), picked));
-        stats_.repairs++;
+        uint64_t* rc = &srepairs[i];
+        work = [this, s, r, rc]() -> Status {
+          auto scomps = s->tree->Components();
+          std::vector<DiskComponentPtr> picked(scomps.begin() + r.begin,
+                                               scomps.begin() + r.end);
+          AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s, picked));
+          (*rc)++;
+          return Status::OK();
+        };
       } else {
-        AUXLSM_RETURN_NOT_OK(s->tree->MergeComponentRange(r));
-        if (s->deleted_keys &&
-            s->deleted_keys->NumDiskComponents() >= r.end) {
-          AUXLSM_RETURN_NOT_OK(s->deleted_keys->MergeComponentRange(r));
-        }
+        work = [&ranged, s, r]() -> Status {
+          AUXLSM_RETURN_NOT_OK(ranged(s->tree.get(), r));
+          if (s->deleted_keys &&
+              s->deleted_keys->NumDiskComponents() >= r.end) {
+            AUXLSM_RETURN_NOT_OK(ranged(s->deleted_keys.get(), r));
+          }
+          return Status::OK();
+        };
+      }
+      if (maintenance_ != nullptr) {
+        stasks.push_back(std::move(work));
+      } else {
+        AUXLSM_RETURN_NOT_OK(work());
       }
     }
+    if (!stasks.empty()) {
+      AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(stasks)));
+    }
+    for (uint64_t c : srepairs) round_repairs += c;
+    stats_.repairs += round_repairs;
     stats_.merges++;
   }
   return Status::OK();
@@ -278,13 +401,14 @@ Status Dataset::GetById(uint64_t id, TweetRecord* out) {
 
 uint64_t Dataset::num_records() const {
   // Reconciling scan over the primary index (exact; test/diagnostic use).
+  // Memtable before components (flush-race ordering; see ReconcilingScan).
+  auto mem = primary_->memtable()->Snapshot();
   auto comps = primary_->Components();
   MergeCursor::Options mo;
   mo.respect_bitmaps = true;
   mo.drop_antimatter = false;
   MergeCursor cursor(comps, mo);
   if (!cursor.Init().ok()) return 0;
-  auto mem = primary_->memtable()->Snapshot();
   // Merge the memtable snapshot with the disk cursor, newest wins.
   uint64_t count = 0;
   size_t mi = 0;
@@ -305,7 +429,11 @@ uint64_t Dataset::num_records() const {
       if (!cursor.antimatter()) count++;
       if (!cursor.Next().ok()) break;
     } else {
-      if (!mem[mi].antimatter) count++;  // memtable overrides disk
+      // Duplicate key: the copy with the larger timestamp decides liveness.
+      const bool antimatter = mem[mi].ts >= cursor.ts()
+                                  ? mem[mi].antimatter
+                                  : cursor.antimatter();
+      if (!antimatter) count++;
       mi++;
       if (!cursor.Next().ok()) break;
     }

@@ -93,6 +93,15 @@ struct DatasetOptions {
 
   bool enable_wal = true;
   uint32_t scan_readahead_pages = 32;  ///< scaled equivalent of the paper's 4 MB read-ahead (32 pages of 128 KB)
+
+  // --- Maintenance engine (exec/maintenance.h) ------------------------------
+  /// Threads used to run the indexes' flushes and merges concurrently.
+  /// 0 = one per hardware thread; 1 = the legacy serial path (identical
+  /// behavior to builds without the engine).
+  size_t maintenance_threads = 0;
+  /// Merges of at least this many input bytes are additionally split into
+  /// key-range partitions scanned in parallel (0 disables partitioning).
+  uint64_t merge_partition_min_bytes = 8u << 20;
 };
 
 struct IngestStats {
@@ -187,9 +196,12 @@ struct DatasetCatalog {
   Lsn bitmap_checkpoint_lsn = kInvalidLsn;
 };
 
+class MaintenanceScheduler;
+
 class Dataset {
  public:
   Dataset(Env* env, DatasetOptions options);
+  ~Dataset();
 
   Env* env() const { return env_; }
   const DatasetOptions& options() const { return options_; }
@@ -268,6 +280,10 @@ class Dataset {
   const IngestStats& ingest_stats() const { return stats_; }
   uint64_t num_records() const;
 
+  /// The maintenance engine; null when maintenance_threads resolves to 1
+  /// (serial path).
+  MaintenanceScheduler* maintenance() { return maintenance_.get(); }
+
   /// Total memory-component bytes across indexes (flush trigger input).
   size_t MemComponentBytes() const;
 
@@ -309,7 +325,16 @@ class Dataset {
   // dataset.cc
   Status FlushAllLocked();
   Status RunMerges();
+  Status ParallelMerges();
   Status CorrelatedMerge();
+  /// Merge-repair merges for one secondary index until its policy is
+  /// satisfied (Validation strategy, §4.4). Shared by the serial and
+  /// parallel engines so their behavior cannot drift.
+  Status MergeRepairToPolicy(SecondaryIndex* index, uint64_t* merges,
+                             uint64_t* repairs);
+  /// Deleted-key merges for one secondary index until its policy is
+  /// satisfied (kDeletedKeyBtree, §4.1).
+  Status DeletedKeyMergesToPolicy(SecondaryIndex* index, uint64_t* merges);
   LsmTreeOptions MakeTreeOptions(const std::string& name, bool is_primary,
                                  bool attach_bitmap, bool range_filter) const;
 
@@ -323,6 +348,7 @@ class Dataset {
   std::unique_ptr<LsmTree> primary_;
   std::unique_ptr<LsmTree> pk_index_;
   std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+  std::unique_ptr<MaintenanceScheduler> maintenance_;
 
   RwLatch ingest_mu_;
   IngestStats stats_;

@@ -44,7 +44,6 @@ Status BulkPointLookup(const LsmTree& tree,
                        PointLookupStats* stats) {
   PointLookupStats local;
   local.keys = requests.size();
-  const auto components = tree.Components();
 
   const size_t batch_keys =
       options.batched
@@ -63,7 +62,22 @@ Status BulkPointLookup(const LsmTree& tree,
     for (size_t i = start; i < end; i++) {
       pending.push_back(PendingKey{&requests[i], Hash64(requests[i].pk)});
     }
+    if (options.batched) {
+      // §3.2 probes each component's unfound keys in ascending key order so
+      // leaf pages are read sequentially; enforce it here instead of
+      // trusting callers to pre-sort (a stable sort keeps duplicate-key
+      // requests in arrival order).
+      std::stable_sort(pending.begin(), pending.end(),
+                       [](const PendingKey& a, const PendingKey& b) {
+                         return a.req->pk < b.req->pk;
+                       });
+    }
     SearchMemtable(tree, pending, options.raw, out, &local);
+    // Snapshot the components only after the memtable search: a concurrent
+    // flush moves entries memtable -> new component, so probing an older
+    // component snapshot after missing the (already cleared) memtable would
+    // make the key invisible to both probes.
+    const auto components = tree.Components();
 
     if (!options.batched) {
       // Naive: per key, search components newest to oldest independently.

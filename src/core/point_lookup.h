@@ -51,7 +51,10 @@ struct PointLookupStats {
   uint64_t batches = 0;
 };
 
-/// Looks up every request (which must be sorted by pk ascending) in `tree`.
+/// Looks up every request in `tree`. Requests should be sorted by pk
+/// ascending — batches are carved off the request vector in order, so
+/// unsorted input degrades batch locality; within a batch the batched
+/// algorithm re-sorts its pending keys itself before probing components.
 /// Results are appended to *out in discovery order — primary-key order for
 /// the naive algorithm, batch/component order for the batched one. Dead
 /// entries (anti-matter / bitmap-invalid newest versions) are only appended

@@ -20,6 +20,13 @@ Status SecondaryRangeScan(const SecondaryIndex& index, const Slice& lo_sk,
   std::string lo = lo_sk.ToString() + std::string(8, '\0');
   std::string hi = hi_sk.ToString() + std::string(8, '\xff');
 
+  // Memtable before components: a concurrent flush moves entries memtable ->
+  // new component, so the reverse order could observe neither copy. The
+  // duplicate-key resolution below picks the larger timestamp, which also
+  // covers a write landing between the two snapshots.
+  const auto mem = index.tree->memtable()->SnapshotRange(lo, hi);
+  const Timestamp mem_min_ts = index.tree->memtable()->min_ts();
+
   auto comps = index.tree->Components();
   MergeCursor::Options mo;
   mo.readahead_pages = readahead;
@@ -28,9 +35,6 @@ Status SecondaryRangeScan(const SecondaryIndex& index, const Slice& lo_sk,
   mo.upper_bound = hi;
   MergeCursor cursor(comps, mo);
   AUXLSM_RETURN_NOT_OK(cursor.Init());
-
-  const auto mem = index.tree->memtable()->SnapshotRange(lo, hi);
-  const Timestamp mem_min_ts = index.tree->memtable()->min_ts();
 
   auto emit_mem = [&](const OwnedEntry& e) {
     if (e.antimatter) return;
@@ -62,7 +66,14 @@ Status SecondaryRangeScan(const SecondaryIndex& index, const Slice& lo_sk,
       emit_disk(cursor, comps.empty() ? 0 : comps[cursor.source()]->id().min_ts);
       AUXLSM_RETURN_NOT_OK(cursor.Next());
     } else {
-      emit_mem(mem[mi]);  // memtable entry overrides the disk duplicate
+      // Duplicate key: the newer write wins (equal timestamps mean the same
+      // entry observed in both snapshots around a flush).
+      if (mem[mi].ts >= cursor.ts()) {
+        emit_mem(mem[mi]);
+      } else {
+        emit_disk(cursor,
+                  comps.empty() ? 0 : comps[cursor.source()]->id().min_ts);
+      }
       mi++;
       AUXLSM_RETURN_NOT_OK(cursor.Next());
     }

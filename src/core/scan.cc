@@ -1,5 +1,8 @@
 // Primary-index scans: full scans (the Fig 12b baseline) and range-filter
 // scans (§6.4.2), with strategy-dependent component pruning.
+#include <unordered_map>
+#include <unordered_set>
+
 #include "core/dataset.h"
 #include "format/key_codec.h"
 
@@ -7,19 +10,19 @@ namespace auxlsm {
 
 namespace {
 
-/// Reconciling scan over the given primary components + memtable, invoking
-/// cb(value) for every live record.
-Status ReconcilingScan(LsmTree* primary,
-                       const std::vector<DiskComponentPtr>& comps,
-                       bool include_memtable, uint32_t readahead,
+/// Reconciling scan over the given primary components + a memtable snapshot
+/// taken by the caller *before* the component snapshot (so a concurrent
+/// flush cannot hide entries from both), invoking cb(value) for every live
+/// record. Duplicate keys resolve to the larger timestamp.
+Status ReconcilingScan(const std::vector<DiskComponentPtr>& comps,
+                       const std::vector<OwnedEntry>& mem,
+                       uint32_t readahead,
                        const std::function<void(const Slice&)>& cb) {
   MergeCursor::Options mo;
   mo.readahead_pages = readahead;
   mo.respect_bitmaps = true;
   MergeCursor cursor(comps, mo);
   AUXLSM_RETURN_NOT_OK(cursor.Init());
-  std::vector<OwnedEntry> mem;
-  if (include_memtable) mem = primary->memtable()->Snapshot();
 
   size_t mi = 0;
   while (cursor.Valid() || mi < mem.size()) {
@@ -38,7 +41,11 @@ Status ReconcilingScan(LsmTree* primary,
       if (!cursor.antimatter()) cb(cursor.value());
       AUXLSM_RETURN_NOT_OK(cursor.Next());
     } else {
-      if (!mem[mi].antimatter) cb(mem[mi].value);
+      if (mem[mi].ts >= cursor.ts()) {
+        if (!mem[mi].antimatter) cb(mem[mi].value);
+      } else {
+        if (!cursor.antimatter()) cb(cursor.value());
+      }
       mi++;
       AUXLSM_RETURN_NOT_OK(cursor.Next());
     }
@@ -50,11 +57,12 @@ Status ReconcilingScan(LsmTree* primary,
 
 Status Dataset::FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
                                   ScanResult* out) {
+  const auto mem = primary_->memtable()->Snapshot();  // before Components()
   auto comps = primary_->Components();
   out->components_scanned = comps.size();
   uint64_t scanned = 0, matched = 0;
   AUXLSM_RETURN_NOT_OK(ReconcilingScan(
-      primary_.get(), comps, true, options_.scan_readahead_pages,
+      comps, mem, options_.scan_readahead_pages,
       [&](const Slice& value) {
         scanned++;
         uint64_t uid = 0;
@@ -69,6 +77,15 @@ Status Dataset::FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
 }
 
 Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
+  // Memtable state before the component snapshot (flush-race ordering; see
+  // ReconcilingScan).
+  bool mem_overlaps = !primary_->memtable()->empty();
+  if (mem_overlaps && options_.maintain_range_filter &&
+      primary_->mem_range_filter()->has_value()) {
+    mem_overlaps = primary_->mem_range_filter()->Overlaps(lo, hi);
+  }
+  const auto mem = primary_->memtable()->Snapshot();
+
   auto comps = primary_->Components();
   auto overlaps = [&](const DiskComponentPtr& c) {
     const auto& f = c->range_filter();
@@ -83,17 +100,23 @@ Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
     }
   };
 
-  bool mem_overlaps = !primary_->memtable()->empty();
-  if (mem_overlaps && options_.maintain_range_filter &&
-      primary_->mem_range_filter()->has_value()) {
-    mem_overlaps = primary_->mem_range_filter()->Overlaps(lo, hi);
-  }
-
   uint64_t scanned = 0, matched = 0;
 
   if (options_.strategy == MaintenanceStrategy::kMutableBitmap) {
     // §5: bitmaps make disk entries self-describing, so components are
     // scanned one by one with independent pruning and no reconciliation.
+    // The memtable snapshot was taken before the component snapshot, so a
+    // concurrently flushed entry can appear in both; the newer timestamp
+    // wins in either direction. Serially a mem/disk duplicate cannot exist
+    // with a valid bitmap bit (the upsert marks the old version), so the
+    // reconciliation map is only built when the maintenance engine makes
+    // concurrent flushes possible — the serial hot loop stays
+    // allocation-free.
+    std::unordered_map<std::string, Timestamp> mem_ts;
+    std::unordered_set<std::string> superseded;
+    if (mem_overlaps && maintenance_ != nullptr) {
+      for (const auto& e : mem) mem_ts[e.key] = e.ts;
+    }
     for (const auto& c : comps) {
       if (!overlaps(c)) {
         out->components_pruned++;
@@ -104,15 +127,29 @@ Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
       AUXLSM_RETURN_NOT_OK(it.SeekToFirst());
       while (it.Valid()) {
         if (!it.antimatter() && c->EntryValid(it.ordinal())) {
-          scanned++;
-          count_matches(it.value(), &matched);
+          bool dup_wins = false;
+          if (!mem_ts.empty()) {
+            auto dup = mem_ts.find(it.key().ToString());
+            if (dup != mem_ts.end()) {
+              if (dup->second >= it.ts()) {
+                dup_wins = true;  // mem copy newer: skip the disk copy
+              } else {
+                superseded.insert(dup->first);  // disk copy newer: skip mem
+              }
+            }
+          }
+          if (!dup_wins) {
+            scanned++;
+            count_matches(it.value(), &matched);
+          }
         }
         AUXLSM_RETURN_NOT_OK(it.Next());
       }
     }
     if (mem_overlaps) {
-      for (const auto& e : primary_->memtable()->Snapshot()) {
-        if (!e.antimatter) {
+      for (const auto& e : mem) {
+        if (!e.antimatter &&
+            (superseded.empty() || superseded.count(e.key) == 0)) {
           scanned++;
           count_matches(e.value, &matched);
         }
@@ -154,8 +191,9 @@ Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
   out->components_scanned = selected.size();
   out->components_pruned = comps.size() - selected.size();
 
+  static const std::vector<OwnedEntry> kNoMem;
   AUXLSM_RETURN_NOT_OK(ReconcilingScan(
-      primary_.get(), selected, include_memtable,
+      selected, include_memtable ? mem : kNoMem,
       options_.scan_readahead_pages, [&](const Slice& value) {
         scanned++;
         count_matches(value, &matched);

@@ -1,15 +1,30 @@
-// LRU buffer cache over (file, page) with optional read-ahead.
+// Lock-striped LRU buffer cache over (file, page) with optional read-ahead.
 //
 // The cache is read-through: a miss faults the page in from the PageStore and
 // charges the DiskModel; read-ahead faults in the following pages of the same
 // file at sequential-transfer cost, modelling OS/disk read-ahead the paper
 // relies on for scans (4MB read-ahead in §6.1).
+//
+// Concurrency: the cache is split into `shards` independent stripes, each
+// with its own mutex, LRU list, and page index, selected by a hash of
+// (file_id, page_no). Parallel maintenance (concurrent flushes/merges) and
+// lookups therefore contend per-stripe instead of on one global mutex.
+// shards == 1 reproduces the single-LRU behavior exactly (one global
+// eviction order), which keeps the simulated I/O costs of serial runs
+// bit-for-bit comparable with the original implementation.
+//
+// Each shard additionally keeps a per-file index of its resident pages, so
+// Evict(file_id) — called when a retired component's file is deleted — costs
+// O(resident pages of that file), not O(cache size).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "env/disk_model.h"
@@ -17,10 +32,19 @@
 
 namespace auxlsm {
 
+/// Aggregated cache counters (summed over shards).
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 class BufferCache {
  public:
-  /// capacity_pages == 0 disables caching entirely.
-  BufferCache(PageStore* store, DiskModel* disk, size_t capacity_pages);
+  /// capacity_pages == 0 disables caching entirely. `shards` stripes the
+  /// cache; the capacity is divided evenly across shards.
+  BufferCache(PageStore* store, DiskModel* disk, size_t capacity_pages,
+              size_t shards = 1);
 
   /// Reads a page through the cache. readahead_pages > 0 additionally faults
   /// in up to that many following pages of the same file on a miss.
@@ -34,39 +58,50 @@ class BufferCache {
   void Clear();
 
   size_t size() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  size_t shards() const { return shards_.size(); }
   void set_capacity(size_t capacity_pages);
+
+  BufferCacheStats stats() const;
 
  private:
   struct Key {
     uint32_t file_id;
     uint32_t page_no;
-    bool operator==(const Key& o) const {
-      return file_id == o.file_id && page_no == o.page_no;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      return (uint64_t{k.file_id} << 32 | k.page_no) * 0x9e3779b97f4a7c15ULL;
-    }
   };
   struct Entry {
     Key key;
     PageData data;
   };
   using LruList = std::list<Entry>;
+  /// page_no -> LRU position, per file: lookup is two hash probes, and
+  /// deleting a file touches only its own resident pages.
+  using FilePages = std::unordered_map<uint32_t, LruList::iterator>;
 
-  // Inserts into the cache (caller holds mu_). Returns the cached data.
-  void InsertLocked(const Key& k, PageData data);
-  bool LookupLocked(const Key& k, PageData* out);
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    size_t size = 0;
+    LruList lru;  // front = most recent
+    std::unordered_map<uint32_t, FilePages> files;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(uint32_t file_id, uint32_t page_no);
+  // The following helpers run with the shard's mutex held.
+  bool LookupLocked(Shard& s, const Key& k, PageData* out);
+  void InsertLocked(Shard& s, const Key& k, PageData data);
+  void EvictOverflowLocked(Shard& s);
 
   PageStore* const store_;
   DiskModel* const disk_;
-  size_t capacity_;
+  std::atomic<size_t> capacity_;
 
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace auxlsm

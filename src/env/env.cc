@@ -1,12 +1,22 @@
 #include "env/env.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace auxlsm {
+
+namespace {
+size_t ResolveCacheShards(const EnvOptions& o) {
+  if (o.cache_shards != 0) return o.cache_shards;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+}  // namespace
 
 Env::Env(EnvOptions options)
     : options_(options),
       store_(options.page_size),
       disk_(options.disk_profile),
-      cache_(&store_, &disk_, options.cache_pages) {}
+      cache_(&store_, &disk_, options.cache_pages, ResolveCacheShards(options)) {}
 
 Status Env::DeleteFile(uint32_t file_id) {
   cache_.Evict(file_id);

@@ -13,6 +13,11 @@ namespace auxlsm {
 struct EnvOptions {
   size_t page_size = 4096;
   size_t cache_pages = 4096;         ///< 16 MiB with 4 KiB pages
+  /// Lock stripes of the buffer cache. 0 = one per hardware thread (capped
+  /// by the cache size), so a parallel maintenance engine doesn't serialize
+  /// page faults behind one mutex. 1 = the single global LRU, bit-for-bit
+  /// the legacy behavior — deterministic-I/O benches and tests pin this.
+  size_t cache_shards = 0;
   uint32_t scan_readahead_pages = 32;///< read-ahead used by range scans
   DiskProfile disk_profile = DiskProfile::Hdd();
 };

@@ -1,0 +1,102 @@
+// Background maintenance engine: runs the flushes and merges of a Dataset's
+// index trees concurrently on a ThreadPool (exec/thread_pool.h).
+//
+// Architecture / threading model of src/exec/:
+//
+//   Dataset (core/dataset.cc)                 MaintenanceScheduler
+//   ------------------------------            ----------------------------
+//   FlushAllLocked  ── tasks per tree ──────► RunAll: one flush per index
+//   RunMerges       ── tasks per tree ──────► RunAll: MergeToPolicy loops
+//   CorrelatedMerge ── tasks per round ─────► RunAll: ranged merges
+//                                             │
+//                                             ▼
+//                                       ThreadPool (N workers)
+//
+//   - Work is fanned out at *tree* granularity: the primary, primary-key,
+//     secondary, and deleted-key trees flush and merge concurrently. Merges
+//     of one tree are never issued concurrently (per-tree serialization):
+//     each tree's merge loop runs inside a single task.
+//   - A large merge of one tree may additionally be split into key-range
+//     partitions (MergeCursor lower/upper bounds); the partitions are
+//     scanned in parallel and the outputs stitched into one component by
+//     LsmTree::MergeFromStream.
+//   - Shared state touched from tasks: Env's PageStore / DiskModel /
+//     BufferCache (each internally synchronized; the BufferCache is
+//     lock-striped into shards), and each LsmTree's components_ list
+//     (guarded by its components_mu_). Dataset-level counters (IngestStats)
+//     are only updated by the coordinating thread after tasks join.
+//   - Waits use "helping": a thread blocked on task futures runs queued
+//     tasks itself, so nested fan-out (merge loop inside a task spawning
+//     partition scans) cannot deadlock the fixed-size pool.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/lsm_tree.h"
+
+namespace auxlsm {
+
+class ThreadPool;
+
+struct MaintenanceOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = no pool (every
+  /// scheduler entry point degrades to the caller's thread, byte-for-byte
+  /// the legacy serial behavior).
+  size_t threads = 0;
+  /// Number of key-range partitions a large merge is split into.
+  /// 0 = match the thread count.
+  size_t merge_partitions = 0;
+  /// Only merges of at least this many input bytes are partitioned (small
+  /// merges are dominated by setup cost).
+  uint64_t partition_min_bytes = 8u << 20;
+};
+
+class MaintenanceScheduler {
+ public:
+  explicit MaintenanceScheduler(MaintenanceOptions options);
+  ~MaintenanceScheduler();
+
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+
+  /// Resolved worker count (>= 1).
+  size_t threads() const { return threads_; }
+  /// True when entry points fan out (threads > 1). The worker pool itself
+  /// is spawned lazily on first use, so an idle scheduler costs nothing.
+  bool parallel() const { return threads_ > 1; }
+  /// The worker pool; created on first call, null when not parallel().
+  ThreadPool* pool();
+
+  /// Runs every task (on the pool when parallel, else inline) and returns
+  /// the first non-OK status. All tasks run to completion either way.
+  Status RunAll(std::vector<std::function<Status()>>&& tasks);
+
+  /// Repeatedly consults `tree`'s merge policy and merges until it is
+  /// satisfied, splitting large merges into key-range partitions. Adds the
+  /// number of merges run to *merges (may be null).
+  Status MergeToPolicy(LsmTree* tree, uint64_t* merges);
+
+  /// One merge of `picked` into a single component, scanned as parallel
+  /// key-range partitions when profitable, else delegated to
+  /// LsmTree::MergeComponents.
+  Status MergeComponents(LsmTree* tree,
+                         const std::vector<DiskComponentPtr>& picked);
+
+ private:
+  /// Blocks on `futures`, helping run queued pool tasks meanwhile.
+  Status WaitAll(std::vector<std::future<Status>>& futures);
+
+  size_t partitions() const;
+
+  MaintenanceOptions options_;
+  size_t threads_ = 1;
+  std::mutex pool_mu_;                // guards lazy pool creation
+  std::unique_ptr<ThreadPool> pool_;  // null until first use / if serial
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,57 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace auxlsm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::RunOneQueued() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> l(queue_mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> l(queue_mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> l(queue_mu_);
+      queue_cv_.wait(l, [this]() { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even after stop: every Submit() promised a
+      // future that must eventually be fulfilled.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception in the future
+  }
+}
+
+}  // namespace auxlsm

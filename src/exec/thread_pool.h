@@ -1,0 +1,73 @@
+// Fixed-size worker pool backing the maintenance engine (exec/maintenance.h).
+//
+// Threading model of src/exec/ (see also maintenance.h):
+//   - ThreadPool owns N OS threads that pop tasks from one FIFO queue guarded
+//     by queue_mu_. Submit() may be called from any thread, including from a
+//     task already running on the pool (tasks must not *block* on tasks they
+//     submitted unless spare workers exist — the MaintenanceScheduler is
+//     structured so only the coordinating thread waits on futures).
+//   - Exceptions thrown by a task are captured in the task's future and
+//     rethrown at get(); workers never die from a task exception.
+//   - The destructor drains the queue (runs every submitted task) before
+//     joining, so callers may drop a pool without waiting on every future.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace auxlsm {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a callable; returns a future for its result. A thrown
+  /// exception propagates through the future.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> l(queue_mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    queue_cv_.notify_one();
+    return future;
+  }
+
+  /// Pops and runs one queued task on the calling thread; returns false if
+  /// the queue was empty. Threads blocked on futures of tasks that fan out
+  /// further Submit()s call this in a loop ("helping"), which keeps nested
+  /// fan-out deadlock-free even when every worker is blocked waiting.
+  bool RunOneQueued();
+
+  /// Tasks submitted and not yet started (diagnostics).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace auxlsm

@@ -143,8 +143,9 @@ std::vector<DiskComponentPtr> LsmTree::Components() const {
   return components_;
 }
 
-Status LsmTree::TryMerge(bool* merged) {
-  *merged = false;
+bool LsmTree::PickMergeCandidates(
+    std::vector<DiskComponentPtr>* picked) const {
+  picked->clear();
   std::vector<DiskComponentPtr> snapshot = Components();
   std::vector<ComponentSizeInfo> sizes;
   sizes.reserve(snapshot.size());
@@ -152,10 +153,16 @@ Status LsmTree::TryMerge(bool* merged) {
     sizes.push_back(ComponentSizeInfo{c->size_bytes()});
   }
   const MergeRange range = options_.merge_policy->PickMerge(sizes);
-  if (range.empty() || range.count() < 2) return Status::OK();
-  std::vector<DiskComponentPtr> picked(snapshot.begin() + range.begin,
-                                       snapshot.begin() + range.end);
-  AUXLSM_RETURN_NOT_OK(DoMerge(picked));
+  if (range.empty() || range.count() < 2) return false;
+  picked->assign(snapshot.begin() + range.begin, snapshot.begin() + range.end);
+  return true;
+}
+
+Status LsmTree::TryMerge(bool* merged) {
+  *merged = false;
+  std::vector<DiskComponentPtr> picked;
+  if (!PickMergeCandidates(&picked)) return Status::OK();
+  AUXLSM_RETURN_NOT_OK(MergeComponents(picked));
   *merged = true;
   return Status::OK();
 }
@@ -167,25 +174,25 @@ Status LsmTree::MergeComponentRange(const MergeRange& range) {
   }
   std::vector<DiskComponentPtr> picked(snapshot.begin() + range.begin,
                                        snapshot.begin() + range.end);
-  return DoMerge(picked);
+  return MergeComponents(picked);
 }
 
 Status LsmTree::MergeAll() {
   std::vector<DiskComponentPtr> snapshot = Components();
   if (snapshot.size() < 2) return Status::OK();
-  return DoMerge(snapshot);
+  return MergeComponents(snapshot);
 }
 
-Status LsmTree::DoMerge(const std::vector<DiskComponentPtr>& picked) {
+bool LsmTree::IsOldestComponent(const DiskComponentPtr& c) const {
+  std::lock_guard<std::mutex> l(components_mu_);
+  return !components_.empty() && c == components_.back();
+}
+
+Status LsmTree::MergeComponents(const std::vector<DiskComponentPtr>& picked) {
   if (picked.empty()) return Status::OK();
   // Anti-matter may be dropped only if the merge reaches the oldest
   // component (no older component can hold a shadowed version).
-  bool includes_oldest;
-  {
-    std::lock_guard<std::mutex> l(components_mu_);
-    includes_oldest =
-        !components_.empty() && picked.back() == components_.back();
-  }
+  const bool includes_oldest = IsOldestComponent(picked.back());
   MergeCursor::Options mo;
   mo.readahead_pages = options_.scan_readahead_pages;
   mo.respect_bitmaps = true;
@@ -193,7 +200,6 @@ Status LsmTree::DoMerge(const std::vector<DiskComponentPtr>& picked) {
   MergeCursor cursor(picked, mo);
   AUXLSM_RETURN_NOT_OK(cursor.Init());
 
-  ComponentId id{picked.back()->id().min_ts, picked.front()->id().max_ts};
   Status iter_status;
   auto next = [&](OwnedEntry* e) {
     if (!cursor.Valid()) return false;
@@ -204,8 +210,19 @@ Status LsmTree::DoMerge(const std::vector<DiskComponentPtr>& picked) {
     iter_status = cursor.Next();
     return iter_status.ok();
   };
+  return MergeFromStream(picked, next, &iter_status);
+}
+
+Status LsmTree::MergeFromStream(
+    const std::vector<DiskComponentPtr>& picked,
+    const std::function<bool(OwnedEntry*)>& next,
+    const Status* stream_status) {
+  if (picked.empty()) return Status::OK();
+  const bool includes_oldest = IsOldestComponent(picked.back());
+  ComponentId id{picked.back()->id().min_ts, picked.front()->id().max_ts};
   AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr merged, BuildComponent(id, next));
-  AUXLSM_RETURN_NOT_OK(iter_status);
+  // A stream that stopped on an error must not install its truncated output.
+  if (stream_status != nullptr) AUXLSM_RETURN_NOT_OK(*stream_status);
 
   // A merged component inherits the most conservative repair progress.
   Timestamp repaired = picked.front()->repaired_ts();

@@ -98,11 +98,36 @@ class LsmTree {
   /// Consults the merge policy; runs at most one merge. Sets *merged.
   Status TryMerge(bool* merged);
 
+  /// Consults the merge policy against the current component list; fills
+  /// *picked with the chosen components (newest first) and returns true if a
+  /// merge is warranted. Callers (e.g. the maintenance engine) may then run
+  /// the merge themselves via MergeComponents / MergeFromStream.
+  bool PickMergeCandidates(std::vector<DiskComponentPtr>* picked) const;
+
+  /// Merges the given components (which must be a contiguous, current run of
+  /// the newest-first list) into one replacement component.
+  Status MergeComponents(const std::vector<DiskComponentPtr>& picked);
+
   /// Merges components [range.begin, range.end) of the newest-first list.
   Status MergeComponentRange(const MergeRange& range);
 
   /// Merges all disk components into one.
   Status MergeAll();
+
+  /// Installs the result of a merge of `picked` whose reconciled entry
+  /// stream is supplied by `next` (ascending key order, exhausted -> false).
+  /// Applies the same repaired-ts / range-filter inheritance rules as
+  /// MergeComponents; used by the maintenance engine to stitch key-range
+  /// partitioned merges back into one component. If `stream_status` is given
+  /// it is checked after the stream ends, so a stream that stopped on an
+  /// error does not install truncated output.
+  Status MergeFromStream(const std::vector<DiskComponentPtr>& picked,
+                         const std::function<bool(OwnedEntry*)>& next,
+                         const Status* stream_status = nullptr);
+
+  /// True if `c` is currently the oldest disk component (merges reaching it
+  /// may drop anti-matter).
+  bool IsOldestComponent(const DiskComponentPtr& c) const;
 
   // --- Component management (used by repair / concurrent builds) -------------
   /// Snapshot of disk components, newest first.
@@ -132,13 +157,18 @@ class LsmTree {
   void set_merge_hook(MergeHook hook) { merge_hook_ = std::move(hook); }
 
  private:
-  Status DoMerge(const std::vector<DiskComponentPtr>& picked);
-
   Env* const env_;
   LsmTreeOptions options_;
   Memtable mem_;
   RangeFilter mem_filter_;
 
+  // Guards components_ only. Readers snapshot the vector under the lock and
+  // work on shared_ptr copies; Flush / ReplaceComponents mutate the vector
+  // under the lock, so concurrent merges of *different* trees and lookups
+  // during maintenance never race. Per-tree merges must be serialized by the
+  // caller (ReplaceComponents identity-compares and rejects a stale pick,
+  // so a lost race fails safe, but the maintenance engine never issues two
+  // merges for one tree concurrently).
   mutable std::mutex components_mu_;
   std::vector<DiskComponentPtr> components_;  // newest first
 

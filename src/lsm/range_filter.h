@@ -3,9 +3,17 @@
 // component whose filter is disjoint from the query's range predicate —
 // unless the maintenance strategy requires newer components to be read for
 // overriding updates (Validation, §4.2).
+//
+// Concurrency: Expand() may race with readers (Overlaps / has_value) — the
+// memory component's filter is widened by ingestion while scans consult it —
+// so the fields are atomics. Expand publishes min/max before has_value_
+// (release), readers take has_value_ with acquire, so a reader never sees an
+// "existing" filter with unwritten bounds. Reset() and copies are only
+// performed while writers are quiesced (the dataset's flush path holds the
+// ingest latch exclusively).
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
@@ -15,39 +23,60 @@ class RangeFilter {
  public:
   RangeFilter() = default;
 
-  /// Widens the filter to cover v.
+  RangeFilter(const RangeFilter& o) { CopyFrom(o); }
+  RangeFilter& operator=(const RangeFilter& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+
+  /// Widens the filter to cover v. Safe against concurrent Expand/readers.
   void Expand(uint64_t v) {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-    has_value_ = true;
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    has_value_.store(true, std::memory_order_release);
   }
 
   void Merge(const RangeFilter& other) {
-    if (!other.has_value_) return;
-    Expand(other.min_);
-    Expand(other.max_);
+    if (!other.has_value()) return;
+    Expand(other.min());
+    Expand(other.max());
   }
 
-  bool has_value() const { return has_value_; }
-  uint64_t min() const { return min_; }
-  uint64_t max() const { return max_; }
+  bool has_value() const {
+    return has_value_.load(std::memory_order_acquire);
+  }
+  uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
   /// True if [lo, hi] intersects the filter range. An empty filter (no
   /// entries) never overlaps.
   bool Overlaps(uint64_t lo, uint64_t hi) const {
-    return has_value_ && lo <= max_ && hi >= min_;
+    return has_value() && lo <= max() && hi >= min();
   }
 
   void Reset() {
-    min_ = std::numeric_limits<uint64_t>::max();
-    max_ = 0;
-    has_value_ = false;
+    min_.store(std::numeric_limits<uint64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    has_value_.store(false, std::memory_order_release);
   }
 
  private:
-  uint64_t min_ = std::numeric_limits<uint64_t>::max();
-  uint64_t max_ = 0;
-  bool has_value_ = false;
+  void CopyFrom(const RangeFilter& o) {
+    min_.store(o.min(), std::memory_order_relaxed);
+    max_.store(o.max(), std::memory_order_relaxed);
+    has_value_.store(o.has_value(), std::memory_order_release);
+  }
+
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<bool> has_value_{false};
 };
 
 }  // namespace auxlsm

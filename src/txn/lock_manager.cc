@@ -33,9 +33,17 @@ bool LockManager::CanGrant(const LockState& st, TxnId txn, LockMode mode) {
 
 void LockManager::Lock(TxnId txn, const Slice& key, LockMode mode) {
   Shard& shard = ShardFor(key);
+  const std::string k = key.ToString();
   std::unique_lock<std::mutex> l(shard.mu);
-  auto& st = shard.table[key.ToString()];
-  shard.cv.wait(l, [&] { return CanGrant(st, txn, mode); });
+  // Re-find the entry on every wakeup: concurrent Lock() calls on other keys
+  // can rehash the table and Unlock() erases entries that become free, so a
+  // reference captured before waiting dangles (and a waiter reading stale
+  // state may block forever).
+  shard.cv.wait(l, [&] {
+    auto it = shard.table.find(k);
+    return it == shard.table.end() || CanGrant(it->second, txn, mode);
+  });
+  auto& st = shard.table[k];
   if (mode == LockMode::kExclusive) {
     st.x_holder = txn;
     st.x_count++;

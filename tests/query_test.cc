@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "common/random.h"
 #include "core/dataset.h"
 #include "core/point_lookup.h"
 #include "format/key_codec.h"
@@ -291,6 +292,49 @@ TEST(BulkPointLookupTest, BatchedIoIsMoreSequentialThanNaive) {
   const IoStats naive = run(false);
   const IoStats batched = run(true);
   EXPECT_LT(batched.random_reads, naive.random_reads);
+}
+
+TEST(BulkPointLookupTest, BatchedPathSortsUnsortedRequests) {
+  // The §3.2 batched algorithm promises per-component probes in ascending
+  // key order; since it now sorts each batch itself, a shuffled request
+  // vector must produce exactly the I/O pattern of a pre-sorted one.
+  EnvOptions eo = TestEnv();
+  eo.cache_pages = 0;  // observe raw I/O pattern
+  eo.disk_profile = DiskProfile::Hdd();
+
+  auto run = [&](bool shuffle) {
+    Env env(eo);
+    LsmTreeOptions topts;
+    LsmTree tree(&env, topts);
+    for (uint64_t i = 0; i < 2000; i += 2) {
+      tree.Put(EncodeU64(i), std::string(100, 'v'), i + 1);
+    }
+    EXPECT_TRUE(tree.Flush().ok());
+    for (uint64_t i = 1; i < 2000; i += 2) {
+      tree.Put(EncodeU64(i), std::string(100, 'v'), 3000 + i);
+    }
+    EXPECT_TRUE(tree.Flush().ok());
+
+    std::vector<FetchRequest> reqs;
+    for (uint64_t i = 0; i < 2000; i += 3) reqs.push_back({EncodeU64(i), 0});
+    if (shuffle) {
+      Random rng(42);
+      for (size_t i = reqs.size() - 1; i > 0; i--) {
+        std::swap(reqs[i], reqs[rng.Uniform(i + 1)]);
+      }
+    }
+    PointLookupOptions opts;  // batched, one batch (default batch memory)
+    const IoStats before = env.stats();
+    std::vector<FetchedEntry> out;
+    EXPECT_TRUE(BulkPointLookup(tree, reqs, opts, &out).ok());
+    EXPECT_EQ(out.size(), reqs.size());
+    return env.stats() - before;
+  };
+
+  const IoStats sorted = run(false);
+  const IoStats shuffled = run(true);
+  EXPECT_EQ(shuffled.random_reads, sorted.random_reads);
+  EXPECT_EQ(shuffled.pages_read, sorted.pages_read);
 }
 
 TEST(QuerySortTest, SortedResultsAreInPkOrder) {
