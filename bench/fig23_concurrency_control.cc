@@ -83,6 +83,53 @@ const char* MethodName(BuildCcMethod m) {
   return "?";
 }
 
+/// Multi-writer ingest scaling (the PR 2 pipeline): N writer threads split a
+/// fixed record set; the dataset runs the writer-group pipeline (background
+/// seal/flush/merge, group-commit WAL) with the given §5.3 CC method for its
+/// merges. Reports wall seconds — like fig13/fig15's parallel sections, the
+/// modeled-I/O figures above stay pinned to the serial engine, and the
+/// pipeline's win is CPU/wall overlap, so it only shows on multi-core hosts.
+double RunMultiWriterIngest(int writers, BuildCcMethod method,
+                            uint64_t total_records) {
+  Env env(BenchEnv(/*cache_mb=*/64, /*ssd=*/false,
+                   /*cache_shards=*/writers == 1 ? 1 : 8));
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kMutableBitmap;
+  o.build_cc = method;
+  o.writer_threads = size_t(writers);
+  // writers == 1 pins both the serial write path and the serial maintenance
+  // engine (the legacy inline baseline).
+  o.maintenance_threads = writers == 1 ? 1 : 0;
+  o.mem_budget_bytes = 2u << 20;
+  Dataset ds(&env, o);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  const uint64_t per_writer = total_records / uint64_t(writers);
+  for (int t = 0; t < writers; t++) {
+    threads.emplace_back([&ds, t, per_writer]() {
+      Random rng(7000 + t);
+      const uint64_t base = 1 + uint64_t(t) * per_writer;
+      for (uint64_t i = 0; i < per_writer; i++) {
+        TweetRecord r;
+        r.id = base + i;
+        r.user_id = rng.Uniform(100000);
+        r.location = "CA";
+        r.creation_time = base + i;
+        r.message = std::string(100, 'w');
+        if (!ds.Upsert(r).ok()) std::abort();
+      }
+    });
+  }
+  for (auto& w : threads) w.join();
+  if (!ds.WaitForMaintenance().ok()) std::abort();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (ds.num_records() != per_writer * uint64_t(writers)) std::abort();
+  return wall;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace auxlsm
@@ -120,6 +167,22 @@ int main() {
       cfg.record_bytes = bytes;
       cfg.records_per_component = 8000;
       PrintRow(MethodName(m), std::to_string(bytes) + "B", RunCase(m, cfg));
+    }
+  }
+
+  PrintHeader("Fig23d",
+              "multi-writer ingest scaling (writer-group pipeline, wall_s)");
+  PrintNote(
+      "writers=1 is the legacy serial path (inline flush/merge); >1 runs "
+      "background seal/flush/merge with group-commit WAL and the given "
+      "merge CC method (Baseline = stop-the-world). Wall time only; the "
+      "modeled-I/O figures above stay pinned to the serial engine.");
+  const uint64_t kScalingRecords = 60000;
+  for (int writers : {1, 2, 4, 8}) {
+    for (BuildCcMethod m : methods) {
+      const double wall = RunMultiWriterIngest(writers, m, kScalingRecords);
+      PrintRow(MethodName(m), "w=" + std::to_string(writers), wall,
+               "wall_s");
     }
   }
   return 0;

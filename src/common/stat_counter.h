@@ -1,0 +1,47 @@
+// Relaxed atomic statistics counter. IngestStats (and similar diagnostic
+// structs) are incremented from concurrent writer threads that hold the
+// dataset's ingest latch in *shared* mode, and from the background
+// maintenance cycle — plain integers there are data races under a
+// multi-writer workload. The counter behaves like a uint64_t at every call
+// site (increment, +=, comparisons, casts) while making each update a
+// relaxed atomic RMW; it is a tally, not a synchronization point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace auxlsm {
+
+class StatCounter {
+ public:
+  StatCounter(uint64_t v = 0) : v_(v) {}  // NOLINT: implicit by design
+  StatCounter(const StatCounter& o) : v_(o.load()) {}
+  StatCounter& operator=(const StatCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }  // NOLINT: implicit by design
+
+  StatCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  StatCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace auxlsm

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "core/deleted_key.h"
+#include "core/mutable_bitmap_build.h"
 #include "exec/maintenance.h"
 #include "format/key_codec.h"
 
@@ -107,23 +108,183 @@ Dataset::Dataset(Env* env, DatasetOptions options)
   auto scheduler = std::make_unique<MaintenanceScheduler>(mopts);
   // threads == 1 keeps the serial code paths untouched (no scheduler).
   if (scheduler->parallel()) maintenance_ = std::move(scheduler);
+  // Multi-writer commits batch their modeled log syncs (group commit).
+  if (multi_writer()) wal_.set_group_commit(true);
 }
 
-Dataset::~Dataset() = default;
+Dataset::~Dataset() {
+  // Background maintenance touches the trees and the WAL; join it first.
+  WaitForMaintenance();
+}
+
+std::vector<LsmTree*> Dataset::AllTrees() {
+  std::vector<LsmTree*> trees;
+  trees.push_back(primary_.get());
+  if (pk_index_) trees.push_back(pk_index_.get());
+  for (const auto& s : secondaries_) {
+    trees.push_back(s->tree.get());
+    if (s->deleted_keys) trees.push_back(s->deleted_keys.get());
+  }
+  return trees;
+}
 
 size_t Dataset::MemComponentBytes() const {
-  size_t total = primary_->memtable()->ApproximateMemory();
-  if (pk_index_) total += pk_index_->memtable()->ApproximateMemory();
+  size_t total = primary_->MemBytes();
+  if (pk_index_) total += pk_index_->MemBytes();
   for (const auto& s : secondaries_) {
-    total += s->tree->memtable()->ApproximateMemory();
+    total += s->tree->MemBytes();
     if (s->deleted_keys) {
-      total += s->deleted_keys->memtable()->ApproximateMemory();
+      total += s->deleted_keys->MemBytes();
     }
   }
   return total;
 }
 
+Status Dataset::WaitForMaintenance() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    if (bg_thread_.joinable()) t = std::move(bg_thread_);
+  }
+  if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> l(bg_mu_);
+  return bg_status_;
+}
+
+Status Dataset::MaintainAsync() {
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    AUXLSM_RETURN_NOT_OK(bg_status_);  // surface sticky pipeline errors
+  }
+  if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
+  // Backpressure: writers that outrun the pipeline by a whole extra budget
+  // wait for the in-flight cycle instead of growing memory without bound.
+  if (MemComponentBytes() >= 2 * options_.mem_budget_bytes) {
+    AUXLSM_RETURN_NOT_OK(WaitForMaintenance());
+  }
+  bool expected = false;
+  if (!bg_active_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // a cycle is already running
+  }
+  // Sole launcher from here: reap the previous cycle's thread, start ours.
+  std::thread prev;
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    if (bg_thread_.joinable()) prev = std::move(bg_thread_);
+  }
+  if (prev.joinable()) prev.join();
+  std::lock_guard<std::mutex> l(bg_mu_);
+  bg_thread_ = std::thread([this]() {
+    Status s = MaintenanceCycle();
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> bl(bg_mu_);
+      if (bg_status_.ok()) bg_status_ = s;
+    }
+    bg_active_.store(false, std::memory_order_release);
+  });
+  return Status::OK();
+}
+
+Status Dataset::MaintenanceCycle() {
+  // Phase 1 — seal: a brief exclusive section swaps every tree's memtable;
+  // writers resume into fresh ones while the sealed set is built.
+  std::vector<std::pair<LsmTree*, std::shared_ptr<Memtable>>> sealed;
+  Lsn flush_lsn = kInvalidLsn;
+  {
+    std::unique_lock<RwLatch> latch(ingest_mu_);
+    if (MemComponentBytes() < options_.mem_budget_bytes) {
+      return Status::OK();  // another path already resolved the overrun
+    }
+    // No-steal: an open explicit transaction may have uncommitted effects in
+    // the memtables — sealing them would flush uncommitted data to disk and
+    // strand the rollback closures. Auto-commit transactions live entirely
+    // inside a shared-latch hold, so under the exclusive latch any active
+    // count is explicit ones; defer the cycle until they close (a later
+    // ingest op re-triggers it).
+    if (txns_.active_transactions() > 0) return Status::OK();
+    for (LsmTree* t : AllTrees()) {
+      if (auto m = t->SealMemtable()) sealed.emplace_back(t, std::move(m));
+    }
+    flush_lsn = wal_.tail_lsn();
+  }
+  if (sealed.empty()) return Status::OK();
+
+  // Phase 2 — build the flushed components off-latch (fanned out on the
+  // maintenance engine when it is active; distinct trees, distinct files).
+  std::vector<DiskComponentPtr> built(sealed.size());
+  auto build_one = [&](size_t i) -> Status {
+    AUXLSM_ASSIGN_OR_RETURN(built[i],
+                            sealed[i].first->BuildFromSealed(sealed[i].second));
+    return Status::OK();
+  };
+  if (maintenance_ != nullptr) {
+    std::vector<std::function<Status()>> tasks;
+    for (size_t i = 0; i < sealed.size(); i++) {
+      tasks.push_back([&build_one, i]() { return build_one(i); });
+    }
+    AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+  } else {
+    for (size_t i = 0; i < sealed.size(); i++) {
+      AUXLSM_RETURN_NOT_OK(build_one(i));
+    }
+  }
+
+  // Phase 3 — install under the latch: all trees' components appear
+  // atomically w.r.t. ingestion, preserving the positional alignment that
+  // correlated merges and bitmap sharing rely on.
+  {
+    std::unique_lock<RwLatch> latch(ingest_mu_);
+    for (size_t i = 0; i < sealed.size(); i++) {
+      AUXLSM_RETURN_NOT_OK(
+          sealed[i].first->InstallFlushed(sealed[i].second, built[i]));
+      built[i]->set_max_lsn(flush_lsn);
+    }
+    if (options_.strategy == MaintenanceStrategy::kMutableBitmap) {
+      if (pk_index_) {
+        auto pcomps = primary_->Components();
+        auto kcomps = pk_index_->Components();
+        if (!pcomps.empty() && !kcomps.empty() &&
+            kcomps.front()->bitmap() == nullptr) {
+          kcomps.front()->set_bitmap(pcomps.front()->bitmap());
+        }
+      }
+      AUXLSM_RETURN_NOT_OK(FixupFlushedBitmap());
+    }
+    stats_.flushes++;
+  }
+
+  // Phase 4 — merges off-latch. Writers only mutate memtables (and, under
+  // Mutable-bitmap, old components' bitmaps — which CorrelatedMerge routes
+  // through the §5.3 concurrency-control machinery), so merges are safe
+  // against concurrent ingestion.
+  return RunMerges();
+}
+
+Status Dataset::FixupFlushedBitmap() {
+  // Deletes/upserts whose old version sat in a *sealed* memtable left only
+  // anti-matter (or a newer version) in the active memtable; the flushed
+  // component carries the old version as valid. Mark those entries invalid,
+  // exactly as MutableBitmapUpsert would have had the component existed —
+  // otherwise the §5 no-reconciliation scans would resurrect them.
+  auto pcomps = primary_->Components();
+  if (pcomps.empty()) return Status::OK();
+  const DiskComponentPtr& front = pcomps.front();
+  if (front->bitmap() == nullptr) return Status::OK();
+  for (const auto& e : primary_->memtable()->Snapshot()) {
+    LeafEntry entry;
+    std::string backing;
+    uint64_t ordinal = 0;
+    Status st = front->tree().GetWithOrdinal(e.key, &entry, &backing,
+                                             &ordinal);
+    if (st.IsNotFound()) continue;
+    AUXLSM_RETURN_NOT_OK(st);
+    if (!entry.antimatter && entry.ts < e.ts) front->bitmap()->Set(ordinal);
+  }
+  return Status::OK();
+}
+
 Status Dataset::FlushAll() {
+  AUXLSM_RETURN_NOT_OK(WaitForMaintenance());
   std::unique_lock<RwLatch> l(ingest_mu_);
   return FlushAllLocked();
 }
@@ -223,10 +384,14 @@ Status Dataset::RunMerges() {
   for (auto& s : secondaries_) {
     if (options_.strategy == MaintenanceStrategy::kValidation &&
         options_.merge_repair) {
-      AUXLSM_RETURN_NOT_OK(
-          MergeRepairToPolicy(s.get(), &stats_.merges, &stats_.repairs));
+      uint64_t merges = 0, repairs = 0;
+      AUXLSM_RETURN_NOT_OK(MergeRepairToPolicy(s.get(), &merges, &repairs));
+      stats_.merges += merges;
+      stats_.repairs += repairs;
     } else if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
-      AUXLSM_RETURN_NOT_OK(DeletedKeyMergesToPolicy(s.get(), &stats_.merges));
+      uint64_t merges = 0;
+      AUXLSM_RETURN_NOT_OK(DeletedKeyMergesToPolicy(s.get(), &merges));
+      stats_.merges += merges;
     } else {
       AUXLSM_RETURN_NOT_OK(merge_tree(s->tree.get()));
       AUXLSM_RETURN_NOT_OK(merge_tree(s->deleted_keys.get()));
@@ -311,22 +476,44 @@ Status Dataset::CorrelatedMerge() {
     // Phase 1: primary and primary key index merge (concurrently when the
     // engine is active) — their post-merge components must exist before the
     // bitmap re-share and before secondary repair validates against them.
-    if (maintenance_ != nullptr && pk_index_ != nullptr) {
-      std::vector<std::function<Status()>> tasks;
-      tasks.push_back([&ranged, this, r]() { return ranged(primary_.get(), r); });
-      tasks.push_back([&ranged, this, r]() { return ranged(pk_index_.get(), r); });
-      AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+    if (multi_writer() &&
+        options_.strategy == MaintenanceStrategy::kMutableBitmap) {
+      // Background merge concurrent with live writers: writers flip bits in
+      // the very components being merged, so the merge must run under a
+      // §5.3 concurrency-control method. ConcurrentMerge builds the
+      // primary + pk-index pair sharing one bitmap, so no re-share is
+      // needed. kNone has no writer coordination — stop the world instead
+      // (the Fig 23 baseline semantics).
+      ConcurrentMergeStats cstats;
+      if (options_.build_cc == BuildCcMethod::kNone) {
+        std::unique_lock<RwLatch> latch(ingest_mu_);
+        AUXLSM_RETURN_NOT_OK(ConcurrentMerge(this, r.begin, r.end,
+                                             BuildCcMethod::kNone, &cstats,
+                                             /*dataset_latched=*/true));
+      } else {
+        AUXLSM_RETURN_NOT_OK(ConcurrentMerge(this, r.begin, r.end,
+                                             options_.build_cc, &cstats));
+      }
     } else {
-      AUXLSM_RETURN_NOT_OK(ranged(primary_.get(), r));
-      if (pk_index_) AUXLSM_RETURN_NOT_OK(ranged(pk_index_.get(), r));
-    }
-    if (options_.strategy == MaintenanceStrategy::kMutableBitmap &&
-        pk_index_) {
-      // Re-share the merged components' bitmap.
-      auto pcomps = primary_->Components();
-      auto kcomps = pk_index_->Components();
-      if (r.begin < pcomps.size() && r.begin < kcomps.size()) {
-        kcomps[r.begin]->set_bitmap(pcomps[r.begin]->bitmap());
+      if (maintenance_ != nullptr && pk_index_ != nullptr) {
+        std::vector<std::function<Status()>> tasks;
+        tasks.push_back(
+            [&ranged, this, r]() { return ranged(primary_.get(), r); });
+        tasks.push_back(
+            [&ranged, this, r]() { return ranged(pk_index_.get(), r); });
+        AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
+      } else {
+        AUXLSM_RETURN_NOT_OK(ranged(primary_.get(), r));
+        if (pk_index_) AUXLSM_RETURN_NOT_OK(ranged(pk_index_.get(), r));
+      }
+      if (options_.strategy == MaintenanceStrategy::kMutableBitmap &&
+          pk_index_) {
+        // Re-share the merged components' bitmap.
+        auto pcomps = primary_->Components();
+        auto kcomps = pk_index_->Components();
+        if (r.begin < pcomps.size() && r.begin < kcomps.size()) {
+          kcomps[r.begin]->set_bitmap(pcomps[r.begin]->bitmap());
+        }
       }
     }
     // Phase 2: secondary indexes, one task per index.
@@ -375,6 +562,7 @@ Status Dataset::CorrelatedMerge() {
 }
 
 Status Dataset::MergeAllIndexes() {
+  AUXLSM_RETURN_NOT_OK(WaitForMaintenance());
   AUXLSM_RETURN_NOT_OK(primary_->MergeAll());
   if (pk_index_) AUXLSM_RETURN_NOT_OK(pk_index_->MergeAll());
   if (options_.strategy == MaintenanceStrategy::kMutableBitmap && pk_index_) {
@@ -401,8 +589,8 @@ Status Dataset::GetById(uint64_t id, TweetRecord* out) {
 
 uint64_t Dataset::num_records() const {
   // Reconciling scan over the primary index (exact; test/diagnostic use).
-  // Memtable before components (flush-race ordering; see ReconcilingScan).
-  auto mem = primary_->memtable()->Snapshot();
+  // Memtables before components (flush-race ordering; see ReconcilingScan).
+  auto mem = primary_->MemSnapshot();
   auto comps = primary_->Components();
   MergeCursor::Options mo;
   mo.respect_bitmaps = true;
@@ -442,6 +630,8 @@ uint64_t Dataset::num_records() const {
 }
 
 DatasetCatalog Dataset::Checkpoint() {
+  // The catalog must reference a stable component set; drain the pipeline.
+  WaitForMaintenance();
   DatasetCatalog cat;
   auto snap_tree = [&](LsmTree* t, std::vector<DatasetCatalog::ComponentEntry>* out,
                        bool pk_shares_bitmap) {

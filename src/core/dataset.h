@@ -16,8 +16,10 @@
 //                     B+-trees (§2.3/§4.1)
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
+#include <thread>
 
 #include "common/rwlatch.h"
 #include <string>
@@ -25,6 +27,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/stat_counter.h"
 #include "format/record.h"
 #include "lsm/lsm_tree.h"
 #include "txn/recovery.h"
@@ -102,17 +105,32 @@ struct DatasetOptions {
   /// Merges of at least this many input bytes are additionally split into
   /// key-range partitions scanned in parallel (0 disables partitioning).
   uint64_t merge_partition_min_bytes = 8u << 20;
+
+  // --- Concurrent ingestion pipeline (PR 2) ---------------------------------
+  /// Number of writer threads the dataset is tuned for. 1 = the legacy
+  /// serial write path (budget overruns flush and merge inline on the
+  /// ingesting thread under the exclusive ingest latch; no WAL group
+  /// commit) — bit-for-bit the pre-pipeline behavior. > 1 enables the
+  /// writer-group pipeline: a budget overrun seals every index's memtable
+  /// under a brief exclusive latch and hands flush + merge to a background
+  /// maintenance cycle, transaction commits batch their modeled log syncs
+  /// through the WAL's group commit, and the Mutable-bitmap strategy's
+  /// merges run under the §5.3 concurrency-control method selected by
+  /// `build_cc` (kNone = stop-the-world merge, the Fig 23 baseline).
+  size_t writer_threads = 1;
 };
 
+/// Counters are relaxed atomics: they are bumped from concurrent writers
+/// (shared ingest latch) and from the background maintenance cycle.
 struct IngestStats {
-  uint64_t inserts = 0;
-  uint64_t upserts = 0;
-  uint64_t deletes = 0;
-  uint64_t duplicates_ignored = 0;
-  uint64_t ingest_point_lookups = 0;  ///< pre-operation lookups
-  uint64_t flushes = 0;
-  uint64_t merges = 0;
-  uint64_t repairs = 0;
+  StatCounter inserts;
+  StatCounter upserts;
+  StatCounter deletes;
+  StatCounter duplicates_ignored;
+  StatCounter ingest_point_lookups;  ///< pre-operation lookups
+  StatCounter flushes;
+  StatCounter merges;
+  StatCounter repairs;
 };
 
 class Dataset;
@@ -245,6 +263,12 @@ class Dataset {
   Status FlushAll();
   Status MergeAllIndexes();
 
+  /// Joins the in-flight background maintenance cycle (writer_threads > 1)
+  /// and returns its sticky first error, if any. No-op on the serial path.
+  /// Callers should quiesce writers first if they need "all data flushed"
+  /// semantics rather than "the current cycle finished".
+  Status WaitForMaintenance();
+
   /// Standalone repair of every secondary index (§4.4). Brings repairedTS
   /// forward; used by Fig 20-22.
   Status RepairAllSecondaries();
@@ -322,6 +346,21 @@ class Dataset {
                        Transaction* txn);
   Status CheckBudgetAndMaintain();
 
+  // --- Writer-group pipeline (ingest.cc / dataset.cc) ----------------------
+  bool multi_writer() const { return options_.writer_threads > 1; }
+  /// Every index tree of the dataset (primary, pk, secondaries, deleted-key).
+  std::vector<LsmTree*> AllTrees();
+  /// Launches one background maintenance cycle if the budget is exceeded and
+  /// none is running; applies backpressure when writers outpace the pipeline.
+  Status MaintainAsync();
+  /// One background cycle: seal (brief exclusive latch) -> build components
+  /// off-latch -> install (exclusive latch) -> merges off-latch.
+  Status MaintenanceCycle();
+  /// Mutable-bitmap only: marks entries of the freshly flushed primary
+  /// component that are superseded by newer active-memtable writes (their
+  /// delete/upsert raced the sealed window). Caller holds the latch.
+  Status FixupFlushedBitmap();
+
   // dataset.cc
   Status FlushAllLocked();
   Status RunMerges();
@@ -353,6 +392,15 @@ class Dataset {
   RwLatch ingest_mu_;
   IngestStats stats_;
   Lsn bitmap_checkpoint_lsn_ = kInvalidLsn;
+
+  // Background maintenance cycle (writer_threads > 1). bg_active_ admits one
+  // cycle at a time; bg_mu_ guards the thread handle and the sticky first
+  // error. The thread is joined by WaitForMaintenance / the next launch /
+  // the destructor.
+  std::mutex bg_mu_;
+  std::thread bg_thread_;          // guarded by bg_mu_
+  std::atomic<bool> bg_active_{false};
+  Status bg_status_;               // guarded by bg_mu_
 };
 
 // repair.cc — exposed for tests and benchmarks.

@@ -12,9 +12,13 @@ namespace {
 void PutIndex(LsmTree* tree, const Slice& key, const Slice& value,
               Timestamp ts, bool antimatter, Transaction* undo_txn) {
   if (undo_txn != nullptr) {
+    // Undo closures may outlive this operation's latch hold; keep the target
+    // memtable alive by shared_ptr so it cannot dangle. The pipeline's seal
+    // phase defers while explicit transactions are open (no-steal), so the
+    // closures' target is still the live memtable when a rollback runs.
+    std::shared_ptr<Memtable> mem = tree->active_memtable();
     OwnedEntry prev;
-    const bool had_prev = tree->memtable()->Get(key, &prev).ok();
-    Memtable* mem = tree->memtable();
+    const bool had_prev = mem->Get(key, &prev).ok();
     std::string k = key.ToString();
     if (had_prev) {
       MemEntry restore{prev.value, prev.ts, prev.antimatter};
@@ -134,11 +138,11 @@ Status Dataset::EagerUpsert(const TweetRecord& record, Timestamp ts,
 Status Dataset::ValidationUpsert(const TweetRecord& record, Timestamp ts,
                                  Transaction* txn, bool is_delete) {
   const std::string pk = record.primary_key();
-  // Memory-component optimization (§4.2): the memtable must be searched to
-  // place the new entry anyway, so an old record found there cleans the
-  // secondary indexes for free.
+  // Memory-component optimization (§4.2): the memory components must be
+  // searched to place the new entry anyway, so an old record found there
+  // (active or sealed) cleans the secondary indexes for free.
   OwnedEntry mem_old;
-  const bool mem_hit = primary_->memtable()->Get(pk, &mem_old).ok() &&
+  const bool mem_hit = primary_->GetFromMem(pk, &mem_old).ok() &&
                        !mem_old.antimatter;
   TweetRecord old_record;
   if (mem_hit) {
@@ -240,7 +244,7 @@ Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
   OwnedEntry mem_old;
   TweetRecord old_record;
   const bool mem_hit = old_in_mem &&
-                       primary_->memtable()->Get(pk, &mem_old).ok() &&
+                       primary_->GetFromMem(pk, &mem_old).ok() &&
                        !mem_old.antimatter &&
                        TweetRecord::Deserialize(mem_old.value, &old_record).ok();
 
@@ -362,6 +366,9 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
 }
 
 Status Dataset::CheckBudgetAndMaintain() {
+  // Writer-group pipeline: hand flush + merge to the background cycle
+  // instead of running them inline on the ingesting thread.
+  if (multi_writer()) return MaintainAsync();
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
   std::unique_lock<RwLatch> l(ingest_mu_);
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();

@@ -145,8 +145,15 @@ Status InstallPair(Dataset* ds, const std::vector<DiskComponentPtr>& old_p,
 }  // namespace
 
 Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
-                       BuildCcMethod method, ConcurrentMergeStats* stats) {
+                       BuildCcMethod method, ConcurrentMergeStats* stats,
+                       bool dataset_latched) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Acquires the dataset latch exclusively unless the caller already holds
+  // it (the latch is not reentrant).
+  auto drain_writers = [ds, dataset_latched]() {
+    return dataset_latched ? std::unique_lock<RwLatch>()
+                           : std::unique_lock<RwLatch>(ds->ingest_latch());
+  };
   auto old_p_all = ds->primary()->Components();
   auto old_k_all = ds->primary_key_index() != nullptr
                        ? ds->primary_key_index()->Components()
@@ -190,7 +197,7 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
       emitted++;
       AUXLSM_RETURN_NOT_OK(cursor.Next());
     }
-    std::unique_lock<RwLatch> install_lock(ds->ingest_latch());
+    auto install_lock = drain_writers();
     AUXLSM_RETURN_NOT_OK(InstallPair(ds, old_p, old_k, &dual, id, repaired,
                                      empty_overlay, 0,
                                      &stats->output_entries));
@@ -236,7 +243,7 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
     AUXLSM_RETURN_NOT_OK(builder_txn->Commit());
 
     // Drain in-flight writers, install, unlink.
-    std::unique_lock<RwLatch> install_lock(ds->ingest_latch());
+    auto install_lock = drain_writers();
     const uint64_t emitted =
         link->emitted_count.load(std::memory_order_acquire);
     AUXLSM_RETURN_NOT_OK(InstallPair(ds, old_p, old_k, &dual, id, repaired,
@@ -250,7 +257,7 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
     {
       // Initialization phase: drain ongoing operations, snapshot bitmaps,
       // publish the link.
-      std::unique_lock<RwLatch> init_lock(ds->ingest_latch());
+      auto init_lock = drain_writers();
       for (const auto& c : old_p) {
         snapshots.push_back(
             c->bitmap() == nullptr
@@ -279,7 +286,7 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
 
     // Catch-up phase: close the side-file under the dataset latch, sort it,
     // apply, install.
-    std::unique_lock<RwLatch> catchup_lock(ds->ingest_latch());
+    auto catchup_lock = drain_writers();
     {
       std::lock_guard<std::mutex> l(link->mu);
       link->side_file_closed = true;

@@ -68,8 +68,11 @@ struct ConcurrentMergeStats {
 /// Merges primary-index components [begin, end) (newest-first positions) and
 /// the matching primary-key-index components, concurrently with writers,
 /// using the given concurrency-control method. The dataset must use the
-/// Mutable-bitmap strategy.
+/// Mutable-bitmap strategy. `dataset_latched` means the caller already holds
+/// the dataset's exclusive ingest latch (writers drained, e.g. the pipeline's
+/// stop-the-world kNone merge); the internal latch acquisitions are skipped.
 Status ConcurrentMerge(Dataset* dataset, size_t begin, size_t end,
-                       BuildCcMethod method, ConcurrentMergeStats* stats);
+                       BuildCcMethod method, ConcurrentMergeStats* stats,
+                       bool dataset_latched = false);
 
 }  // namespace auxlsm

@@ -19,13 +19,14 @@ struct PendingKey {
   bool done = false;
 };
 
-// Searches the memtable for every pending key; marks hits done.
+// Searches the memory components (active + sealed) for every pending key;
+// marks hits done.
 void SearchMemtable(const LsmTree& tree, std::vector<PendingKey>& pending,
                     bool raw, std::vector<FetchedEntry>* out,
                     PointLookupStats* stats) {
   for (auto& p : pending) {
     OwnedEntry e;
-    if (!tree.memtable().Get(p.req->pk, &e).ok()) continue;
+    if (!tree.GetFromMem(p.req->pk, &e).ok()) continue;
     p.done = true;
     stats->found++;
     const bool alive = !e.antimatter;

@@ -24,8 +24,8 @@ Status SecondaryRangeScan(const SecondaryIndex& index, const Slice& lo_sk,
   // new component, so the reverse order could observe neither copy. The
   // duplicate-key resolution below picks the larger timestamp, which also
   // covers a write landing between the two snapshots.
-  const auto mem = index.tree->memtable()->SnapshotRange(lo, hi);
-  const Timestamp mem_min_ts = index.tree->memtable()->min_ts();
+  const auto mem = index.tree->MemSnapshotRange(lo, hi);
+  const Timestamp mem_min_ts = index.tree->MemMinTs();
 
   auto comps = index.tree->Components();
   MergeCursor::Options mo;

@@ -57,7 +57,7 @@ Status ReconcilingScan(const std::vector<DiskComponentPtr>& comps,
 
 Status Dataset::FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
                                   ScanResult* out) {
-  const auto mem = primary_->memtable()->Snapshot();  // before Components()
+  const auto mem = primary_->MemSnapshot();  // before Components()
   auto comps = primary_->Components();
   out->components_scanned = comps.size();
   uint64_t scanned = 0, matched = 0;
@@ -78,13 +78,9 @@ Status Dataset::FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
 
 Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
   // Memtable state before the component snapshot (flush-race ordering; see
-  // ReconcilingScan).
-  bool mem_overlaps = !primary_->memtable()->empty();
-  if (mem_overlaps && options_.maintain_range_filter &&
-      primary_->mem_range_filter()->has_value()) {
-    mem_overlaps = primary_->mem_range_filter()->Overlaps(lo, hi);
-  }
-  const auto mem = primary_->memtable()->Snapshot();
+  // ReconcilingScan). Covers active and sealed memory components.
+  const bool mem_overlaps = primary_->MemOverlaps(lo, hi);
+  const auto mem = primary_->MemSnapshot();
 
   auto comps = primary_->Components();
   auto overlaps = [&](const DiskComponentPtr& c) {
@@ -114,7 +110,7 @@ Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
     // allocation-free.
     std::unordered_map<std::string, Timestamp> mem_ts;
     std::unordered_set<std::string> superseded;
-    if (mem_overlaps && maintenance_ != nullptr) {
+    if (mem_overlaps && (maintenance_ != nullptr || multi_writer())) {
       for (const auto& e : mem) mem_ts[e.key] = e.ts;
     }
     for (const auto& c : comps) {

@@ -24,7 +24,9 @@
 //     BufferCache (each internally synchronized; the BufferCache is
 //     lock-striped into shards), and each LsmTree's components_ list
 //     (guarded by its components_mu_). Dataset-level counters (IngestStats)
-//     are only updated by the coordinating thread after tasks join.
+//     are relaxed atomics (common/stat_counter.h): they are bumped from
+//     concurrent writer threads and the background ingestion pipeline, not
+//     just the coordinating thread.
 //   - Waits use "helping": a thread blocked on task futures runs queued
 //     tasks itself, so nested fan-out (merge loop inside a task spawning
 //     partition scans) cannot deadlock the fixed-size pool.

@@ -9,18 +9,146 @@
 namespace auxlsm {
 
 LsmTree::LsmTree(Env* env, LsmTreeOptions options)
-    : env_(env), options_(std::move(options)) {
+    : env_(env),
+      options_(std::move(options)),
+      mem_(std::make_shared<Memtable>()) {
   if (options_.merge_policy == nullptr) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
 }
 
+std::shared_ptr<Memtable> LsmTree::ActiveMem() const {
+  std::lock_guard<std::mutex> l(mem_mu_);
+  return mem_;
+}
+
 void LsmTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
-  mem_.Put(key, value, ts, /*antimatter=*/false);
+  ActiveMem()->Put(key, value, ts, /*antimatter=*/false);
 }
 
 void LsmTree::PutAntimatter(const Slice& key, Timestamp ts) {
-  mem_.Put(key, Slice(), ts, /*antimatter=*/true);
+  ActiveMem()->Put(key, Slice(), ts, /*antimatter=*/true);
+}
+
+std::vector<std::shared_ptr<Memtable>> LsmTree::MemtableSet() const {
+  std::lock_guard<std::mutex> l(mem_mu_);
+  std::vector<std::shared_ptr<Memtable>> out;
+  out.reserve(1 + sealed_.size());
+  out.push_back(mem_);
+  for (auto it = sealed_.rbegin(); it != sealed_.rend(); ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+Status LsmTree::GetFromMem(const Slice& key, OwnedEntry* out) const {
+  // Fast path: no sealed memtables (always true on the serial path) — skip
+  // the set snapshot on the hot per-operation lookup.
+  std::shared_ptr<Memtable> active;
+  {
+    std::lock_guard<std::mutex> l(mem_mu_);
+    if (sealed_.empty()) active = mem_;
+  }
+  if (active != nullptr) return active->Get(key, out);
+  for (const auto& m : MemtableSet()) {
+    if (m->Get(key, out).ok()) return Status::OK();
+  }
+  return Status::NotFound();
+}
+
+namespace {
+
+/// Merges two ordered entry snapshots; on a duplicate key the entry with the
+/// larger timestamp wins (ties prefer `newer`, matching the reconciliation
+/// convention used by scans).
+std::vector<OwnedEntry> MergeSnapshots(std::vector<OwnedEntry> newer,
+                                       std::vector<OwnedEntry> older) {
+  if (older.empty()) return newer;
+  if (newer.empty()) return older;
+  std::vector<OwnedEntry> out;
+  out.reserve(newer.size() + older.size());
+  size_t ni = 0, oi = 0;
+  while (ni < newer.size() || oi < older.size()) {
+    int cmp;
+    if (ni >= newer.size()) {
+      cmp = 1;
+    } else if (oi >= older.size()) {
+      cmp = -1;
+    } else {
+      cmp = Slice(newer[ni].key).compare(Slice(older[oi].key));
+    }
+    if (cmp < 0) {
+      out.push_back(std::move(newer[ni++]));
+    } else if (cmp > 0) {
+      out.push_back(std::move(older[oi++]));
+    } else {
+      out.push_back(newer[ni].ts >= older[oi].ts ? std::move(newer[ni])
+                                                 : std::move(older[oi]));
+      ni++;
+      oi++;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<OwnedEntry> LsmTree::MemSnapshot() const {
+  auto mems = MemtableSet();
+  std::vector<OwnedEntry> out = mems.front()->Snapshot();
+  for (size_t i = 1; i < mems.size(); i++) {
+    out = MergeSnapshots(std::move(out), mems[i]->Snapshot());
+  }
+  return out;
+}
+
+std::vector<OwnedEntry> LsmTree::MemSnapshotRange(const Slice& lo,
+                                                  const Slice& hi) const {
+  auto mems = MemtableSet();
+  std::vector<OwnedEntry> out = mems.front()->SnapshotRange(lo, hi);
+  for (size_t i = 1; i < mems.size(); i++) {
+    out = MergeSnapshots(std::move(out), mems[i]->SnapshotRange(lo, hi));
+  }
+  return out;
+}
+
+size_t LsmTree::MemBytes() const {
+  // Per-ingest-op budget input; byte counters are atomics, so summing under
+  // mem_mu_ needs no set snapshot.
+  std::lock_guard<std::mutex> l(mem_mu_);
+  size_t total = mem_->ApproximateMemory();
+  for (const auto& m : sealed_) total += m->ApproximateMemory();
+  return total;
+}
+
+bool LsmTree::MemEmpty() const {
+  std::lock_guard<std::mutex> l(mem_mu_);
+  if (!mem_->empty()) return false;
+  for (const auto& m : sealed_) {
+    if (!m->empty()) return false;
+  }
+  return true;
+}
+
+Timestamp LsmTree::MemMinTs() const {
+  std::lock_guard<std::mutex> l(mem_mu_);
+  Timestamp min = mem_->min_ts();
+  for (const auto& m : sealed_) {
+    const Timestamp t = m->min_ts();
+    if (t != 0 && (min == 0 || t < min)) min = t;
+  }
+  return min;
+}
+
+bool LsmTree::MemOverlaps(uint64_t lo, uint64_t hi) const {
+  for (const auto& m : MemtableSet()) {
+    if (m->empty()) continue;
+    if (!options_.maintain_range_filter || !m->range_filter()->has_value()) {
+      return true;
+    }
+    if (m->range_filter()->Overlaps(lo, hi)) return true;
+  }
+  return false;
 }
 
 Status LsmTree::Get(const Slice& key, OwnedEntry* out,
@@ -37,7 +165,7 @@ Status LsmTree::GetRaw(const Slice& key, LookupResult* out,
   out->found = false;
   if (opts.search_memtable) {
     OwnedEntry e;
-    if (mem_.Get(key, &e).ok()) {
+    if (GetFromMem(key, &e).ok()) {
       out->found = true;
       out->entry = std::move(e);
       out->from_memtable = true;
@@ -111,10 +239,19 @@ Result<DiskComponentPtr> LsmTree::BuildComponent(
   return component;
 }
 
-Status LsmTree::Flush() {
-  if (mem_.empty()) return Status::OK();
-  const ComponentId id{mem_.min_ts(), mem_.max_ts()};
-  auto snapshot = mem_.Snapshot();
+std::shared_ptr<Memtable> LsmTree::SealMemtable() {
+  std::lock_guard<std::mutex> l(mem_mu_);
+  if (mem_->empty()) return nullptr;
+  std::shared_ptr<Memtable> sealed = mem_;
+  sealed_.push_back(sealed);
+  mem_ = std::make_shared<Memtable>();
+  return sealed;
+}
+
+Result<DiskComponentPtr> LsmTree::BuildFromSealed(
+    const std::shared_ptr<Memtable>& sealed) {
+  const ComponentId id{sealed->min_ts(), sealed->max_ts()};
+  auto snapshot = sealed->Snapshot();
   size_t i = 0;
   auto next = [&](OwnedEntry* e) {
     if (i >= snapshot.size()) return false;
@@ -126,15 +263,47 @@ Status LsmTree::Flush() {
   // The flushed component's range filter is the *memory component's* filter,
   // which strategies may have widened with old-record values (§3.1); the
   // entry-derived filter computed during the build can be too narrow.
-  if (options_.maintain_range_filter && mem_filter_.has_value()) {
-    component->set_range_filter(mem_filter_);
+  if (options_.maintain_range_filter && sealed->range_filter()->has_value()) {
+    component->set_range_filter(*sealed->range_filter());
   }
+  return component;
+}
+
+Status LsmTree::InstallFlushed(const std::shared_ptr<Memtable>& sealed,
+                               DiskComponentPtr component) {
+  std::lock_guard<std::mutex> ml(mem_mu_);
+  auto it = std::find(sealed_.begin(), sealed_.end(), sealed);
+  if (it == sealed_.end()) {
+    // The sealed memtable was already flushed by a competing path (e.g. an
+    // explicit FlushAll racing the background cycle); drop the duplicate
+    // build rather than installing the same entries twice.
+    component->MarkRetired();
+    return Status::OK();
+  }
+  // Publish the component before dropping the sealed memtable: a reader
+  // between the two steps sees the entry twice (reconciled by timestamp),
+  // never zero times. Lock order mem_mu_ -> components_mu_ (no other path
+  // nests them).
   {
-    std::lock_guard<std::mutex> l(components_mu_);
+    std::lock_guard<std::mutex> cl(components_mu_);
     components_.insert(components_.begin(), component);
   }
-  mem_.Clear();
-  mem_filter_.Reset();
+  sealed_.erase(it);
+  return Status::OK();
+}
+
+Status LsmTree::Flush() {
+  SealMemtable();
+  // Flush oldest-sealed first so the newest-first component order holds.
+  std::vector<std::shared_ptr<Memtable>> pending;
+  {
+    std::lock_guard<std::mutex> l(mem_mu_);
+    pending = sealed_;
+  }
+  for (const auto& m : pending) {
+    AUXLSM_ASSIGN_OR_RETURN(DiskComponentPtr component, BuildFromSealed(m));
+    AUXLSM_RETURN_NOT_OK(InstallFlushed(m, component));
+  }
   return Status::OK();
 }
 

@@ -1,7 +1,18 @@
-// A single LSM-tree index: one memory component plus a newest-first list of
-// immutable disk components (§2.1, Figure 1). A Dataset (core/dataset.h)
-// composes several LsmTrees — primary index, primary key index, secondary
-// indexes — that flush together.
+// A single LSM-tree index: one *active* memory component, zero or more
+// *sealed* memory components awaiting background flush, plus a newest-first
+// list of immutable disk components (§2.1, Figure 1). A Dataset
+// (core/dataset.h) composes several LsmTrees — primary index, primary key
+// index, secondary indexes — that flush together.
+//
+// Sealed memtables are the ingestion pipeline's handoff unit: sealing swaps
+// the active memtable for a fresh one under the dataset's exclusive ingest
+// latch (brief), and the background maintenance cycle builds the sealed
+// contents into a disk component without blocking writers. Readers reach
+// sealed entries through the Mem* helpers below, which search active-then-
+// sealed (newest first); a sealed memtable stays readable via shared_ptr
+// until its disk component is installed and the last reader drops it. In
+// the serial path (writer_threads == 1) a memtable is sealed and flushed in
+// one step under the latch, so there is never more than the active one.
 #pragma once
 
 #include <functional>
@@ -41,7 +52,7 @@ struct LsmTreeOptions {
 struct LookupResult {
   bool found = false;
   OwnedEntry entry;
-  bool from_memtable = false;
+  bool from_memtable = false;  ///< active or sealed memory component
   DiskComponentPtr component;  ///< null if from_memtable
   uint64_t ordinal = 0;        ///< position within the disk component
 };
@@ -65,17 +76,43 @@ class LsmTree {
   const std::string& name() const { return options_.name; }
 
   // --- Write path -----------------------------------------------------------
-  /// Adds (or blindly overwrites) an entry in the memory component.
+  /// Adds (or blindly overwrites) an entry in the active memory component.
   void Put(const Slice& key, const Slice& value, Timestamp ts);
   /// Adds an anti-matter entry for key (§2.1).
   void PutAntimatter(const Slice& key, Timestamp ts);
 
-  Memtable* memtable() { return &mem_; }
-  const Memtable& memtable() const { return mem_; }
+  /// The active memory component. The raw pointer is stable only while
+  /// sealing is excluded (callers hold the dataset's ingest latch); code
+  /// that outlives its latch hold (e.g. transaction undo closures) must keep
+  /// the shared_ptr from active_memtable() instead.
+  Memtable* memtable() { return ActiveMem().get(); }
+  std::shared_ptr<Memtable> active_memtable() const { return ActiveMem(); }
 
-  /// The memory component's range filter; maintained by the Dataset's
+  /// The active memory component's range filter; maintained by the Dataset's
   /// strategy code (its widening rules differ per strategy, §3.1/§4.2/§5.2).
-  RangeFilter* mem_range_filter() { return &mem_filter_; }
+  RangeFilter* mem_range_filter() { return ActiveMem()->range_filter(); }
+
+  // --- Memory-component reads (active + sealed, newest first) ---------------
+  /// All memory components, newest first (active, then sealed newest-first).
+  std::vector<std::shared_ptr<Memtable>> MemtableSet() const;
+
+  /// Searches every memory component, newest first; first hit wins.
+  Status GetFromMem(const Slice& key, OwnedEntry* out) const;
+
+  /// Ordered reconciled snapshot across all memory components (newest entry
+  /// wins per key, by timestamp).
+  std::vector<OwnedEntry> MemSnapshot() const;
+  std::vector<OwnedEntry> MemSnapshotRange(const Slice& lo,
+                                           const Slice& hi) const;
+
+  /// Total bytes across all memory components (flush-trigger input).
+  size_t MemBytes() const;
+  bool MemEmpty() const;
+  /// Minimum entry timestamp over non-empty memory components (0 if none).
+  Timestamp MemMinTs() const;
+  /// True if any non-empty memory component's range filter overlaps [lo, hi]
+  /// (a component without filter maintenance always overlaps).
+  bool MemOverlaps(uint64_t lo, uint64_t hi) const;
 
   // --- Point lookup ----------------------------------------------------------
   /// Reconciling lookup: the newest entry for key wins; anti-matter maps to
@@ -89,11 +126,28 @@ class LsmTree {
                 const GetOptions& opts = GetOptions()) const;
 
   // --- Flush & merge ----------------------------------------------------------
-  /// True if the memory component has entries to flush.
-  bool NeedsFlush() const { return !mem_.empty(); }
+  /// True if any memory component has entries to flush.
+  bool NeedsFlush() const { return !MemEmpty(); }
 
-  /// Flushes the memory component into a new disk component.
+  /// Flushes every memory component (sealed then active) into disk
+  /// components, inline. The serial path; callers quiesce writers.
   Status Flush();
+
+  /// Seals the active memtable: swaps in a fresh one and queues the old one
+  /// for flush. Returns the sealed memtable, or null if it was empty. The
+  /// caller must hold the dataset's exclusive ingest latch.
+  std::shared_ptr<Memtable> SealMemtable();
+
+  /// Builds (but does not install) a disk component from a sealed memtable.
+  /// Runs without any latch — writers proceed into the fresh active memtable.
+  Result<DiskComponentPtr> BuildFromSealed(
+      const std::shared_ptr<Memtable>& sealed);
+
+  /// Installs a component built from `sealed`: prepends it to the component
+  /// list, then retires the sealed memtable. The publish order (component
+  /// first) keeps every entry reachable by readers throughout.
+  Status InstallFlushed(const std::shared_ptr<Memtable>& sealed,
+                        DiskComponentPtr component);
 
   /// Consults the merge policy; runs at most one merge. Sets *merged.
   Status TryMerge(bool* merged);
@@ -157,10 +211,17 @@ class LsmTree {
   void set_merge_hook(MergeHook hook) { merge_hook_ = std::move(hook); }
 
  private:
+  std::shared_ptr<Memtable> ActiveMem() const;
+
   Env* const env_;
   LsmTreeOptions options_;
-  Memtable mem_;
-  RangeFilter mem_filter_;
+
+  // Guards mem_ / sealed_ membership only (contents are internally
+  // synchronized). Sealing swaps mem_ under the dataset's exclusive ingest
+  // latch; queries that hold no latch snapshot shared_ptrs under this mutex.
+  mutable std::mutex mem_mu_;
+  std::shared_ptr<Memtable> mem_;
+  std::vector<std::shared_ptr<Memtable>> sealed_;  // oldest first
 
   // Guards components_ only. Readers snapshot the vector under the lock and
   // work on shared_ptr copies; Flush / ReplaceComponents mutate the vector

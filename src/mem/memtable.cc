@@ -1,34 +1,45 @@
 #include "mem/memtable.h"
+
 #include <mutex>
 
 namespace auxlsm {
 
 void Memtable::Put(const Slice& key, const Slice& value, Timestamp ts,
                    bool antimatter) {
-  std::unique_lock<std::shared_mutex> l(mu_);
-  auto* existing = list_.Find(key.view());
-  if (existing != nullptr) {
-    bytes_ += value.size();
-    bytes_ -= existing->value.value.size();
-    existing->value = MemEntry{value.ToString(), ts, antimatter};
+  std::shared_lock<std::shared_mutex> l(mu_);
+  bool created = false;
+  size_t replaced_value_bytes = 0;
+  list_.InsertOrAssign(key.view(), MemEntry{value.ToString(), ts, antimatter},
+                       &created, [&](const MemEntry& old) {
+                         replaced_value_bytes = old.value.size();
+                       });
+  if (created) {
+    bytes_.fetch_add(key.size() + value.size() + 32,
+                     std::memory_order_relaxed);
   } else {
-    bool created = false;
-    list_.InsertOrAssign(key.view(), MemEntry{value.ToString(), ts, antimatter},
-                         &created);
-    bytes_ += key.size() + value.size() + 32;
+    // Unsigned wraparound makes this a correct signed delta.
+    bytes_.fetch_add(value.size() - replaced_value_bytes,
+                     std::memory_order_relaxed);
   }
-  if (min_ts_ == 0 || ts < min_ts_) min_ts_ = ts;
-  if (ts > max_ts_) max_ts_ = ts;
+  Timestamp cur = min_ts_.load(std::memory_order_relaxed);
+  while ((cur == 0 || ts < cur) &&
+         !min_ts_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
+  }
+  cur = max_ts_.load(std::memory_order_relaxed);
+  while (ts > cur &&
+         !max_ts_.compare_exchange_weak(cur, ts, std::memory_order_relaxed)) {
+  }
 }
 
 Status Memtable::Get(const Slice& key, OwnedEntry* out) const {
   std::shared_lock<std::shared_mutex> l(mu_);
-  const auto* node = list_.Find(key.view());
+  auto* node = list_.Find(key.view());
   if (node == nullptr) return Status::NotFound();
+  MemEntry e = SkipList<MemEntry>::ReadValue(node);
   out->key = node->key;
-  out->value = node->value.value;
-  out->ts = node->value.ts;
-  out->antimatter = node->value.antimatter;
+  out->value = std::move(e.value);
+  out->ts = e.ts;
+  out->antimatter = e.antimatter;
   return Status::OK();
 }
 
@@ -41,7 +52,8 @@ bool Memtable::EraseIfTs(const Slice& key, Timestamp ts) {
   std::unique_lock<std::shared_mutex> l(mu_);
   auto* node = list_.Find(key.view());
   if (node == nullptr || node->value.ts != ts) return false;
-  bytes_ -= key.size() + node->value.value.size() + 32;
+  bytes_.fetch_sub(key.size() + node->value.value.size() + 32,
+                   std::memory_order_relaxed);
   list_.Erase(key.view());
   return true;
 }
@@ -50,27 +62,24 @@ void Memtable::Restore(const Slice& key, const MemEntry& prev) {
   std::unique_lock<std::shared_mutex> l(mu_);
   bool created = false;
   list_.InsertOrAssign(key.view(), prev, &created);
-  if (created) bytes_ += key.size() + prev.value.size() + 32;
+  if (created) {
+    bytes_.fetch_add(key.size() + prev.value.size() + 32,
+                     std::memory_order_relaxed);
+  }
 }
 
-uint64_t Memtable::num_entries() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return list_.size();
-}
+uint64_t Memtable::num_entries() const { return list_.size(); }
 
 size_t Memtable::ApproximateMemory() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return bytes_;
+  return bytes_.load(std::memory_order_relaxed);
 }
 
 Timestamp Memtable::min_ts() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return min_ts_;
+  return min_ts_.load(std::memory_order_relaxed);
 }
 
 Timestamp Memtable::max_ts() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
-  return max_ts_;
+  return max_ts_.load(std::memory_order_relaxed);
 }
 
 std::vector<OwnedEntry> Memtable::Snapshot() const {
@@ -79,8 +88,9 @@ std::vector<OwnedEntry> Memtable::Snapshot() const {
   out.reserve(list_.size());
   for (auto* n = list_.First(); n != nullptr;
        n = SkipList<MemEntry>::Next(n)) {
-    out.push_back(OwnedEntry{n->key, n->value.value, n->value.ts,
-                             n->value.antimatter});
+    MemEntry e = SkipList<MemEntry>::ReadValue(n);
+    out.push_back(
+        OwnedEntry{n->key, std::move(e.value), e.ts, e.antimatter});
   }
   return out;
 }
@@ -92,8 +102,9 @@ std::vector<OwnedEntry> Memtable::SnapshotRange(const Slice& lo,
   auto* n = lo.empty() ? list_.First() : list_.LowerBound(lo.view());
   for (; n != nullptr; n = SkipList<MemEntry>::Next(n)) {
     if (!hi.empty() && Slice(n->key).compare(hi) > 0) break;
-    out.push_back(OwnedEntry{n->key, n->value.value, n->value.ts,
-                             n->value.antimatter});
+    MemEntry e = SkipList<MemEntry>::ReadValue(n);
+    out.push_back(
+        OwnedEntry{n->key, std::move(e.value), e.ts, e.antimatter});
   }
   return out;
 }
@@ -101,9 +112,10 @@ std::vector<OwnedEntry> Memtable::SnapshotRange(const Slice& lo,
 void Memtable::Clear() {
   std::unique_lock<std::shared_mutex> l(mu_);
   list_.Clear();
-  bytes_ = 0;
-  min_ts_ = 0;
-  max_ts_ = 0;
+  bytes_.store(0, std::memory_order_relaxed);
+  min_ts_.store(0, std::memory_order_relaxed);
+  max_ts_.store(0, std::memory_order_relaxed);
+  filter_.Reset();
 }
 
 }  // namespace auxlsm

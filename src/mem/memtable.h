@@ -3,13 +3,25 @@
 // shared memory budget fills (§2.2). Entries carry the ingestion timestamp
 // used by component IDs and by the Validation strategy.
 //
-// The ordered representation is a skiplist (mem/skiplist.h), the classic
-// LSM memory-component structure, guarded by a shared_mutex — ample for the
-// single-writer-per-dataset ingestion model of the paper's experiments
-// (§6.6's concurrent writers contend on disk-component bitmaps, not on the
-// memtable).
+// The ordered representation is a concurrent skiplist (mem/skiplist.h):
+// inserts of distinct keys are lock-free and reads never block on writers,
+// which is what the multi-writer ingestion pipeline needs (writers of the
+// *same* key are serialized by the dataset's record-level locks). The
+// memtable's latch is taken in shared mode by every read/write operation and
+// exclusively only by the quiesced-or-rollback paths (Clear / EraseIfTs /
+// Restore), which physically unlink nodes.
+//
+// A memtable that has been *sealed* by the ingestion pipeline (swapped out
+// for a fresh one, awaiting background flush) is immutable in practice and
+// stays readable: lookups hold it by shared_ptr, so its entries survive
+// until the flushed disk component replaces it and the last reader drops.
+//
+// The memtable also owns the memory component's creation-time range filter
+// (§3): the filter must be sealed and flushed together with the entries it
+// covers, so it lives here rather than on the tree.
 #pragma once
 
+#include <atomic>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -17,6 +29,7 @@
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "lsm/range_filter.h"
 #include "mem/skiplist.h"
 
 namespace auxlsm {
@@ -38,7 +51,8 @@ struct OwnedEntry {
 class Memtable {
  public:
   /// Inserts or replaces the entry for key. Newer writes to the same key
-  /// blindly override older ones (out-of-place update semantics).
+  /// blindly override older ones (out-of-place update semantics). Safe for
+  /// concurrent callers on distinct keys.
   void Put(const Slice& key, const Slice& value, Timestamp ts,
            bool antimatter);
 
@@ -63,6 +77,11 @@ class Memtable {
   Timestamp min_ts() const;
   Timestamp max_ts() const;
 
+  /// The memory component's range filter; widening rules are applied by the
+  /// dataset's strategy code (§3.1/§4.2/§5.2).
+  RangeFilter* range_filter() { return &filter_; }
+  const RangeFilter& range_filter() const { return filter_; }
+
   /// Ordered snapshot of all entries (flush input).
   std::vector<OwnedEntry> Snapshot() const;
 
@@ -73,11 +92,15 @@ class Memtable {
   void Clear();
 
  private:
+  // Shared by all read/write operations (the skiplist handles their mutual
+  // concurrency); exclusive only for structural unlinking (Clear/Erase/
+  // Restore), which must not run under concurrent traversals.
   mutable std::shared_mutex mu_;
   SkipList<MemEntry> list_;
-  size_t bytes_ = 0;
-  Timestamp min_ts_ = 0;
-  Timestamp max_ts_ = 0;
+  std::atomic<size_t> bytes_{0};
+  std::atomic<Timestamp> min_ts_{0};
+  std::atomic<Timestamp> max_ts_{0};
+  RangeFilter filter_;
 };
 
 }  // namespace auxlsm

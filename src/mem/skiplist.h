@@ -1,31 +1,59 @@
 // Ordered skiplist used as the memtable's internal representation (the
 // classic LSM memory-component structure; RocksDB uses the same shape).
 //
-// Single-writer / multi-reader is handled by the Memtable's latch; the list
-// itself is a plain (non-concurrent) skiplist with O(log n) expected search,
-// insert, and erase, plus ordered iteration and lower_bound — the operations
-// flush snapshots and range scans need.
+// Concurrency model (the multi-writer ingestion pipeline):
+//  - Inserts are lock-free: next pointers are atomics and new nodes are
+//    linked level by level with CAS, bottom level first — membership is
+//    decided by the level-0 link, upper levels are an index that concurrent
+//    searches tolerate being mid-construction (the RocksDB InlineSkipList
+//    approach).
+//  - Reads (Find / LowerBound / ordered traversal) run concurrently with
+//    inserts without locks; traversals acquire-load next pointers, and a
+//    node's key is immutable after it is published.
+//  - A node's *value* may be reassigned in place (out-of-place LSM updates
+//    blindly overwrite); assignment and value reads synchronize on a
+//    per-node spinlock (ReadValue / the InsertOrAssign replace path) so a
+//    reader never observes a torn value.
+//  - Erase and Clear physically unlink and free nodes; callers must exclude
+//    all concurrent access (the Memtable holds its latch exclusively there —
+//    both are rollback/quiesced-only paths).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/random.h"
 
 namespace auxlsm {
+
+/// Minimal test-and-set spinlock; guards per-node value assignment, which is
+/// a handful of pointer moves — never held across blocking work.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_;
+};
 
 template <typename Value>
 class SkipList {
  public:
   static constexpr int kMaxHeight = 16;
 
-  SkipList() : rng_(0x5ee7c0de), head_(NewNode("", kMaxHeight)) {}
+  SkipList() : head_(NewNode("", kMaxHeight)) {}
   ~SkipList() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next[0];
+      Node* next = n->next[0].load(std::memory_order_relaxed);
       DeleteNode(n);
       n = next;
     }
@@ -37,85 +65,147 @@ class SkipList {
     std::string key;
     Value value;
     int height;
-    Node* next[1];  // over-allocated to `height` entries
+    SpinLock value_lock;            // guards `value` reassignment/reads
+    std::atomic<Node*> next[1];     // over-allocated to `height` entries
+
+    void LockValue() { value_lock.lock(); }
+    void UnlockValue() { value_lock.unlock(); }
   };
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
-  /// Inserts key -> value, or assigns if the key exists. Returns the node
-  /// and whether a new node was created.
-  Node* InsertOrAssign(std::string_view key, Value value, bool* created) {
+  /// Inserts key -> value, or assigns if the key exists. Safe against
+  /// concurrent InsertOrAssign of *different* keys (same-key writers must be
+  /// serialized by the caller, as the dataset's record locks do; a lost
+  /// same-key race still degrades safely into the assign path). On replace,
+  /// `on_replace(old_value)` runs under the node's value lock before the
+  /// assignment (used for byte accounting). Returns the node and whether a
+  /// new node was created.
+  template <typename OnReplace>
+  Node* InsertOrAssign(std::string_view key, Value value, bool* created,
+                       OnReplace&& on_replace) {
     Node* prev[kMaxHeight];
-    Node* n = FindGreaterOrEqual(key, prev);
-    if (n != nullptr && n->key == key) {
-      n->value = std::move(value);
-      *created = false;
-      return n;
+    Node* succ[kMaxHeight];
+    Node* node = nullptr;
+    int height = 0;
+    while (true) {
+      Node* n = FindGreaterOrEqual(key, prev, succ);
+      if (n != nullptr && n->key == key) {
+        if (node != nullptr) DeleteNode(node);  // lost a same-key race
+        n->LockValue();
+        on_replace(n->value);
+        n->value = std::move(value);
+        n->UnlockValue();
+        *created = false;
+        return n;
+      }
+      if (node == nullptr) {
+        height = RandomHeight();
+        node = NewNode(key, height);
+      }
+      node->value = std::move(value);
+      node->next[0].store(succ[0], std::memory_order_relaxed);
+      Node* expected = succ[0];
+      // Release so the node's key/value are visible before it is reachable.
+      if (prev[0]->next[0].compare_exchange_strong(expected, node,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+        break;
+      }
+      value = std::move(node->value);  // retry; take the value back
     }
-    const int height = RandomHeight();
-    Node* node = NewNode(key, height);
-    node->value = std::move(value);
-    for (int level = 0; level < height; level++) {
-      node->next[level] = prev[level]->next[level];
-      prev[level]->next[level] = node;
+    for (int level = 1; level < height; level++) {
+      while (true) {
+        node->next[level].store(succ[level], std::memory_order_relaxed);
+        Node* expected = succ[level];
+        if (prev[level]->next[level].compare_exchange_strong(
+                expected, node, std::memory_order_release,
+                std::memory_order_relaxed)) {
+          break;
+        }
+        FindGreaterOrEqual(key, prev, succ);  // recompute this level's links
+      }
     }
-    size_++;
+    size_.fetch_add(1, std::memory_order_relaxed);
     *created = true;
     return node;
   }
 
+  Node* InsertOrAssign(std::string_view key, Value value, bool* created) {
+    return InsertOrAssign(key, std::move(value), created,
+                          [](const Value&) {});
+  }
+
   /// Returns the node for key, or nullptr.
   Node* Find(std::string_view key) const {
-    Node* n = FindGreaterOrEqual(key, nullptr);
+    Node* n = FindGreaterOrEqual(key, nullptr, nullptr);
     return (n != nullptr && n->key == key) ? n : nullptr;
   }
 
   /// First node with node->key >= key, or nullptr.
   Node* LowerBound(std::string_view key) const {
-    return FindGreaterOrEqual(key, nullptr);
+    return FindGreaterOrEqual(key, nullptr, nullptr);
   }
 
   /// First node in order, or nullptr.
-  Node* First() const { return head_->next[0]; }
+  Node* First() const { return head_->next[0].load(std::memory_order_acquire); }
 
   /// Successor (nullptr at the end).
-  static Node* Next(Node* n) { return n->next[0]; }
+  static Node* Next(Node* n) {
+    return n->next[0].load(std::memory_order_acquire);
+  }
 
-  /// Erases key; returns true if it was present.
+  /// Copy of a node's value, taken under its value lock (safe against a
+  /// concurrent same-key assignment).
+  static Value ReadValue(Node* n) {
+    n->LockValue();
+    Value v = n->value;
+    n->UnlockValue();
+    return v;
+  }
+
+  /// Erases key; returns true if it was present. Requires external exclusion
+  /// of all concurrent operations (rollback path).
   bool Erase(std::string_view key) {
     Node* prev[kMaxHeight];
-    Node* n = FindGreaterOrEqual(key, prev);
+    Node* n = FindGreaterOrEqual(key, prev, nullptr);
     if (n == nullptr || n->key != key) return false;
     for (int level = 0; level < n->height; level++) {
-      if (prev[level]->next[level] == n) {
-        prev[level]->next[level] = n->next[level];
+      if (prev[level]->next[level].load(std::memory_order_relaxed) == n) {
+        prev[level]->next[level].store(
+            n->next[level].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
       }
     }
     DeleteNode(n);
-    size_--;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
+  /// Requires external exclusion of all concurrent operations.
   void Clear() {
-    Node* n = head_->next[0];
+    Node* n = head_->next[0].load(std::memory_order_relaxed);
     while (n != nullptr) {
-      Node* next = n->next[0];
+      Node* next = n->next[0].load(std::memory_order_relaxed);
       DeleteNode(n);
       n = next;
     }
     for (int level = 0; level < kMaxHeight; level++) {
-      head_->next[level] = nullptr;
+      head_->next[level].store(nullptr, std::memory_order_relaxed);
     }
-    size_ = 0;
+    size_.store(0, std::memory_order_relaxed);
   }
 
  private:
   static Node* NewNode(std::string_view key, int height) {
     // Over-allocate the trailing next[] array.
-    void* mem = ::operator new(sizeof(Node) + sizeof(Node*) * (height - 1));
-    Node* n = new (mem) Node{std::string(key), Value{}, height, {nullptr}};
-    for (int level = 0; level < height; level++) n->next[level] = nullptr;
+    void* mem = ::operator new(sizeof(Node) +
+                               sizeof(std::atomic<Node*>) * (height - 1));
+    Node* n = new (mem) Node{std::string(key), Value{}, height, {}, {nullptr}};
+    for (int level = 1; level < height; level++) {
+      new (&n->next[level]) std::atomic<Node*>(nullptr);
+    }
     return n;
   }
   static void DeleteNode(Node* n) {
@@ -124,27 +214,36 @@ class SkipList {
   }
 
   int RandomHeight() {
+    // P(level promotion) = 1/4, as in LevelDB. Heights are structural only
+    // (no observable behavior depends on them), so a per-thread stream keeps
+    // concurrent inserts race-free without coordination.
+    static thread_local Random rng(0x5ee7c0de);
     int h = 1;
-    // P(level promotion) = 1/4, as in LevelDB.
-    while (h < kMaxHeight && (rng_.Next() & 3) == 0) h++;
+    while (h < kMaxHeight && (rng.Next() & 3) == 0) h++;
     return h;
   }
 
-  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const {
+  /// First node with key >= `key` (by level-0 membership). Fills prev/succ
+  /// per level when non-null. Safe against concurrent inserts.
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev,
+                           Node** succ) const {
     Node* x = head_;
+    Node* bottom = nullptr;
     for (int level = kMaxHeight - 1; level >= 0; level--) {
-      while (x->next[level] != nullptr &&
-             std::string_view(x->next[level]->key) < key) {
-        x = x->next[level];
+      Node* nxt = x->next[level].load(std::memory_order_acquire);
+      while (nxt != nullptr && std::string_view(nxt->key) < key) {
+        x = nxt;
+        nxt = x->next[level].load(std::memory_order_acquire);
       }
       if (prev != nullptr) prev[level] = x;
+      if (succ != nullptr) succ[level] = nxt;
+      if (level == 0) bottom = nxt;
     }
-    return x->next[0];
+    return bottom;
   }
 
-  Random rng_;
   Node* head_;
-  size_t size_ = 0;
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace auxlsm

@@ -13,15 +13,26 @@ Lsn Transaction::Log(LogRecord record) {
   return wal_->Append(std::move(record));
 }
 
+void Transaction::NoteClosed() {
+  if (mgr_ != nullptr) {
+    mgr_->active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
 Status Transaction::Commit() {
   if (state_ != State::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
+  // The commit record goes through the WAL's commit path: with group commit
+  // enabled the call returns once a leader has synced the batch containing
+  // it; on the serial path it is a plain append, exactly as before.
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
-  Log(std::move(commit));
+  commit.txn_id = id_;
+  wal_->AppendCommit(std::move(commit));
   undo_.clear();
   state_ = State::kCommitted;
+  NoteClosed();
   ReleaseLocks();
   return Status::OK();
 }
@@ -39,6 +50,7 @@ Status Transaction::Abort() {
   abort.type = LogRecordType::kAbort;
   Log(std::move(abort));
   state_ = State::kAborted;
+  NoteClosed();
   ReleaseLocks();
   return Status::OK();
 }

@@ -17,12 +17,15 @@
 
 namespace auxlsm {
 
+class TransactionManager;
+
 class Transaction {
  public:
   enum class State { kActive, kCommitted, kAborted };
 
-  Transaction(TxnId id, LockManager* locks, Wal* wal)
-      : id_(id), locks_(locks), wal_(wal) {}
+  Transaction(TxnId id, LockManager* locks, Wal* wal,
+              TransactionManager* mgr = nullptr)
+      : id_(id), locks_(locks), wal_(wal), mgr_(mgr) {}
   ~Transaction();
 
   TxnId id() const { return id_; }
@@ -45,10 +48,12 @@ class Transaction {
 
  private:
   void ReleaseLocks() { locks_->UnlockAll(id_); }
+  void NoteClosed();
 
   const TxnId id_;
   LockManager* const locks_;
   Wal* const wal_;
+  TransactionManager* const mgr_;
   State state_ = State::kActive;
   std::vector<std::function<void()>> undo_;
 };
@@ -59,17 +64,29 @@ class TransactionManager {
       : locks_(locks), wal_(wal) {}
 
   std::unique_ptr<Transaction> Begin() {
+    active_.fetch_add(1, std::memory_order_relaxed);
     return std::make_unique<Transaction>(
-        next_id_.fetch_add(1, std::memory_order_relaxed), locks_, wal_);
+        next_id_.fetch_add(1, std::memory_order_relaxed), locks_, wal_, this);
+  }
+
+  /// Transactions begun and not yet committed/aborted. The ingestion
+  /// pipeline checks this under the exclusive ingest latch (where in-flight
+  /// auto-commit transactions are drained) to keep the no-steal invariant:
+  /// memtables are never sealed for flush while an explicit transaction has
+  /// uncommitted effects in them.
+  int active_transactions() const {
+    return active_.load(std::memory_order_relaxed);
   }
 
   LockManager* locks() const { return locks_; }
   Wal* wal() const { return wal_; }
 
  private:
+  friend class Transaction;
   LockManager* const locks_;
   Wal* const wal_;
   std::atomic<TxnId> next_id_{1};
+  std::atomic<int> active_{0};
 };
 
 }  // namespace auxlsm

@@ -1,11 +1,16 @@
 #include "txn/wal.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace auxlsm {
 
-Lsn Wal::Append(LogRecord record) {
+void Wal::set_group_commit(bool on) {
   std::lock_guard<std::mutex> l(mu_);
+  group_commit_ = on;
+}
+
+Lsn Wal::AppendLocked(LogRecord record) {
   record.lsn = next_lsn_++;
   // Charge sequential log I/O one page at a time as bytes accumulate.
   bytes_since_page_ += record.Encode().size();
@@ -13,8 +18,50 @@ Lsn Wal::Append(LogRecord record) {
     disk_.ChargeWrite(1);
     bytes_since_page_ -= log_page_bytes_;
   }
+  tail_dirty_ = true;
+  wstats_.records++;
   const Lsn lsn = record.lsn;
   records_.push_back(std::move(record));
+  return lsn;
+}
+
+Lsn Wal::Append(LogRecord record) {
+  std::lock_guard<std::mutex> l(mu_);
+  return AppendLocked(std::move(record));
+}
+
+Lsn Wal::AppendCommit(LogRecord record) {
+  std::unique_lock<std::mutex> l(mu_);
+  const Lsn lsn = AppendLocked(std::move(record));
+  wstats_.commits++;
+  if (!group_commit_) {
+    // Legacy serial path: identical to Append (no modeled sync).
+    durable_lsn_ = lsn;
+    return lsn;
+  }
+  bool led = false;
+  while (durable_lsn_ < lsn) {
+    if (sync_in_progress_) {
+      cv_.wait(l);
+      continue;
+    }
+    // Become the leader: open a short commit window so concurrent commits
+    // can append into the batch, then sync everything with one flush.
+    led = true;
+    sync_in_progress_ = true;
+    l.unlock();
+    std::this_thread::yield();
+    l.lock();
+    if (tail_dirty_) {
+      disk_.ChargeWrite(1);  // the modeled fsync of the partial tail page
+      tail_dirty_ = false;
+    }
+    durable_lsn_ = next_lsn_ - 1;
+    wstats_.syncs++;
+    sync_in_progress_ = false;
+    cv_.notify_all();
+  }
+  if (!led) wstats_.batched_commits++;
   return lsn;
 }
 
@@ -39,6 +86,11 @@ void Wal::TruncateUpTo(Lsn up_to) {
                                   return r.lsn <= up_to;
                                 }),
                  records_.end());
+}
+
+WalStats Wal::wal_stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return wstats_;
 }
 
 size_t Wal::num_records() const {

@@ -3,10 +3,19 @@
 // write cost charged to its own DiskModel, so log I/O never perturbs the
 // storage disk's sequential/random accounting.
 //
+// Group commit (the multi-writer ingestion pipeline): with group commit
+// enabled, AppendCommit makes a commit record durable through a leader-based
+// protocol — one committer becomes the leader, opens a short commit window
+// so concurrent committers can append their records into the batch, then
+// syncs the whole batch with a single modeled log flush and wakes the group.
+// With group commit off (writer_threads == 1), AppendCommit is exactly
+// Append: no syncs are charged, bit-for-bit the legacy serial behavior.
+//
 // The log survives a simulated crash (tests drop the Dataset but keep the
 // Wal + Env), which is what recovery replays from.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -16,14 +25,29 @@
 
 namespace auxlsm {
 
+struct WalStats {
+  uint64_t records = 0;          ///< log records appended
+  uint64_t commits = 0;          ///< AppendCommit calls
+  uint64_t syncs = 0;            ///< modeled log-device flushes
+  uint64_t batched_commits = 0;  ///< commits made durable by another leader
+};
+
 class Wal {
  public:
   explicit Wal(DiskProfile profile = DiskProfile::Hdd(),
                size_t log_page_bytes = 4096)
       : disk_(profile), log_page_bytes_(log_page_bytes) {}
 
+  /// Enables leader-based group commit for AppendCommit (the dataset turns
+  /// this on when writer_threads > 1).
+  void set_group_commit(bool on);
+
   /// Appends a record, assigning it the next LSN (returned).
   Lsn Append(LogRecord record);
+
+  /// Appends a commit record and returns once it is durable. See the group
+  /// commit notes above.
+  Lsn AppendCommit(LogRecord record);
 
   /// Current tail LSN (last assigned); kInvalidLsn if empty.
   Lsn tail_lsn() const;
@@ -35,15 +59,25 @@ class Wal {
   void TruncateUpTo(Lsn up_to);
 
   IoStats stats() const { return disk_.stats(); }
+  WalStats wal_stats() const;
   size_t num_records() const;
 
  private:
+  Lsn AppendLocked(LogRecord record);
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   DiskModel disk_;
   const size_t log_page_bytes_;
   size_t bytes_since_page_ = 0;
   Lsn next_lsn_ = 1;
   std::vector<LogRecord> records_;
+
+  bool group_commit_ = false;
+  bool sync_in_progress_ = false;  ///< a leader's commit window is open
+  bool tail_dirty_ = false;        ///< appended bytes not yet synced
+  Lsn durable_lsn_ = 0;
+  WalStats wstats_;
 };
 
 }  // namespace auxlsm

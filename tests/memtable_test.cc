@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "mem/memtable.h"
 
 namespace auxlsm {
@@ -101,6 +106,44 @@ TEST(MemtableTest, MemoryAccountingGrowsAndClears) {
   EXPECT_EQ(m.ApproximateMemory(), 0u);
   EXPECT_EQ(m.num_entries(), 0u);
   EXPECT_EQ(m.min_ts(), 0u);
+}
+
+TEST(MemtableTest, ConcurrentPutAndGet) {
+  Memtable m;
+  const int kThreads = 4, kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      OwnedEntry e;
+      (void)m.Get("t0-00100", &e);
+      auto snap = m.SnapshotRange("t1-", "t1-99999");
+      for (size_t i = 1; i < snap.size(); i++) {
+        ASSERT_LT(snap[i - 1].key, snap[i].key);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&m, t]() {
+      for (int i = 0; i < kPerThread; i++) {
+        char key[16];
+        std::snprintf(key, sizeof(key), "t%d-%05d", t, i);
+        m.Put(key, "value", uint64_t(t * kPerThread + i + 1), false);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(m.num_entries(), uint64_t(kThreads * kPerThread));
+  auto snap = m.Snapshot();
+  ASSERT_EQ(snap.size(), size_t(kThreads * kPerThread));
+  for (size_t i = 1; i < snap.size(); i++) {
+    EXPECT_LT(snap[i - 1].key, snap[i].key);
+  }
+  EXPECT_GT(m.ApproximateMemory(), size_t(kThreads * kPerThread) * 10);
+  EXPECT_EQ(m.min_ts(), 1u);
+  EXPECT_EQ(m.max_ts(), uint64_t(kThreads * kPerThread));
 }
 
 }  // namespace

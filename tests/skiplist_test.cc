@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "mem/skiplist.h"
@@ -121,6 +125,74 @@ TEST(SkipListTest, RandomOpsMatchStdMap) {
     node = IntList::Next(node);
   }
   EXPECT_EQ(node, nullptr);
+}
+
+TEST(SkipListTest, ConcurrentInsertDisjointKeys) {
+  IntList list;
+  const int kThreads = 8, kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&list, t]() {
+      for (int i = 0; i < kPerThread; i++) {
+        char key[16];
+        std::snprintf(key, sizeof(key), "%03d-%05d", i % 997, t * kPerThread + i);
+        bool created = false;
+        list.InsertOrAssign(key, t, &created);
+        EXPECT_TRUE(created);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(list.size(), size_t(kThreads * kPerThread));
+  // Fully ordered and all present.
+  size_t count = 0;
+  std::string prev;
+  for (auto* n = list.First(); n != nullptr; n = IntList::Next(n)) {
+    if (count > 0) EXPECT_LT(prev, n->key);
+    prev = n->key;
+    count++;
+  }
+  EXPECT_EQ(count, size_t(kThreads * kPerThread));
+}
+
+TEST(SkipListTest, ConcurrentReadersDuringInserts) {
+  IntList list;
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t count = 0;
+      std::string prev;
+      for (auto* n = list.First(); n != nullptr; n = IntList::Next(n)) {
+        if (count > 0) ASSERT_LT(prev, n->key);  // always sorted mid-insert
+        prev = n->key;
+        count++;
+      }
+      (void)list.Find("00500");
+      (void)list.LowerBound("00250");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; t++) {
+    writers.emplace_back([&list, t]() {
+      for (int i = t; i < 8000; i += 4) {
+        char key[8];
+        std::snprintf(key, sizeof(key), "%05d", i);
+        bool created = false;
+        list.InsertOrAssign(key, i, &created);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(list.size(), 8000u);
+  for (int i = 0; i < 8000; i += 61) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "%05d", i);
+    auto* n = list.Find(key);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+  }
 }
 
 }  // namespace
