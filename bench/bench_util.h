@@ -5,9 +5,12 @@
 // where crossovers fall — is the reproduction target.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/dataset.h"
 #include "workload/driver.h"
@@ -26,6 +29,8 @@ class Stopwatch {
     t0_ = std::chrono::steady_clock::now();
     io0_ = env_->stats();
     wal_us0_ = wal_ ? wal_->stats().simulated_us : 0;
+    env_clocks0_ = env_->io()->QueueClocks();
+    wal_clocks0_ = wal_ ? wal_->io()->QueueClocks() : std::vector<double>{};
   }
 
   /// CPU-side elapsed seconds.
@@ -34,23 +39,49 @@ class Stopwatch {
                                          t0_)
         .count();
   }
-  /// Simulated disk seconds since Reset.
+  /// Simulated disk seconds since Reset: total device work, summed over
+  /// every queue of the storage (and log) device.
   double IoSeconds() const {
     double us = env_->stats().simulated_us - io0_.simulated_us;
     if (wal_ != nullptr) us += wal_->stats().simulated_us - wal_us0_;
     return us / 1e6;
   }
-  /// Total modeled time: CPU + simulated I/O.
+  /// Completed simulated seconds of the measured interval: per device, the
+  /// max over queues of each queue's clock advance since Reset (diffing the
+  /// aggregate critical_path_us would miss work on non-leading queues of a
+  /// warm engine). Equals IoSeconds on single-queue devices; below it when
+  /// concurrent maintenance spread I/O over queues.
+  double CriticalPathSeconds() const {
+    double us = IntervalCriticalPath(env_->io()->QueueClocks(), env_clocks0_);
+    if (wal_ != nullptr) {
+      us += IntervalCriticalPath(wal_->io()->QueueClocks(), wal_clocks0_);
+    }
+    return us / 1e6;
+  }
+  /// Total modeled time: CPU + simulated I/O (single-head convention kept
+  /// by the paper-figure series).
   double Seconds() const { return WallSeconds() + IoSeconds(); }
 
   IoStats IoDelta() const { return env_->stats() - io0_; }
 
  private:
+  static double IntervalCriticalPath(const std::vector<double>& now,
+                                     const std::vector<double>& base) {
+    double max_us = 0;
+    for (size_t q = 0; q < now.size(); q++) {
+      const double b = q < base.size() ? base[q] : 0;
+      max_us = std::max(max_us, now[q] - b);
+    }
+    return max_us;
+  }
+
   Env* env_;
   Wal* wal_;
   std::chrono::steady_clock::time_point t0_;
   IoStats io0_;
   double wal_us0_ = 0;
+  std::vector<double> env_clocks0_;
+  std::vector<double> wal_clocks0_;
 };
 
 inline void PrintHeader(const std::string& figure, const std::string& title) {
@@ -70,16 +101,53 @@ inline void PrintNote(const std::string& note) {
 /// Common scaled-down environment: 4 KiB pages, HDD cost model. Cache sized
 /// by the caller to mimic the paper's cache:data ratios. cache_shards > 1
 /// lock-stripes the buffer cache for runs with a parallel maintenance
-/// engine (serial runs keep 1 to stay bit-for-bit comparable).
+/// engine (serial runs keep 1 to stay bit-for-bit comparable). io_queues > 1
+/// models a multi-queue device (io/io_engine.h): maintenance spread over
+/// queues overlaps in *simulated* time; 1 is the legacy single head.
 inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false,
-                           size_t cache_shards = 1) {
+                           size_t cache_shards = 1,
+                           uint32_t io_queues = 1) {
   EnvOptions o;
   o.page_size = 4096;
   o.cache_pages = cache_mb * 1024 * 1024 / o.page_size;
   o.cache_shards = cache_shards;
   o.disk_profile = ssd ? DiskProfile::Ssd() : DiskProfile::Hdd();
+  o.io_queues = io_queues;
   o.scan_readahead_pages = 64;
   return o;
+}
+
+/// Parses the shared bench flags: --tiny shrinks op counts for the CI smoke
+/// job; --queues=N sets the multi-queue sections' device queue count (the
+/// serial baseline sections always run queues=1 regardless, which is what
+/// the smoke job's DIGEST parity check relies on).
+struct BenchFlags {
+  bool tiny = false;
+  uint32_t queues = 4;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags f;
+    for (int i = 1; i < argc; i++) {
+      const std::string a = argv[i];
+      if (a == "--tiny") {
+        f.tiny = true;
+      } else if (a.rfind("--queues=", 0) == 0) {
+        f.queues = uint32_t(std::max(1, std::atoi(a.c_str() + 9)));
+      }
+    }
+    return f;
+  }
+};
+
+/// Deterministic modeled-I/O digest line for the CI smoke job: covers only
+/// serial-path sections (maintenance_threads=1, writers=1, queues=1), whose
+/// simulated costs are bit-for-bit reproducible. The job diffs these lines
+/// across --queues=1 and --queues=4 runs; any difference means the
+/// multi-queue engine perturbed the legacy serial accounting.
+inline void PrintDigest(const std::string& section, double simulated_us,
+                        double critical_path_us) {
+  std::printf("DIGEST %-24s sim_us=%.3f crit_us=%.3f\n", section.c_str(),
+              simulated_us, critical_path_us);
 }
 
 /// A dataset prepared by upserting `base_records` fresh records and then

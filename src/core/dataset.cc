@@ -7,6 +7,7 @@
 #include "core/mutable_bitmap_build.h"
 #include "exec/maintenance.h"
 #include "format/key_codec.h"
+#include "io/io_engine.h"
 
 namespace auxlsm {
 
@@ -71,7 +72,7 @@ LsmTreeOptions Dataset::MakeTreeOptions(const std::string& name,
 Dataset::Dataset(Env* env, DatasetOptions options)
     : env_(env),
       options_(std::move(options)),
-      wal_(DiskProfile::Hdd()),
+      wal_(DeviceProfile::FromDisk(DiskProfile::Hdd(), options_.log_queues)),
       txns_(&locks_, &wal_) {
   const bool mb = options_.strategy == MaintenanceStrategy::kMutableBitmap;
   // The Mutable-bitmap strategy requires the primary index and the primary
@@ -105,6 +106,7 @@ Dataset::Dataset(Env* env, DatasetOptions options)
   mopts.partition_min_bytes = options_.merge_partition_min_bytes == 0
                                   ? UINT64_MAX
                                   : options_.merge_partition_min_bytes;
+  mopts.io = env_->io();  // queue affinity for fanned-out maintenance tasks
   auto scheduler = std::make_unique<MaintenanceScheduler>(mopts);
   // threads == 1 keeps the serial code paths untouched (no scheduler).
   if (scheduler->parallel()) maintenance_ = std::move(scheduler);
@@ -225,6 +227,9 @@ Status Dataset::MaintenanceCycle() {
     AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
   } else {
     for (size_t i = 0; i < sealed.size(); i++) {
+      // Inline build still spreads trees over device queues: modeled device
+      // concurrency does not require host concurrency (no-op on one queue).
+      IoQueueScope io_scope(env_->io(), uint32_t(i));
       AUXLSM_RETURN_NOT_OK(build_one(i));
     }
   }
@@ -260,25 +265,44 @@ Status Dataset::MaintenanceCycle() {
   return RunMerges();
 }
 
+void Dataset::RecordBitmapFixup(const std::string& pk, Timestamp ts) {
+  std::lock_guard<std::mutex> l(fixup_mu_);
+  pending_bitmap_fixups_.emplace_back(pk, ts);
+}
+
 Status Dataset::FixupFlushedBitmap() {
   // Deletes/upserts whose old version sat in a *sealed* memtable left only
   // anti-matter (or a newer version) in the active memtable; the flushed
   // component carries the old version as valid. Mark those entries invalid,
   // exactly as MutableBitmapUpsert would have had the component existed —
   // otherwise the §5 no-reconciliation scans would resurrect them.
+  //
+  // The superseding writes were recorded as they happened (the write found
+  // its old version in a sealed memtable — precisely the entries the flushed
+  // component now carries as valid), so only they pay a B-tree probe here,
+  // not every entry of the active memtable. Keys whose old version was on
+  // disk had their bit flipped directly at write time, and fresh inserts
+  // cannot supersede a live sealed entry (the uniqueness check rejects
+  // them), so nothing else can need a mark.
+  std::vector<std::pair<std::string, Timestamp>> pending;
+  {
+    std::lock_guard<std::mutex> l(fixup_mu_);
+    pending.swap(pending_bitmap_fixups_);
+  }
+  if (pending.empty()) return Status::OK();
   auto pcomps = primary_->Components();
   if (pcomps.empty()) return Status::OK();
   const DiskComponentPtr& front = pcomps.front();
   if (front->bitmap() == nullptr) return Status::OK();
-  for (const auto& e : primary_->memtable()->Snapshot()) {
+  for (const auto& [key, ts] : pending) {
     LeafEntry entry;
     std::string backing;
     uint64_t ordinal = 0;
-    Status st = front->tree().GetWithOrdinal(e.key, &entry, &backing,
+    Status st = front->tree().GetWithOrdinal(key, &entry, &backing,
                                              &ordinal);
     if (st.IsNotFound()) continue;
     AUXLSM_RETURN_NOT_OK(st);
-    if (!entry.antimatter && entry.ts < e.ts) front->bitmap()->Set(ordinal);
+    if (!entry.antimatter && entry.ts < ts) front->bitmap()->Set(ordinal);
   }
   return Status::OK();
 }
@@ -315,12 +339,29 @@ Status Dataset::FlushAllLocked() {
     }
     AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
   } else {
-    AUXLSM_RETURN_NOT_OK(flush_tree(primary_.get()));
-    AUXLSM_RETURN_NOT_OK(flush_tree(pk_index_.get()));
+    // Serial path: flushes run inline, but each tree still charges its own
+    // device queue so multi-queue profiles overlap them in simulated time
+    // (queue 0 for every tree on a single-queue device — the legacy costs).
+    size_t tree_no = 0;
+    auto flush_bound = [&](LsmTree* t) -> Status {
+      IoQueueScope io_scope(env_->io(), uint32_t(tree_no++));
+      return flush_tree(t);
+    };
+    AUXLSM_RETURN_NOT_OK(flush_bound(primary_.get()));
+    AUXLSM_RETURN_NOT_OK(flush_bound(pk_index_.get()));
     for (auto& s : secondaries_) {
-      AUXLSM_RETURN_NOT_OK(flush_tree(s->tree.get()));
-      AUXLSM_RETURN_NOT_OK(flush_tree(s->deleted_keys.get()));
+      AUXLSM_RETURN_NOT_OK(flush_bound(s->tree.get()));
+      AUXLSM_RETURN_NOT_OK(flush_bound(s->deleted_keys.get()));
     }
+  }
+  // A direct FlushAll flushed active and sealed memtables together, so any
+  // recorded seal-window supersessions now coexist with their newer versions
+  // as separate components reconciled by recency — exactly the pre-side-list
+  // behavior of this path. Drop the stale records (they could only ever
+  // no-op against later components, but each would waste a B-tree probe).
+  if (options_.strategy == MaintenanceStrategy::kMutableBitmap) {
+    std::lock_guard<std::mutex> fl(fixup_mu_);
+    pending_bitmap_fixups_.clear();
   }
   // Under the Mutable-bitmap strategy the primary and primary key index are
   // synchronized and share one validity bitmap per component (§5.1).

@@ -18,8 +18,10 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <thread>
+#include <utility>
 
 #include "common/rwlatch.h"
 #include <string>
@@ -96,6 +98,12 @@ struct DatasetOptions {
 
   bool enable_wal = true;
   uint32_t scan_readahead_pages = 32;  ///< scaled equivalent of the paper's 4 MB read-ahead (32 pages of 128 KB)
+
+  /// Queues of the dedicated log device (io/io_engine.h). 1 = the legacy
+  /// single-head log model. With more queues, group-commit syncs are charged
+  /// to the leader's bound log queue (bind committer threads with
+  /// IoQueueScope on wal()->io()) and overlap in modeled time.
+  uint32_t log_queues = 1;
 
   // --- Maintenance engine (exec/maintenance.h) ------------------------------
   /// Threads used to run the indexes' flushes and merges concurrently.
@@ -358,8 +366,14 @@ class Dataset {
   Status MaintenanceCycle();
   /// Mutable-bitmap only: marks entries of the freshly flushed primary
   /// component that are superseded by newer active-memtable writes (their
-  /// delete/upsert raced the sealed window). Caller holds the latch.
+  /// delete/upsert raced the sealed window). Caller holds the latch. The
+  /// superseding writes were recorded in pending_bitmap_fixups_ as they
+  /// happened (MutableBitmapUpsert found the old version in a *sealed*
+  /// memtable), so the fixup costs O(recorded deletes) B-tree probes rather
+  /// than O(|active memtable| log n) under the exclusive latch.
   Status FixupFlushedBitmap();
+  /// Records a seal-window superseding write for the next fixup.
+  void RecordBitmapFixup(const std::string& pk, Timestamp ts);
 
   // dataset.cc
   Status FlushAllLocked();
@@ -392,6 +406,13 @@ class Dataset {
   RwLatch ingest_mu_;
   IngestStats stats_;
   Lsn bitmap_checkpoint_lsn_ = kInvalidLsn;
+
+  // Seal-window delete side-list (Mutable-bitmap): writes that superseded an
+  // old version sitting in a sealed memtable, keyed (pk, ts). Appended under
+  // the shared ingest latch; drained by FixupFlushedBitmap under the
+  // exclusive latch at install time.
+  std::mutex fixup_mu_;
+  std::vector<std::pair<std::string, Timestamp>> pending_bitmap_fixups_;
 
   // Background maintenance cycle (writer_threads > 1). bg_active_ admits one
   // cycle at a time; bg_mu_ guards the thread handle and the sticky first

@@ -220,6 +220,15 @@ Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
   if (is_delete && !res.found) return Status::OK();
   if (is_delete && res.entry.antimatter) return Status::OK();
 
+  // Old version live in a *sealed* memtable: this write supersedes an entry
+  // that is being flushed right now and will surface as valid in the new
+  // component. Record it so the install-time bitmap fixup marks exactly
+  // these entries (O(recorded deletes) instead of scanning the whole active
+  // memtable under the exclusive latch). An old version in the *active*
+  // memtable needs nothing — both versions flush together and reconcile —
+  // and one on disk had its bit flipped directly below.
+  if (old_in_mem && res.from_sealed) RecordBitmapFixup(pk, ts);
+
   if (old_in_disk && res.component->bitmap() != nullptr) {
     // Mark the old version deleted directly in the disk component.
     const uint64_t ordinal = res.ordinal;

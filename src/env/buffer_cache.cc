@@ -12,9 +12,9 @@ inline uint64_t PageHash(uint32_t file_id, uint32_t page_no) {
 
 }  // namespace
 
-BufferCache::BufferCache(PageStore* store, DiskModel* disk,
+BufferCache::BufferCache(PageStore* store, IoEngine* io,
                          size_t capacity_pages, size_t shards)
-    : store_(store), disk_(disk), capacity_(capacity_pages) {
+    : store_(store), io_(io), capacity_(capacity_pages) {
   shards = std::max<size_t>(1, shards);
   // More shards than pages would leave zero-capacity stripes whose pages
   // could never be cached; clamp so every shard holds at least one page.
@@ -78,27 +78,27 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
   const Key k{file_id, page_no};
   const size_t cap = capacity_.load(std::memory_order_relaxed);
   if (cap == 0) {
-    disk_->OnCacheMiss();
+    io_->OnCacheMiss();
     AUXLSM_RETURN_NOT_OK(store_->ReadPage(file_id, page_no, out));
-    disk_->ChargeRead(file_id, page_no);
+    io_->ChargeRead(file_id, page_no);
     return Status::OK();
   }
   {
     // The shard lock is held across the miss fault, so two threads missing
-    // the same page serialize and only one charges the DiskModel (a page
-    // always hashes to one shard). PageStore and DiskModel never take cache
+    // the same page serialize and only one charges the IoEngine (a page
+    // always hashes to one shard). PageStore and IoEngine never take cache
     // locks, so no cycle.
     Shard& s = ShardOf(file_id, page_no);
     std::lock_guard<std::mutex> l(s.mu);
     if (LookupLocked(s, k, out)) {
       s.hits++;
-      disk_->OnCacheHit();
+      io_->OnCacheHit();
       return Status::OK();
     }
     s.misses++;
-    disk_->OnCacheMiss();
+    io_->OnCacheMiss();
     AUXLSM_RETURN_NOT_OK(store_->ReadPage(file_id, page_no, out));
-    disk_->ChargeRead(file_id, page_no);
+    io_->ChargeRead(file_id, page_no);
     InsertLocked(s, k, *out);
   }
   // Read-ahead: fault in following pages at sequential cost.
@@ -110,7 +110,7 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
     std::lock_guard<std::mutex> l(s.mu);
     if (LookupLocked(s, rk, &tmp)) continue;
     if (!store_->ReadPage(rk.file_id, rk.page_no, &tmp).ok()) break;
-    disk_->ChargeRead(rk.file_id, rk.page_no);
+    io_->ChargeRead(rk.file_id, rk.page_no);
     InsertLocked(s, rk, std::move(tmp));
   }
   return Status::OK();

@@ -1,9 +1,10 @@
 // Lock-striped LRU buffer cache over (file, page) with optional read-ahead.
 //
 // The cache is read-through: a miss faults the page in from the PageStore and
-// charges the DiskModel; read-ahead faults in the following pages of the same
-// file at sequential-transfer cost, modelling OS/disk read-ahead the paper
-// relies on for scans (4MB read-ahead in §6.1).
+// charges the IoEngine (on the faulting thread's device queue); read-ahead
+// faults in the following pages of the same file at sequential-transfer cost,
+// modelling OS/disk read-ahead the paper relies on for scans (4MB read-ahead
+// in §6.1).
 //
 // Concurrency: the cache is split into `shards` independent stripes, each
 // with its own mutex, LRU list, and page index, selected by a hash of
@@ -27,8 +28,8 @@
 #include <vector>
 
 #include "common/status.h"
-#include "env/disk_model.h"
 #include "env/page_store.h"
+#include "io/io_engine.h"
 
 namespace auxlsm {
 
@@ -43,7 +44,7 @@ class BufferCache {
  public:
   /// capacity_pages == 0 disables caching entirely. `shards` stripes the
   /// cache; the capacity is divided evenly across shards.
-  BufferCache(PageStore* store, DiskModel* disk, size_t capacity_pages,
+  BufferCache(PageStore* store, IoEngine* io, size_t capacity_pages,
               size_t shards = 1);
 
   /// Reads a page through the cache. readahead_pages > 0 additionally faults
@@ -98,7 +99,7 @@ class BufferCache {
   void EvictOverflowLocked(Shard& s);
 
   PageStore* const store_;
-  DiskModel* const disk_;
+  IoEngine* const io_;
   std::atomic<size_t> capacity_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

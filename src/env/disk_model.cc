@@ -28,7 +28,7 @@ DiskProfile DiskProfile::Null() {
   return p;
 }
 
-void DiskModel::ChargeRead(uint32_t file_id, uint32_t page_no) {
+double DiskModel::ChargeRead(uint32_t file_id, uint32_t page_no) {
   std::lock_guard<std::mutex> l(mu_);
   stats_.pages_read++;
   // One head: a read is cheap only relative to the immediately previous
@@ -61,12 +61,14 @@ void DiskModel::ChargeRead(uint32_t file_id, uint32_t page_no) {
   has_head_ = true;
   head_file_ = file_id;
   head_page_ = page_no;
+  return stats_.simulated_us;
 }
 
-void DiskModel::ChargeWrite(uint64_t n_pages) {
+double DiskModel::ChargeWrite(uint64_t n_pages) {
   std::lock_guard<std::mutex> l(mu_);
   stats_.pages_written += n_pages;
   stats_.simulated_us += profile_.write_transfer_us * double(n_pages);
+  return stats_.simulated_us;
 }
 
 void DiskModel::OnCacheHit() {
@@ -84,9 +86,18 @@ void DiskModel::ForgetFile(uint32_t file_id) {
   if (has_head_ && head_file_ == file_id) has_head_ = false;
 }
 
+bool DiskModel::HeadFile(uint32_t* file_id) const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (has_head_ && file_id != nullptr) *file_id = head_file_;
+  return has_head_;
+}
+
 IoStats DiskModel::stats() const {
   std::lock_guard<std::mutex> l(mu_);
-  return stats_;
+  IoStats s = stats_;
+  // A bare DiskModel is one queue: its busy time is its critical path.
+  s.critical_path_us = s.simulated_us;
+  return s;
 }
 
 }  // namespace auxlsm

@@ -42,8 +42,21 @@ struct IoStats {
   uint64_t pages_written = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Total device work: the sum of every queue's busy time.
   double simulated_us = 0;
+  /// Completed simulated time: the max over device queues' virtual clocks
+  /// (io/io_engine.h). Work charged to different queues overlaps in modeled
+  /// time, so this is what a multi-queue device actually takes end-to-end.
+  /// On a single-queue device (and on a bare DiskModel) it equals
+  /// simulated_us.
+  double critical_path_us = 0;
 
+  /// Field-wise difference of two cumulative snapshots. Caveat: the
+  /// critical_path_us difference is a clock delta of the leading queue, not
+  /// the interval's own critical path — work landing on a non-leading queue
+  /// does not advance it. Interval measurements on multi-queue engines
+  /// should diff IoEngine::QueueClocks() per queue and take the max delta
+  /// (as bench::Stopwatch does).
   IoStats operator-(const IoStats& b) const {
     IoStats r;
     r.pages_read = pages_read - b.pages_read;
@@ -53,6 +66,7 @@ struct IoStats {
     r.cache_hits = cache_hits - b.cache_hits;
     r.cache_misses = cache_misses - b.cache_misses;
     r.simulated_us = simulated_us - b.simulated_us;
+    r.critical_path_us = critical_path_us - b.critical_path_us;
     return r;
   }
 };
@@ -66,17 +80,22 @@ class DiskModel {
   /// Charges one page read of (file_id, page_no); priced against the head
   /// position left by the previous read (same page / next page = transfer
   /// only; short forward skip in the same file = rotation over the gap,
-  /// capped by a seek; otherwise a full seek).
-  void ChargeRead(uint32_t file_id, uint32_t page_no);
+  /// capped by a seek; otherwise a full seek). Returns the head's virtual
+  /// clock (cumulative simulated_us) after the charge.
+  double ChargeRead(uint32_t file_id, uint32_t page_no);
 
-  /// Charges n sequentially written pages.
-  void ChargeWrite(uint64_t n_pages);
+  /// Charges n sequentially written pages; returns the post-charge clock.
+  double ChargeWrite(uint64_t n_pages);
 
   void OnCacheHit();
   void OnCacheMiss();
 
   /// Forgets read heads (e.g. when a file is deleted).
   void ForgetFile(uint32_t file_id);
+
+  /// True if the head currently rests on a file; *file_id receives it.
+  /// Retired-component sweeps assert no head is left on a deleted file.
+  bool HeadFile(uint32_t* file_id) const;
 
   IoStats stats() const;
   const DiskProfile& profile() const { return profile_; }

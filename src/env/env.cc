@@ -15,12 +15,12 @@ size_t ResolveCacheShards(const EnvOptions& o) {
 Env::Env(EnvOptions options)
     : options_(options),
       store_(options.page_size),
-      disk_(options.disk_profile),
-      cache_(&store_, &disk_, options.cache_pages, ResolveCacheShards(options)) {}
+      io_(options.ResolvedDevice()),
+      cache_(&store_, &io_, options.cache_pages, ResolveCacheShards(options)) {}
 
 Status Env::DeleteFile(uint32_t file_id) {
   cache_.Evict(file_id);
-  disk_.ForgetFile(file_id);
+  io_.ForgetFile(file_id);
   return store_.DeleteFile(file_id);
 }
 

@@ -1,12 +1,17 @@
-// Env bundles the simulated storage stack: page store, disk model, buffer
-// cache. Every index component does its I/O through an Env.
+// Env bundles the simulated storage stack: page store, multi-queue I/O
+// engine, buffer cache. Every index component does its I/O through an Env;
+// the engine prices each page access on one device queue's virtual clock
+// (io/io_engine.h), so concurrent maintenance bound to different queues
+// overlaps in simulated time on multi-queue device profiles.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "env/buffer_cache.h"
 #include "env/disk_model.h"
 #include "env/page_store.h"
+#include "io/io_engine.h"
 
 namespace auxlsm {
 
@@ -19,7 +24,21 @@ struct EnvOptions {
   /// the legacy behavior — deterministic-I/O benches and tests pin this.
   size_t cache_shards = 0;
   uint32_t scan_readahead_pages = 32;///< read-ahead used by range scans
+  /// Legacy single-head cost parameters; the device defaults to one queue of
+  /// this profile, which reproduces the old DiskModel charging bit-for-bit.
   DiskProfile disk_profile = DiskProfile::Hdd();
+  /// Number of independent device queues for disk_profile (1 = legacy).
+  uint32_t io_queues = 1;
+  /// Full device profile; when set it wins over disk_profile/io_queues
+  /// (e.g. DeviceProfile::Nvme(4) for the multi-queue benches).
+  std::optional<DeviceProfile> device_profile;
+
+  /// The device the engine is built from.
+  DeviceProfile ResolvedDevice() const {
+    return device_profile.has_value()
+               ? *device_profile
+               : DeviceProfile::FromDisk(disk_profile, io_queues);
+  }
 };
 
 class Env {
@@ -27,21 +46,22 @@ class Env {
   explicit Env(EnvOptions options = EnvOptions());
 
   PageStore* store() { return &store_; }
-  DiskModel* disk() { return &disk_; }
+  IoEngine* io() { return &io_; }
   BufferCache* cache() { return &cache_; }
 
   size_t page_size() const { return store_.page_size(); }
   uint32_t scan_readahead_pages() const { return options_.scan_readahead_pages; }
 
-  IoStats stats() const { return disk_.stats(); }
+  IoStats stats() const { return io_.stats(); }
 
   /// Creates a new append-only page file.
   uint32_t CreateFile() { return store_.CreateFile(); }
 
-  /// Appends a page, charging a sequential write.
+  /// Appends a page, charging a sequential write to the calling thread's
+  /// device queue.
   Status AppendPage(uint32_t file_id, std::string page, uint32_t* page_no) {
     AUXLSM_RETURN_NOT_OK(store_.AppendPage(file_id, std::move(page), page_no));
-    disk_.ChargeWrite(1);
+    io_.ChargeWrite(1);
     return Status::OK();
   }
 
@@ -51,7 +71,8 @@ class Env {
     return cache_.Read(file_id, page_no, out, readahead_pages);
   }
 
-  /// Deletes a file and evicts its cached pages.
+  /// Deletes a file, evicts its cached pages, and sweeps every device
+  /// queue's head position off it.
   Status DeleteFile(uint32_t file_id);
 
   const EnvOptions& options() const { return options_; }
@@ -59,7 +80,7 @@ class Env {
  private:
   EnvOptions options_;
   PageStore store_;
-  DiskModel disk_;
+  IoEngine io_;
   BufferCache cache_;
 };
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "io/io_engine.h"
 
 namespace auxlsm {
 
@@ -52,6 +53,21 @@ Status MaintenanceScheduler::WaitAll(
 Status MaintenanceScheduler::RunAll(
     std::vector<std::function<Status()>>&& tasks) {
   if (tasks.empty()) return Status::OK();
+  // Queue affinity: task i's I/O is charged to device queue (i % queues).
+  // Binding travels with the task (not the worker), so the mapping is
+  // deterministic under helping/stealing, and it applies on the inline
+  // serial path too — simulated device concurrency is independent of host
+  // concurrency. With a single-queue engine this is a no-op.
+  IoEngine* io = options_.io;
+  const bool bind = io != nullptr && io->num_queues() > 1 && tasks.size() > 1;
+  if (bind) {
+    for (size_t i = 0; i < tasks.size(); i++) {
+      tasks[i] = [io, i, task = std::move(tasks[i])]() {
+        IoQueueScope scope(io, uint32_t(i));
+        return task();
+      };
+    }
+  }
   if (!parallel() || tasks.size() == 1) {
     Status first_error;
     for (auto& t : tasks) {

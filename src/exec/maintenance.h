@@ -20,13 +20,23 @@
 //     partitions (MergeCursor lower/upper bounds); the partitions are
 //     scanned in parallel and the outputs stitched into one component by
 //     LsmTree::MergeFromStream.
-//   - Shared state touched from tasks: Env's PageStore / DiskModel /
+//   - Shared state touched from tasks: Env's PageStore / IoEngine /
 //     BufferCache (each internally synchronized; the BufferCache is
 //     lock-striped into shards), and each LsmTree's components_ list
 //     (guarded by its components_mu_). Dataset-level counters (IngestStats)
 //     are relaxed atomics (common/stat_counter.h): they are bumped from
 //     concurrent writer threads and the background ingestion pipeline, not
 //     just the coordinating thread.
+//   - Queue affinity: when MaintenanceOptions::io names a multi-queue
+//     IoEngine, RunAll binds task i to device queue (i % queues) for the
+//     task's duration (IoQueueScope), so fanned-out flushes and partitioned
+//     merge scans charge independent queue clocks and genuinely overlap in
+//     *simulated* time, not just wall-clock. The mapping is by task index,
+//     not worker thread, so it is deterministic under work stealing and
+//     "helping", and it applies on the serial inline path too (modeled
+//     device concurrency does not require host concurrency). With a
+//     single-queue engine every binding resolves to queue 0 — bit-for-bit
+//     the legacy single-head charging.
 //   - Waits use "helping": a thread blocked on task futures runs queued
 //     tasks itself, so nested fan-out (merge loop inside a task spawning
 //     partition scans) cannot deadlock the fixed-size pool.
@@ -44,6 +54,7 @@
 namespace auxlsm {
 
 class ThreadPool;
+class IoEngine;
 
 struct MaintenanceOptions {
   /// Worker threads. 0 = one per hardware thread; 1 = no pool (every
@@ -56,6 +67,10 @@ struct MaintenanceOptions {
   /// Only merges of at least this many input bytes are partitioned (small
   /// merges are dominated by setup cost).
   uint64_t partition_min_bytes = 8u << 20;
+  /// Device engine for queue affinity: RunAll binds task i to device queue
+  /// (i % queues). Null or single-queue = every task charges queue 0, the
+  /// legacy single-head accounting.
+  IoEngine* io = nullptr;
 };
 
 class MaintenanceScheduler {

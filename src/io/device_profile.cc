@@ -1,0 +1,46 @@
+#include "io/device_profile.h"
+
+#include <algorithm>
+
+namespace auxlsm {
+
+DeviceProfile DeviceProfile::FromDisk(DiskProfile p, uint32_t queues) {
+  DeviceProfile d;
+  d.name = p.name + (queues > 1 ? "x" + std::to_string(queues) : "");
+  d.queue_profile = std::move(p);
+  d.queues = std::max<uint32_t>(1, queues);
+  return d;
+}
+
+DeviceProfile DeviceProfile::Hdd() {
+  DeviceProfile d = FromDisk(DiskProfile::Hdd(), 1);
+  d.name = "hdd";
+  return d;
+}
+
+DeviceProfile DeviceProfile::SataSsd(uint32_t queues) {
+  DeviceProfile d = FromDisk(DiskProfile::Ssd(), queues);
+  d.name = "sata-ssd";
+  return d;
+}
+
+DeviceProfile DeviceProfile::Nvme(uint32_t queues) {
+  // 4KiB pages: ~20us random read, ~2GB/s streaming reads, ~1.5GB/s writes
+  // per queue.
+  DiskProfile p;
+  p.seek_us = 20;
+  p.read_transfer_us = 2;
+  p.write_transfer_us = 3;
+  p.name = "nvme";
+  DeviceProfile d = FromDisk(std::move(p), queues);
+  d.name = "nvme";
+  return d;
+}
+
+DeviceProfile DeviceProfile::Null() {
+  DeviceProfile d = FromDisk(DiskProfile::Null(), 1);
+  d.name = "null";
+  return d;
+}
+
+}  // namespace auxlsm

@@ -1,0 +1,46 @@
+// Device profiles for the multi-queue simulated I/O subsystem (io/io_engine.h).
+//
+// DiskProfile (env/disk_model.h) describes the cost parameters of ONE disk
+// head. A DeviceProfile extends that with the device's queue topology: how
+// many independent submission queues the device exposes, each with its own
+// head position and per-queue bandwidth. An HDD has a single arm, so it is a
+// one-queue device; a SATA SSD exposes a small NCQ depth; NVMe exposes many
+// deep submission queues whose requests genuinely proceed in parallel.
+//
+// The queue count is what lets concurrent maintenance shorten *simulated*
+// time, not just wall-clock: the IoEngine charges each request to one queue's
+// virtual clock and reports the completed time of a parallel phase as the max
+// over queues (the critical path) instead of the sum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/disk_model.h"
+
+namespace auxlsm {
+
+struct DeviceProfile {
+  /// Cost parameters of each queue's head (seek/transfer, microseconds).
+  DiskProfile queue_profile;
+  /// Independent submission queues. 1 reproduces the legacy single-head
+  /// DiskModel bit-for-bit.
+  uint32_t queues = 1;
+  std::string name;
+
+  /// Wraps a legacy DiskProfile as an n-queue device (n defaults to 1, the
+  /// exact legacy behavior).
+  static DeviceProfile FromDisk(DiskProfile p, uint32_t queues = 1);
+
+  /// 7200rpm SATA HDD: one arm, one queue.
+  static DeviceProfile Hdd();
+  /// SATA SSD with a small native-command-queue depth.
+  static DeviceProfile SataSsd(uint32_t queues = 4);
+  /// NVMe SSD: many independent submission queues, lower per-request
+  /// latency and higher per-queue bandwidth than SATA.
+  static DeviceProfile Nvme(uint32_t queues = 8);
+  /// Zero-cost device (pure CPU measurements).
+  static DeviceProfile Null();
+};
+
+}  // namespace auxlsm

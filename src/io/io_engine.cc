@@ -1,0 +1,126 @@
+#include "io/io_engine.h"
+
+#include <algorithm>
+
+namespace auxlsm {
+
+IoEngine::IoEngine(DeviceProfile profile) : profile_(std::move(profile)) {
+  const uint32_t n = std::max<uint32_t>(1, profile_.queues);
+  queues_.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    queues_.push_back(std::make_unique<DiskModel>(profile_.queue_profile));
+  }
+}
+
+std::vector<std::pair<const IoEngine*, uint32_t>>& IoEngine::TlsBindings() {
+  static thread_local std::vector<std::pair<const IoEngine*, uint32_t>>
+      bindings;
+  return bindings;
+}
+
+uint32_t IoEngine::BoundQueue() const {
+  const auto& bindings = TlsBindings();
+  for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  return 0;
+}
+
+uint32_t IoEngine::ResolveQueue(int32_t requested) const {
+  // The one place the queue-selection rule lives: an explicit request wins,
+  // otherwise the thread's binding, and out-of-range ids wrap.
+  const uint32_t q = requested == IoRequest::kAnyQueue ? BoundQueue()
+                                                       : uint32_t(requested);
+  return q % num_queues();
+}
+
+IoTicket IoEngine::Submit(const IoRequest& req) {
+  IoTicket t;
+  t.queue = ResolveQueue(req.queue);
+  DiskModel& model = *queues_[t.queue];
+  t.complete_us = req.op == IoRequest::Op::kRead
+                      ? model.ChargeRead(req.file_id, req.page_no)
+                      : model.ChargeWrite(req.n_pages);
+  return t;
+}
+
+void IoEngine::OnCacheHit() {
+  queues_[ResolveQueue(IoRequest::kAnyQueue)]->OnCacheHit();
+}
+
+void IoEngine::OnCacheMiss() {
+  queues_[ResolveQueue(IoRequest::kAnyQueue)]->OnCacheMiss();
+}
+
+void IoEngine::ForgetFile(uint32_t file_id) {
+  for (auto& q : queues_) q->ForgetFile(file_id);
+}
+
+std::vector<uint32_t> IoEngine::HeadFiles() const {
+  std::vector<uint32_t> files;
+  for (const auto& q : queues_) {
+    uint32_t f = 0;
+    if (q->HeadFile(&f) &&
+        std::find(files.begin(), files.end(), f) == files.end()) {
+      files.push_back(f);
+    }
+  }
+  return files;
+}
+
+IoStats IoEngine::stats() const {
+  IoStats total;
+  for (const auto& q : queues_) {
+    const IoStats s = q->stats();
+    total.pages_read += s.pages_read;
+    total.random_reads += s.random_reads;
+    total.sequential_reads += s.sequential_reads;
+    total.pages_written += s.pages_written;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.simulated_us += s.simulated_us;
+    total.critical_path_us = std::max(total.critical_path_us, s.simulated_us);
+  }
+  return total;
+}
+
+IoStats IoEngine::queue_stats(uint32_t queue) const {
+  return queues_[queue % queues_.size()]->stats();
+}
+
+double IoEngine::critical_path_us() const {
+  double max_us = 0;
+  for (const auto& q : queues_) {
+    max_us = std::max(max_us, q->stats().simulated_us);
+  }
+  return max_us;
+}
+
+std::vector<double> IoEngine::QueueClocks() const {
+  std::vector<double> clocks;
+  clocks.reserve(queues_.size());
+  for (const auto& q : queues_) clocks.push_back(q->stats().simulated_us);
+  return clocks;
+}
+
+IoQueueScope::IoQueueScope(IoEngine* engine, uint32_t queue)
+    : engine_(engine) {
+  if (engine_ == nullptr) return;
+  IoEngine::TlsBindings().emplace_back(engine_,
+                                       queue % engine_->num_queues());
+}
+
+IoQueueScope::~IoQueueScope() {
+  if (engine_ == nullptr) return;
+  auto& bindings = IoEngine::TlsBindings();
+  // Scopes are strictly nested per thread, so ours is the innermost binding
+  // for this engine; erase from the back.
+  for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+    if (it->first == engine_) {
+      bindings.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace auxlsm

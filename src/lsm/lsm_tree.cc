@@ -41,7 +41,9 @@ std::vector<std::shared_ptr<Memtable>> LsmTree::MemtableSet() const {
   return out;
 }
 
-Status LsmTree::GetFromMem(const Slice& key, OwnedEntry* out) const {
+Status LsmTree::GetFromMem(const Slice& key, OwnedEntry* out,
+                           bool* from_sealed) const {
+  if (from_sealed != nullptr) *from_sealed = false;
   // Fast path: no sealed memtables (always true on the serial path) — skip
   // the set snapshot on the hot per-operation lookup.
   std::shared_ptr<Memtable> active;
@@ -50,8 +52,11 @@ Status LsmTree::GetFromMem(const Slice& key, OwnedEntry* out) const {
     if (sealed_.empty()) active = mem_;
   }
   if (active != nullptr) return active->Get(key, out);
-  for (const auto& m : MemtableSet()) {
-    if (m->Get(key, out).ok()) return Status::OK();
+  const auto mems = MemtableSet();  // active first, then sealed newest-first
+  for (size_t i = 0; i < mems.size(); i++) {
+    if (!mems[i]->Get(key, out).ok()) continue;
+    if (from_sealed != nullptr) *from_sealed = i > 0;
+    return Status::OK();
   }
   return Status::NotFound();
 }
@@ -165,10 +170,12 @@ Status LsmTree::GetRaw(const Slice& key, LookupResult* out,
   out->found = false;
   if (opts.search_memtable) {
     OwnedEntry e;
-    if (GetFromMem(key, &e).ok()) {
+    bool from_sealed = false;
+    if (GetFromMem(key, &e, &from_sealed).ok()) {
       out->found = true;
       out->entry = std::move(e);
       out->from_memtable = true;
+      out->from_sealed = from_sealed;
       out->component = nullptr;
       return Status::OK();
     }
@@ -193,6 +200,7 @@ Status LsmTree::GetRaw(const Slice& key, LookupResult* out,
     out->entry.ts = entry.ts;
     out->entry.antimatter = entry.antimatter;
     out->from_memtable = false;
+    out->from_sealed = false;
     out->component = c;
     out->ordinal = ordinal;
     return Status::OK();

@@ -53,6 +53,10 @@ struct LookupResult {
   bool found = false;
   OwnedEntry entry;
   bool from_memtable = false;  ///< active or sealed memory component
+  /// The hit came from a *sealed* memory component (implies from_memtable).
+  /// The Mutable-bitmap strategy records such superseding writes in a
+  /// side-list so the install-time bitmap fixup is O(recorded deletes).
+  bool from_sealed = false;
   DiskComponentPtr component;  ///< null if from_memtable
   uint64_t ordinal = 0;        ///< position within the disk component
 };
@@ -96,8 +100,11 @@ class LsmTree {
   /// All memory components, newest first (active, then sealed newest-first).
   std::vector<std::shared_ptr<Memtable>> MemtableSet() const;
 
-  /// Searches every memory component, newest first; first hit wins.
-  Status GetFromMem(const Slice& key, OwnedEntry* out) const;
+  /// Searches every memory component, newest first; first hit wins. If
+  /// `from_sealed` is non-null it reports whether the hit came from a
+  /// sealed (vs. the active) memtable.
+  Status GetFromMem(const Slice& key, OwnedEntry* out,
+                    bool* from_sealed = nullptr) const;
 
   /// Ordered reconciled snapshot across all memory components (newest entry
   /// wins per key, by timestamp).

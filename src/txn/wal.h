@@ -1,15 +1,23 @@
 // Write-ahead log. The paper's setup dedicates a separate disk to logging
 // (§6.1); we model the log as an append-only byte stream with sequential
-// write cost charged to its own DiskModel, so log I/O never perturbs the
-// storage disk's sequential/random accounting.
+// write cost charged to its own IoEngine (io/io_engine.h), so log I/O never
+// perturbs the storage device's sequential/random accounting. The log device
+// defaults to one queue — bit-for-bit the legacy single-head DiskModel — but
+// can be built from a multi-queue DeviceProfile, in which case each group
+// commit's sync is charged to the syncing (leader) thread's bound queue and
+// syncs led from different queues overlap in modeled time.
 //
 // Group commit (the multi-writer ingestion pipeline): with group commit
 // enabled, AppendCommit makes a commit record durable through a leader-based
 // protocol — one committer becomes the leader, opens a short commit window
 // so concurrent committers can append their records into the batch, then
 // syncs the whole batch with a single modeled log flush and wakes the group.
-// With group commit off (writer_threads == 1), AppendCommit is exactly
-// Append: no syncs are charged, bit-for-bit the legacy serial behavior.
+// Every commit's modeled latency — the log device's virtual time from the
+// commit's append to its batch's sync completion — is accumulated in
+// WalStats, which is what makes the per-commit win of group commit
+// reportable in simulated time. With group commit off (writer_threads == 1),
+// AppendCommit is exactly Append: no syncs are charged, bit-for-bit the
+// legacy serial behavior.
 //
 // The log survives a simulated crash (tests drop the Dataset but keep the
 // Wal + Env), which is what recovery replays from.
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "env/disk_model.h"
+#include "io/io_engine.h"
 #include "txn/log_record.h"
 
 namespace auxlsm {
@@ -30,13 +39,24 @@ struct WalStats {
   uint64_t commits = 0;          ///< AppendCommit calls
   uint64_t syncs = 0;            ///< modeled log-device flushes
   uint64_t batched_commits = 0;  ///< commits made durable by another leader
+  /// Modeled commit latency (group commit only): log-device virtual time
+  /// from a commit's append to its batch's sync completion, summed / maxed
+  /// over commits. Average = commit_latency_us_total / commits.
+  double commit_latency_us_total = 0;
+  double commit_latency_us_max = 0;
 };
 
 class Wal {
  public:
   explicit Wal(DiskProfile profile = DiskProfile::Hdd(),
                size_t log_page_bytes = 4096)
-      : disk_(profile), log_page_bytes_(log_page_bytes) {}
+      : io_(DeviceProfile::FromDisk(std::move(profile), 1)),
+        log_page_bytes_(log_page_bytes) {}
+
+  /// Multi-queue log device; group-commit syncs are charged per leader
+  /// queue (bind committer threads with IoQueueScope on io()).
+  explicit Wal(DeviceProfile profile, size_t log_page_bytes = 4096)
+      : io_(std::move(profile)), log_page_bytes_(log_page_bytes) {}
 
   /// Enables leader-based group commit for AppendCommit (the dataset turns
   /// this on when writer_threads > 1).
@@ -58,7 +78,10 @@ class Wal {
   /// Truncates records with lsn <= up_to (checkpointing).
   void TruncateUpTo(Lsn up_to);
 
-  IoStats stats() const { return disk_.stats(); }
+  /// The log device's engine (bind committer threads to queues here).
+  IoEngine* io() { return &io_; }
+
+  IoStats stats() const { return io_.stats(); }
   WalStats wal_stats() const;
   size_t num_records() const;
 
@@ -67,7 +90,7 @@ class Wal {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  DiskModel disk_;
+  IoEngine io_;
   const size_t log_page_bytes_;
   size_t bytes_since_page_ = 0;
   Lsn next_lsn_ = 1;
@@ -77,6 +100,9 @@ class Wal {
   bool sync_in_progress_ = false;  ///< a leader's commit window is open
   bool tail_dirty_ = false;        ///< appended bytes not yet synced
   Lsn durable_lsn_ = 0;
+  /// Log-device critical path as of the last completed sync; batched
+  /// commits read it to compute their modeled latency.
+  double durable_point_us_ = 0;
   WalStats wstats_;
 };
 

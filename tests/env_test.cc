@@ -3,7 +3,9 @@
 #include <atomic>
 #include <thread>
 
+#include "core/dataset.h"
 #include "env/env.h"
+#include "workload/tweet_gen.h"
 
 namespace auxlsm {
 namespace {
@@ -294,6 +296,70 @@ TEST(EnvTest, DeleteFileEvictsAndForgets) {
   ASSERT_TRUE(env.ReadPage(f, 0, &d).ok());
   ASSERT_TRUE(env.DeleteFile(f).ok());
   EXPECT_TRUE(env.ReadPage(f, 0, &d).IsNotFound());
+  EXPECT_TRUE(env.io()->HeadFiles().empty());
+}
+
+TEST(EnvTest, DeleteFileSweepsHeadsOnEveryQueue) {
+  // Heads parked on the same file from several device queues must all be
+  // forgotten when the file is deleted, not just the caller's queue.
+  EnvOptions o = SmallEnv();
+  o.io_queues = 3;
+  Env env(o);
+  const uint32_t f = env.CreateFile();
+  const uint32_t g = env.CreateFile();
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(env.AppendPage(f, Page(env, 'a'), nullptr).ok());
+    ASSERT_TRUE(env.AppendPage(g, Page(env, 'b'), nullptr).ok());
+  }
+  PageData d;
+  for (uint32_t q = 0; q < 3; q++) {
+    IoQueueScope scope(env.io(), q);
+    ASSERT_TRUE(env.ReadPage(f, q, &d).ok());
+  }
+  {
+    IoQueueScope scope(env.io(), 1);
+    ASSERT_TRUE(env.ReadPage(g, 0, &d).ok());
+  }
+  ASSERT_TRUE(env.DeleteFile(f).ok());
+  const auto heads = env.io()->HeadFiles();
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0], g);
+}
+
+// Retiring components through the real maintenance paths (merges and
+// standalone secondary repair) deletes their files; no device queue may be
+// left with a head resting on a deleted file.
+TEST(EnvTest, RetiredComponentsLeakNoHeadPositions) {
+  EnvOptions eo;
+  eo.page_size = 4096;
+  eo.cache_pages = 64;  // tiny cache: merges and repairs re-read from disk
+  eo.cache_shards = 1;
+  eo.io_queues = 4;
+  Env env(eo);
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kValidation;
+  o.merge_repair = true;  // exercises the repair retirement path too
+  o.mem_budget_bytes = 64u << 10;
+  o.max_mergeable_bytes = 8u << 20;
+  o.maintenance_threads = 4;  // maintenance I/O spread over the 4 queues
+  {
+    Dataset ds(&env, o);
+    TweetGenerator gen;
+    Random rng(5);
+    for (int i = 0; i < 4000; i++) {
+      if (i > 100 && rng.Bernoulli(0.2)) {
+        ASSERT_TRUE(ds.Upsert(gen.Update(rng.Uniform(gen.generated()))).ok());
+      } else {
+        ASSERT_TRUE(ds.Upsert(gen.Next()).ok());
+      }
+    }
+    ASSERT_TRUE(ds.FlushAll().ok());
+    ASSERT_TRUE(ds.RepairAllSecondaries().ok());
+    ASSERT_GT(ds.ingest_stats().merges.load(), 0u);
+    for (const uint32_t f : env.io()->HeadFiles()) {
+      EXPECT_TRUE(env.store()->FileExists(f)) << "stale head on file " << f;
+    }
+  }
 }
 
 TEST(EnvTest, WriteChargesSequentialCost) {
