@@ -4,13 +4,15 @@
 // tiering merges capped so multiple disk components accumulate; buffer cache
 // sized so the primary index does not fit but the secondary does (as in the
 // paper's 2GB-cache/30GB-data ratio).
+#include <thread>
+
 #include "bench_util.h"
 
 namespace auxlsm {
 namespace bench {
 namespace {
 
-constexpr uint64_t kRecords = 60000;
+uint64_t g_records = 60000;  // --tiny shrinks this
 constexpr uint64_t kUserDomain = 100000;
 
 struct Fixture {
@@ -18,9 +20,11 @@ struct Fixture {
   std::unique_ptr<Dataset> ds;
 };
 
-Fixture BuildDataset(bool sequential_ids) {
+Fixture BuildDataset(bool sequential_ids, uint32_t io_queues = 1,
+                     size_t cache_shards = 1) {
   Fixture f;
-  f.env = std::make_unique<Env>(BenchEnv(/*cache_mb=*/8));
+  f.env = std::make_unique<Env>(
+      BenchEnv(/*cache_mb=*/8, /*ssd=*/false, cache_shards, io_queues));
   DatasetOptions o;
   // Paper figures reproduce the serial engine; pin the maintenance path
   // so modeled I/O stays deterministic on multi-core hosts.
@@ -32,7 +36,7 @@ Fixture BuildDataset(bool sequential_ids) {
   TweetGenOptions go;
   go.sequential_ids = sequential_ids;
   TweetGenerator gen(go);
-  for (uint64_t i = 0; i < kRecords; i++) {
+  for (uint64_t i = 0; i < g_records; i++) {
     bool inserted;
     if (!f.ds->Insert(gen.Next(), &inserted).ok()) std::abort();
   }
@@ -182,21 +186,163 @@ void Fig12dSorting(Fixture& f) {
   }
 }
 
+// Deterministic legacy-path digest: a fixed query series through the
+// one-shot wrappers, printed as DIGEST lines the CI smoke job diffs across
+// --queues settings and pins against drift. Runs on the single-queue
+// fixture right after its build, so modeled I/O and the query counters
+// (candidates / validated_out / results) are bit-reproducible.
+void Fig12Digest(Fixture& f) {
+  struct Probe {
+    const char* name;
+    SecondaryQueryOptions q;
+  };
+  const Probe probes[] = {
+      {"fig12-naive", Variant(false, false, false, false)},
+      {"fig12-batch", Variant(true, true, true, false)},
+      {"fig12-batch-pid", Variant(true, true, true, true)},
+  };
+  for (const auto& p : probes) {
+    Stopwatch sw(f.env.get());
+    QueryResult res;
+    uint64_t results = 0;
+    for (uint64_t lo : {100u, 5000u, 40000u}) {
+      res = QueryResult{};
+      if (!f.ds->QueryUserRange(lo, lo + 999, p.q, &res).ok()) std::abort();
+      results += res.records.size();
+    }
+    const IoStats io = sw.IoDelta();
+    std::printf("DIGEST %-24s sim_us=%.3f crit_us=%.3f candidates=%llu "
+                "validated_out=%llu results=%llu\n",
+                p.name, io.simulated_us,
+                sw.CriticalPathSeconds() * 1e6,
+                (unsigned long long)res.candidates,
+                (unsigned long long)res.validated_out,
+                (unsigned long long)results);
+  }
+  // Scan wrappers: pin the ScanResult counters too.
+  {
+    Stopwatch sw(f.env.get());
+    ScanResult scan;
+    if (!f.ds->ScanTimeRange(0, UINT64_MAX / 2, &scan).ok()) std::abort();
+    ScanResult full;
+    if (!f.ds->FullScanUserRange(0, kUserDomain / 4, &full).ok()) {
+      std::abort();
+    }
+    const IoStats io = sw.IoDelta();
+    std::printf("DIGEST %-24s sim_us=%.3f crit_us=%.3f scanned=%llu "
+                "matched=%llu pruned=%llu full_matched=%llu\n",
+                "fig12-scans", io.simulated_us,
+                sw.CriticalPathSeconds() * 1e6,
+                (unsigned long long)scan.records_scanned,
+                (unsigned long long)scan.records_matched,
+                (unsigned long long)scan.components_pruned,
+                (unsigned long long)full.records_matched);
+  }
+}
+
+// LIMIT / pagination: the streaming cursor terminates early — a top-k read
+// of a wide user range pulls fewer candidates, validates fewer keys, and
+// charges less simulated I/O than the unlimited query.
+void Fig12eLimit(Fixture& f) {
+  PrintHeader("Fig12e", "LIMIT/pagination: early-terminating cursor");
+  const uint64_t width = kUserDomain / 10;  // 10% selectivity
+  auto run = [&](uint64_t limit, uint64_t lo) {
+    Stopwatch sw(f.env.get());
+    auto cursor_or = f.ds->NewCursor(Query()
+                                         .Secondary("user_id")
+                                         .Range(lo, lo + width - 1)
+                                         .Limit(limit)
+                                         .PageSize(64));
+    if (!cursor_or.ok()) std::abort();
+    auto cursor = std::move(cursor_or).value();
+    QueryPage page;
+    uint64_t rows = 0;
+    while (!cursor->done()) {
+      if (!cursor->Next(&page).ok()) std::abort();
+      rows += page.rows();
+    }
+    const CursorStats& s = cursor->stats();
+    PrintRow(limit == 0 ? "unlimited" : "limit " + std::to_string(limit),
+             std::to_string(rows) + " rows", sw.Seconds(),
+             "candidates=" + std::to_string(s.candidates) +
+                 " io_ms=" + std::to_string(s.io_simulated_us / 1000.0));
+  };
+  uint64_t lo = 3000;
+  for (uint64_t limit : {uint64_t(0), uint64_t(10), uint64_t(100),
+                         uint64_t(1000)}) {
+    run(limit, lo);
+    lo += width + 1000;  // fresh predicate per series (no cache pre-warm)
+  }
+}
+
+// Multi-reader queue binding: R reader threads drain paginated top-k
+// queries with ReadOptions::io_queue = reader % Q, so foreground reads
+// spread over device queues and overlap in *simulated* time (crit_s <
+// sim_s) — closing the "foreground reads all charge queue 0" gap.
+void Fig12fMultiReader(const BenchFlags& flags) {
+  PrintHeader("Fig12f", "multi-reader cursors on " +
+                            std::to_string(flags.queues) +
+                            " device queues (readers bound round-robin)");
+  std::vector<uint32_t> settings{1};
+  if (flags.queues > 1) settings.push_back(flags.queues);  // else = baseline
+  for (uint32_t queues : settings) {
+    Fixture f = BuildDataset(false, queues, /*cache_shards=*/8);
+    const uint32_t readers = flags.queues;
+    PagedReadWorkloadOptions w;
+    w.num_queries = g_records >= 60000 ? 40 : 10;
+    w.range_width = kUserDomain / 100;
+    w.limit = 20;
+    w.page_size = 10;
+    w.user_domain = kUserDomain;
+    Stopwatch sw(f.env.get());
+    std::vector<std::thread> threads;
+    std::vector<PagedReadReport> reports(readers);
+    for (uint32_t r = 0; r < readers; r++) {
+      threads.emplace_back([&, r]() {
+        PagedReadWorkloadOptions mine = w;
+        mine.seed = 7 + r;
+        mine.io_queue = int32_t(r % queues);
+        if (!RunPagedReadWorkload(f.ds.get(), mine, &reports[r]).ok()) {
+          std::abort();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    uint64_t rows = 0, pages = 0;
+    for (const auto& rep : reports) {
+      rows += rep.rows;
+      pages += rep.pages;
+    }
+    std::printf("%-32s readers=%u sim_s=%8.4f crit_s=%8.4f wall_s=%7.3f "
+                "rows=%llu pages=%llu\n",
+                queues == 1 ? "single queue (baseline)" : "multi queue",
+                readers, sw.IoSeconds(), sw.CriticalPathSeconds(),
+                sw.WallSeconds(), (unsigned long long)rows,
+                (unsigned long long)pages);
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace auxlsm
 
-int main() {
+int main(int argc, char** argv) {
   using namespace auxlsm::bench;
-  PrintNote("scaled to 60K records; times = CPU + simulated HDD I/O");
+  const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  if (flags.tiny) g_records = 12000;
+  PrintNote("scaled to " + std::to_string(g_records / 1000) +
+            "K records; times = CPU + simulated HDD I/O");
   Fixture f = BuildDataset(false);
   Fixture seq = BuildDataset(true);
   std::printf("primary components: %zu, secondary components: %zu\n",
               f.ds->primary()->NumDiskComponents(),
               f.ds->secondary(0)->tree->NumDiskComponents());
+  Fig12Digest(f);
   Fig12aLowSelectivity(f);
   Fig12bHighSelectivity(f, seq);
   Fig12cBatchSize(f);
   Fig12dSorting(f);
+  Fig12eLimit(f);
+  Fig12fMultiReader(flags);
   return 0;
 }

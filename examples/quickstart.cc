@@ -1,5 +1,6 @@
-// Quickstart: create a dataset, ingest a few tweets, run a point query, a
-// secondary-index query, and a range-filter scan.
+// Quickstart: create a dataset, ingest a few tweets, then read it back
+// through the unified query API — a point read, a secondary-index cursor,
+// a paginated top-k read, and a time-range scan.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -45,19 +46,25 @@ int main() {
   moved.message = "moved!";
   dataset.Upsert(moved);
 
-  // Point query by primary key.
+  // Point read by primary key: Query().Primary(id).
   TweetRecord got;
   if (dataset.GetById(7, &got).ok()) {
     std::printf("id 7 -> user %llu, location %s\n",
                 (unsigned long long)got.user_id, got.location.c_str());
   }
 
-  // Secondary-index query: all records of user 49 (batched point lookups +
-  // timestamp validation under the hood).
-  SecondaryQueryOptions q;
+  // Secondary-index query: all records of user 49, drained from a cursor
+  // (batched point lookups + timestamp validation under the hood). The
+  // index is selected by catalog name.
+  auto cursor_or = dataset.NewCursor(Query().Secondary("user_id").Range(49, 49));
+  if (!cursor_or.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 cursor_or.status().ToString().c_str());
+    return 1;
+  }
+  auto cursor = std::move(cursor_or).value();
   QueryResult res;
-  Status st = dataset.QueryUserRange(49, 49, q, &res);
-  if (!st.ok()) {
+  if (Status st = cursor->Drain(&res); !st.ok()) {
     std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
     return 1;
   }
@@ -65,7 +72,28 @@ int main() {
               res.records.size(), (unsigned long long)res.candidates,
               (unsigned long long)res.validated_out);
 
-  // Range-filter scan on creation_time.
+  // Paginated top-k: a wide user range, but only the first 5 rows — the
+  // cursor stops scanning, validating, and fetching once 5 rows are out.
+  auto topk_or = dataset.NewCursor(
+      Query().Secondary("user_id").Range(0, 49).Limit(5).PageSize(2));
+  if (topk_or.ok()) {
+    auto topk = std::move(topk_or).value();
+    QueryPage page;
+    size_t page_no = 0;
+    while (!topk->done()) {
+      if (!topk->Next(&page).ok()) break;
+      for (const auto& r : page.records) {
+        std::printf("  top-k page %zu: id %llu (user %llu)\n", page_no,
+                    (unsigned long long)r.id, (unsigned long long)r.user_id);
+      }
+      page_no++;
+    }
+    std::printf("top-5 pulled %llu of %llu candidates\n",
+                (unsigned long long)topk->stats().rows,
+                (unsigned long long)topk->stats().candidates);
+  }
+
+  // Range-filter scan on creation_time (count-only: ScanResult counters).
   ScanResult scan;
   dataset.ScanTimeRange(2001, 2100, &scan);
   std::printf("time range [2001,2100]: %llu records matched, "

@@ -99,6 +99,7 @@ Dataset::Dataset(Env* env, DatasetOptions options)
       idx->deleted_keys = std::make_unique<LsmTree>(
           env_, MakeTreeOptions(def.name + ".deleted", false, false, false));
     }
+    secondary_catalog_.emplace(def.name, secondaries_.size());
     secondaries_.push_back(std::move(idx));
   }
   MaintenanceOptions mopts;
@@ -618,14 +619,6 @@ Status Dataset::MergeAllIndexes() {
     if (s->deleted_keys) AUXLSM_RETURN_NOT_OK(s->deleted_keys->MergeAll());
   }
   return Status::OK();
-}
-
-Status Dataset::GetById(uint64_t id, TweetRecord* out) {
-  OwnedEntry e;
-  GetOptions opts;
-  opts.use_blocked_bloom = options_.build_blocked_bloom;
-  AUXLSM_RETURN_NOT_OK(primary_->Get(EncodeU64(id), &e, opts));
-  return TweetRecord::Deserialize(e.value, out);
 }
 
 uint64_t Dataset::num_records() const {

@@ -20,7 +20,9 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/rwlatch.h"
@@ -30,6 +32,8 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/stat_counter.h"
+#include "core/query_cursor.h"
+#include "core/read_query.h"
 #include "format/record.h"
 #include "lsm/lsm_tree.h"
 #include "txn/recovery.h"
@@ -152,50 +156,9 @@ struct SecondaryIndex {
 };
 
 // ---------------------------------------------------------------------------
-// Query plumbing (implemented in point_lookup.cc / query.cc / scan.cc).
-// ---------------------------------------------------------------------------
-
-/// Knobs of §3.2's index-to-index navigation optimizations and §4.3's
-/// validation methods.
-struct SecondaryQueryOptions {
-  enum class LookupAlgo { kNaive, kBatched };
-  LookupAlgo lookup = LookupAlgo::kBatched;
-  /// Memory for one batch of primary keys (paper default 16 MB).
-  size_t batch_memory_bytes = 16u << 20;
-  bool stateful_btree_lookup = true;   ///< "sLookup"
-  bool use_blocked_bloom = true;       ///< "bBF"
-  bool propagate_component_id = false; ///< "pID" (Jia [21])
-  /// Sort fetched records back into primary-key order (Fig 12d).
-  bool sort_results_by_pk = false;
-
-  enum class Validation { kAuto, kNone, kDirect, kTimestamp };
-  Validation validation = Validation::kAuto;
-
-  bool index_only = false;
-};
-
-/// A matching (primary key, timestamp) pair surfaced by a secondary search,
-/// with the component ID floor used by the pID optimization.
-struct SecondaryMatch {
-  std::string pk;
-  Timestamp ts = 0;
-  Timestamp component_min_ts = 0;
-};
-
-struct QueryResult {
-  std::vector<TweetRecord> records;  ///< non-index-only queries
-  std::vector<std::string> keys;     ///< index-only queries
-  uint64_t candidates = 0;           ///< matches before validation
-  uint64_t validated_out = 0;        ///< candidates rejected by validation
-};
-
-struct ScanResult {
-  uint64_t records_scanned = 0;
-  uint64_t records_matched = 0;
-  uint64_t components_pruned = 0;
-  uint64_t components_scanned = 0;
-};
-
+// Query plumbing lives in core/read_query.h (query descriptions, options,
+// result shapes) and core/query_cursor.h (streaming cursor); the executors
+// are implemented in point_lookup.cc / query.cc / scan.cc / query_cursor.cc.
 // ---------------------------------------------------------------------------
 
 /// Serializable snapshot of the dataset's component catalog; stands in for
@@ -250,18 +213,30 @@ class Dataset {
   Status DeleteTxn(uint64_t id, Transaction* txn);
 
   // --- Queries ----------------------------------------------------------------
-  /// Primary-key point query.
+  /// Plans a declarative read (core/read_query.h) and opens a streaming
+  /// cursor over a snapshot captured here. Fails with a proper error on an
+  /// unknown index name or a contradictory description.
+  Result<std::unique_ptr<QueryCursor>> NewCursor(const ReadQuery& query);
+
+  // Legacy one-shot entry points: thin wrappers that drain a QueryCursor.
+  // Results and counters are bit-identical to the pre-cursor implementations
+  // (the unlimited pipeline runs in one chunk with the legacy operator
+  // order), so every paper-figure series is unchanged.
+
+  /// Primary-key point query. Query().Primary(id).
   Status GetById(uint64_t id, TweetRecord* out);
 
   /// Secondary-index range query on user_id in [lo_user, hi_user].
+  /// Query().Secondary().Range(lo, hi) with ReadOptions::secondary = opts.
   Status QueryUserRange(uint64_t lo_user, uint64_t hi_user,
                         const SecondaryQueryOptions& opts, QueryResult* out);
 
   /// Range-filter scan: records with creation_time in [lo, hi] (§6.4.2).
+  /// Query().TimeRange(lo, hi).CountOnly().
   Status ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out);
 
   /// Full primary scan counting records with user_id in [lo_user, hi_user]
-  /// (the Fig 12b "scan" baseline).
+  /// (the Fig 12b "scan" baseline). Query().Range(lo, hi).CountOnly().
   Status FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
                            ScanResult* out);
 
@@ -308,7 +283,14 @@ class Dataset {
   const std::vector<std::unique_ptr<SecondaryIndex>>& secondaries() const {
     return secondaries_;
   }
-  SecondaryIndex* secondary(size_t i) { return secondaries_[i].get(); }
+  /// Positional access; null when i is out of range (prefer the name-based
+  /// catalog lookup below — positions are an artifact of option order).
+  SecondaryIndex* secondary(size_t i) {
+    return i < secondaries_.size() ? secondaries_[i].get() : nullptr;
+  }
+  /// Catalog lookup by index name (SecondaryIndexDef::name); a proper error
+  /// on unknown names. Query planning routes index selection through this.
+  Result<SecondaryIndex*> secondary_by_name(std::string_view name);
   const IngestStats& ingest_stats() const { return stats_; }
   uint64_t num_records() const;
 
@@ -401,6 +383,9 @@ class Dataset {
   std::unique_ptr<LsmTree> primary_;
   std::unique_ptr<LsmTree> pk_index_;
   std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+  /// Name -> position catalog for secondary_by_name (first definition wins
+  /// if options carry duplicate names). Immutable after construction.
+  std::unordered_map<std::string, size_t> secondary_catalog_;
   std::unique_ptr<MaintenanceScheduler> maintenance_;
 
   RwLatch ingest_mu_;

@@ -19,14 +19,14 @@ struct PendingKey {
   bool done = false;
 };
 
-// Searches the memory components (active + sealed) for every pending key;
-// marks hits done.
-void SearchMemtable(const LsmTree& tree, std::vector<PendingKey>& pending,
+// Searches the view's memory components (active + sealed) for every pending
+// key; marks hits done.
+void SearchMemtable(const LsmReadView& view, std::vector<PendingKey>& pending,
                     bool raw, std::vector<FetchedEntry>* out,
                     PointLookupStats* stats) {
   for (auto& p : pending) {
     OwnedEntry e;
-    if (!tree.GetFromMem(p.req->pk, &e).ok()) continue;
+    if (!view.GetFromMem(p.req->pk, &e).ok()) continue;
     p.done = true;
     stats->found++;
     const bool alive = !e.antimatter;
@@ -38,7 +38,7 @@ void SearchMemtable(const LsmTree& tree, std::vector<PendingKey>& pending,
 
 }  // namespace
 
-Status BulkPointLookup(const LsmTree& tree,
+Status BulkPointLookup(const LsmReadView& view,
                        const std::vector<FetchRequest>& requests,
                        const PointLookupOptions& options,
                        std::vector<FetchedEntry>* out,
@@ -73,12 +73,11 @@ Status BulkPointLookup(const LsmTree& tree,
                          return a.req->pk < b.req->pk;
                        });
     }
-    SearchMemtable(tree, pending, options.raw, out, &local);
-    // Snapshot the components only after the memtable search: a concurrent
-    // flush moves entries memtable -> new component, so probing an older
-    // component snapshot after missing the (already cleared) memtable would
-    // make the key invisible to both probes.
-    const auto components = tree.Components();
+    SearchMemtable(view, pending, options.raw, out, &local);
+    // The view's memtables were captured before its components: a concurrent
+    // flush moves entries memtable -> new component, so the reverse order
+    // could make a key invisible to both probes.
+    const auto& components = view.components;
 
     if (!options.batched) {
       // Naive: per key, search components newest to oldest independently.
@@ -166,6 +165,15 @@ Status BulkPointLookup(const LsmTree& tree,
   }
   if (stats != nullptr) *stats = local;
   return Status::OK();
+}
+
+Status BulkPointLookup(const LsmTree& tree,
+                       const std::vector<FetchRequest>& requests,
+                       const PointLookupOptions& options,
+                       std::vector<FetchedEntry>* out,
+                       PointLookupStats* stats) {
+  return BulkPointLookup(LsmReadView::Capture(tree), requests, options, out,
+                         stats);
 }
 
 }  // namespace auxlsm

@@ -51,14 +51,54 @@ struct PointLookupStats {
   uint64_t batches = 0;
 };
 
-/// Looks up every request in `tree`. Requests should be sorted by pk
-/// ascending — batches are carved off the request vector in order, so
+/// A pinned read view of one LSM tree: its memtable set and disk-component
+/// list captured once, memtables before components (the flush-race ordering
+/// every query path observes). Disk components are immutable and their files
+/// stay alive while the view holds them; memtable snapshots pin the
+/// shared_ptrs, so a view remains self-consistent while concurrent flushes,
+/// merges, and component retirement proceed. Note the *active* memtable is
+/// still live — lookups through a view see writes that land after capture,
+/// the same read-latest semantics as querying the tree directly.
+///
+/// QueryCursor executors capture their views at open and run every later
+/// pull against them, which is what makes paginated reads stable across
+/// concurrent maintenance.
+struct LsmReadView {
+  std::vector<std::shared_ptr<Memtable>> mems;  ///< newest first
+  std::vector<DiskComponentPtr> components;     ///< newest first
+
+  static LsmReadView Capture(const LsmTree& tree) {
+    LsmReadView v;
+    v.mems = tree.MemtableSet();  // before Components(): flush-race ordering
+    v.components = tree.Components();
+    return v;
+  }
+
+  /// Searches the memory components newest first; first hit wins (including
+  /// anti-matter entries).
+  Status GetFromMem(const Slice& key, OwnedEntry* out) const {
+    for (const auto& m : mems) {
+      if (m->Get(key, out).ok()) return Status::OK();
+    }
+    return Status::NotFound();
+  }
+};
+
+/// Looks up every request in the captured view. Requests should be sorted by
+/// pk ascending — batches are carved off the request vector in order, so
 /// unsorted input degrades batch locality; within a batch the batched
 /// algorithm re-sorts its pending keys itself before probing components.
 /// Results are appended to *out in discovery order — primary-key order for
 /// the naive algorithm, batch/component order for the batched one. Dead
 /// entries (anti-matter / bitmap-invalid newest versions) are only appended
 /// in raw mode.
+Status BulkPointLookup(const LsmReadView& view,
+                       const std::vector<FetchRequest>& requests,
+                       const PointLookupOptions& options,
+                       std::vector<FetchedEntry>* out,
+                       PointLookupStats* stats = nullptr);
+
+/// Convenience overload: captures a view of `tree` and looks up through it.
 Status BulkPointLookup(const LsmTree& tree,
                        const std::vector<FetchRequest>& requests,
                        const PointLookupOptions& options,

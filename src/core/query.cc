@@ -1,7 +1,16 @@
-// Secondary-index query processing: secondary search -> sort(-distinct) ->
-// validation (§4.3) -> primary point lookups (§3.2).
+// Secondary-index query processing: streaming secondary search ->
+// sort(-distinct) -> validation (§4.3) -> primary point lookups (§3.2),
+// organized as a pull-based executor behind QueryCursor.
+//
+// The candidate pipeline runs in *chunks*. An unlimited query processes one
+// chunk covering the whole candidate stream — operator order, batching
+// boundaries, and therefore result order and counters are exactly the
+// pre-cursor implementation's. A Limit(k) query pulls small chunks and stops
+// as soon as k rows are out, so the secondary scan, the validation lookups,
+// and the record fetches all terminate early.
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/dataset.h"
 #include "core/point_lookup.h"
@@ -11,75 +20,101 @@ namespace auxlsm {
 
 namespace {
 
-/// Scans one secondary index for composed keys in [lo_sk, hi_sk] (whole
-/// secondary-key range), reconciling across components and the memtable;
-/// anti-matter and bitmap-invalidated entries suppress older duplicates.
-Status SecondaryRangeScan(const SecondaryIndex& index, const Slice& lo_sk,
-                          const Slice& hi_sk, uint32_t readahead,
-                          std::vector<SecondaryMatch>* out) {
-  std::string lo = lo_sk.ToString() + std::string(8, '\0');
-  std::string hi = hi_sk.ToString() + std::string(8, '\xff');
+/// Streaming reconciled scan of one secondary index over composed keys in
+/// [lo_sk, hi_sk] (whole secondary-key range): memtable snapshot merged with
+/// a disk MergeCursor, anti-matter and bitmap-invalidated entries suppressing
+/// older duplicates. The memtable snapshot is materialized and the component
+/// list pinned at Open, so the match stream is stable under concurrent
+/// flushes and merges.
+class SecondaryScanStream {
+ public:
+  Status Open(const SecondaryIndex& index, const Slice& lo_sk,
+              const Slice& hi_sk, uint32_t readahead) {
+    sk_width_ = index.def.sk_width;
+    lo_ = lo_sk.ToString() + std::string(8, '\0');
+    hi_ = hi_sk.ToString() + std::string(8, '\xff');
 
-  // Memtable before components: a concurrent flush moves entries memtable ->
-  // new component, so the reverse order could observe neither copy. The
-  // duplicate-key resolution below picks the larger timestamp, which also
-  // covers a write landing between the two snapshots.
-  const auto mem = index.tree->MemSnapshotRange(lo, hi);
-  const Timestamp mem_min_ts = index.tree->MemMinTs();
+    // Memtable before components: a concurrent flush moves entries memtable
+    // -> new component, so the reverse order could observe neither copy. The
+    // duplicate-key resolution below picks the larger timestamp, which also
+    // covers a write landing between the two snapshots.
+    mem_ = index.tree->MemSnapshotRange(lo_, hi_);
+    mem_min_ts_ = index.tree->MemMinTs();
 
-  auto comps = index.tree->Components();
-  MergeCursor::Options mo;
-  mo.readahead_pages = readahead;
-  mo.respect_bitmaps = true;  // repair bitmaps hide cleaned entries
-  mo.lower_bound = lo;
-  mo.upper_bound = hi;
-  MergeCursor cursor(comps, mo);
-  AUXLSM_RETURN_NOT_OK(cursor.Init());
-
-  auto emit_mem = [&](const OwnedEntry& e) {
-    if (e.antimatter) return;
-    Slice pk;
-    SplitSecondaryKey(e.key, index.def.sk_width, nullptr, &pk);
-    out->push_back(SecondaryMatch{pk.ToString(), e.ts, mem_min_ts});
-  };
-  auto emit_disk = [&](const MergeCursor& c, Timestamp comp_min_ts) {
-    if (c.antimatter()) return;
-    Slice pk;
-    SplitSecondaryKey(c.key(), index.def.sk_width, nullptr, &pk);
-    out->push_back(SecondaryMatch{pk.ToString(), c.ts(), comp_min_ts});
-  };
-
-  size_t mi = 0;
-  while (cursor.Valid() || mi < mem.size()) {
-    int cmp;
-    if (!cursor.Valid()) {
-      cmp = -1;
-    } else if (mi >= mem.size()) {
-      cmp = 1;
-    } else {
-      cmp = Slice(mem[mi].key).compare(cursor.key());
-    }
-    if (cmp < 0) {
-      emit_mem(mem[mi]);
-      mi++;
-    } else if (cmp > 0) {
-      emit_disk(cursor, comps.empty() ? 0 : comps[cursor.source()]->id().min_ts);
-      AUXLSM_RETURN_NOT_OK(cursor.Next());
-    } else {
-      // Duplicate key: the newer write wins (equal timestamps mean the same
-      // entry observed in both snapshots around a flush).
-      if (mem[mi].ts >= cursor.ts()) {
-        emit_mem(mem[mi]);
-      } else {
-        emit_disk(cursor,
-                  comps.empty() ? 0 : comps[cursor.source()]->id().min_ts);
-      }
-      mi++;
-      AUXLSM_RETURN_NOT_OK(cursor.Next());
-    }
+    comps_ = index.tree->Components();
+    MergeCursor::Options mo;
+    mo.readahead_pages = readahead;
+    mo.respect_bitmaps = true;  // repair bitmaps hide cleaned entries
+    mo.lower_bound = lo_;
+    mo.upper_bound = hi_;
+    cursor_ = std::make_unique<MergeCursor>(comps_, mo);
+    return cursor_->Init();
   }
-  return Status::OK();
-}
+
+  /// Pulls the next live match; sets *valid = false at stream end.
+  Status Next(SecondaryMatch* out, bool* valid) {
+    while (cursor_->Valid() || mi_ < mem_.size()) {
+      int cmp;
+      if (!cursor_->Valid()) {
+        cmp = -1;
+      } else if (mi_ >= mem_.size()) {
+        cmp = 1;
+      } else {
+        cmp = Slice(mem_[mi_].key).compare(cursor_->key());
+      }
+      bool emitted = false;
+      if (cmp < 0) {
+        emitted = EmitMem(mem_[mi_], out);
+        mi_++;
+      } else if (cmp > 0) {
+        emitted = EmitDisk(out);
+        AUXLSM_RETURN_NOT_OK(cursor_->Next());
+      } else {
+        // Duplicate key: the newer write wins (equal timestamps mean the
+        // same entry observed in both snapshots around a flush).
+        if (mem_[mi_].ts >= cursor_->ts()) {
+          emitted = EmitMem(mem_[mi_], out);
+        } else {
+          emitted = EmitDisk(out);
+        }
+        mi_++;
+        AUXLSM_RETURN_NOT_OK(cursor_->Next());
+      }
+      if (emitted) {
+        *valid = true;
+        return Status::OK();
+      }
+    }
+    *valid = false;
+    return Status::OK();
+  }
+
+ private:
+  bool EmitMem(const OwnedEntry& e, SecondaryMatch* out) {
+    if (e.antimatter) return false;
+    Slice pk;
+    SplitSecondaryKey(e.key, sk_width_, nullptr, &pk);
+    *out = SecondaryMatch{pk.ToString(), e.ts, mem_min_ts_};
+    return true;
+  }
+  bool EmitDisk(SecondaryMatch* out) {
+    if (cursor_->antimatter()) return false;
+    Slice pk;
+    SplitSecondaryKey(cursor_->key(), sk_width_, nullptr, &pk);
+    *out = SecondaryMatch{
+        pk.ToString(), cursor_->ts(),
+        comps_.empty() ? 0 : comps_[cursor_->source()]->id().min_ts};
+    return true;
+  }
+
+  size_t sk_width_ = 8;
+  std::string lo_, hi_;
+  std::vector<OwnedEntry> mem_;
+  Timestamp mem_min_ts_ = 0;
+  std::vector<DiskComponentPtr> comps_;
+  std::unique_ptr<MergeCursor> cursor_;
+  size_t mi_ = 0;
+};
 
 /// Sorts candidates by pk; duplicates collapse to the entry with the largest
 /// timestamp (Fig 5's sort-distinct).
@@ -108,75 +143,179 @@ PointLookupOptions MakeLookupOptions(const SecondaryQueryOptions& q) {
 
 }  // namespace
 
-Status Dataset::QueryUserRange(uint64_t lo_user, uint64_t hi_user,
-                               const SecondaryQueryOptions& opts,
-                               QueryResult* out) {
-  if (secondaries_.empty()) {
-    return Status::InvalidArgument("no secondary index");
+// ---------------------------------------------------------------------------
+// SecondaryQueryExecutor (a Dataset friend; see dataset.h)
+// ---------------------------------------------------------------------------
+
+class SecondaryQueryExecutor final : public QueryExecutor {
+ public:
+  SecondaryQueryExecutor(Dataset* dataset, SecondaryIndex* index,
+                         const ReadQuery& query)
+      : dataset_(dataset),
+        index_(index),
+        query_(query),
+        opts_(query.read_options().secondary) {}
+
+  Status Open() override {
+    // The projection flag lives on both the builder and the legacy options;
+    // either requests keys-only.
+    if (query_.index_only()) opts_.index_only = true;
+
+    // Pick the validation method. The Eager strategy keeps secondaries
+    // up-to-date so no validation is needed; lazy strategies default to
+    // timestamp validation (deleted-key validates against its own trees).
+    validation_ = opts_.validation;
+    if (validation_ == SecondaryQueryOptions::Validation::kAuto) {
+      validation_ =
+          dataset_->options_.strategy == MaintenanceStrategy::kEager
+              ? SecondaryQueryOptions::Validation::kNone
+              : SecondaryQueryOptions::Validation::kTimestamp;
+    }
+
+    uint32_t readahead = query_.read_options().readahead_pages;
+    if (readahead == 0) readahead = dataset_->options_.scan_readahead_pages;
+    const uint64_t lo = query_.has_range() ? query_.range_lo() : 0;
+    const uint64_t hi = query_.has_range() ? query_.range_hi() : UINT64_MAX;
+    AUXLSM_RETURN_NOT_OK(
+        stream_.Open(*index_, EncodeU64(lo), EncodeU64(hi), readahead));
+
+    // Pin the validation and fetch targets once: later pulls reuse these
+    // views, so a paginated read keeps probing the same component lists no
+    // matter how maintenance reshapes the trees meanwhile.
+    if (validation_ == SecondaryQueryOptions::Validation::kTimestamp) {
+      if (dataset_->options_.strategy ==
+          MaintenanceStrategy::kDeletedKeyBtree) {
+        validation_view_ = LsmReadView::Capture(*index_->deleted_keys);
+      } else {
+        LsmTree* finder = dataset_->pk_index_ ? dataset_->pk_index_.get()
+                                              : dataset_->primary_.get();
+        validation_view_ = LsmReadView::Capture(*finder);
+      }
+    }
+    fetch_view_ = LsmReadView::Capture(*dataset_->primary_);
+    return Status::OK();
   }
-  SecondaryIndex& index = *secondaries_[0];
 
-  // 1. Secondary index search.
-  std::vector<SecondaryMatch> matches;
-  AUXLSM_RETURN_NOT_OK(SecondaryRangeScan(index, EncodeU64(lo_user),
-                                          EncodeU64(hi_user),
-                                          options_.scan_readahead_pages,
-                                          &matches));
-  out->candidates = matches.size();
-
-  // 2. Sort (and dedup by pk, keeping the newest entry).
-  SortDistinct(&matches);
-
-  // 3. Pick the validation method. The Eager strategy keeps secondaries
-  // up-to-date so no validation is needed; lazy strategies default to
-  // timestamp validation (deleted-key validates against its own trees).
-  auto validation = opts.validation;
-  if (validation == SecondaryQueryOptions::Validation::kAuto) {
-    validation = options_.strategy == MaintenanceStrategy::kEager
-                     ? SecondaryQueryOptions::Validation::kNone
-                     : SecondaryQueryOptions::Validation::kTimestamp;
+  Status Produce(size_t max_rows, QueryPage* page, bool* done) override {
+    while (page->rows() < max_rows) {
+      if (buf_pos_ < buffer_.rows()) {
+        MoveFromBuffer(max_rows - page->rows(), page);
+        continue;
+      }
+      if (exhausted_) break;
+      AUXLSM_RETURN_NOT_OK(ProcessChunk(max_rows - page->rows()));
+    }
+    if (buf_pos_ >= buffer_.rows() && exhausted_) *done = true;
+    return Status::OK();
   }
 
-  std::vector<FetchRequest> requests;
-  requests.reserve(matches.size());
-  auto to_request = [&](const SecondaryMatch& m) {
-    FetchRequest r;
-    r.pk = m.pk;
-    if (opts.propagate_component_id) r.prune_min_ts = m.component_min_ts;
-    return r;
-  };
+  void AccumulateStats(CursorStats* out) const override {
+    out->candidates = candidates_;
+    out->validated_out = validated_out_;
+    out->time_filtered = time_filtered_;
+    out->candidate_chunks = chunks_;
+    // For row-producing cursors `rows` is the authoritative delivered count
+    // (rows_buffered_ includes chunk headroom the Limit truncates); the
+    // match count is only meaningful — and exact — on the count-only path.
+    if (query_.count_only()) out->records_matched = rows_buffered_;
+  }
 
-  if (validation == SecondaryQueryOptions::Validation::kTimestamp) {
-    // Fig 5b: validate (pk, ts) pairs against the primary key index — a key
-    // is invalid if the index holds the same key with a larger timestamp.
-    if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
-      // AsterixDB baseline: validate against each component's deleted-key
-      // B+-tree instead of a primary key index (§4.1).
+ private:
+  /// Moves up to n buffered rows into the page (a buffer holds records or
+  /// keys, never both; buf_pos_ indexes the concatenation).
+  void MoveFromBuffer(size_t n, QueryPage* page) {
+    size_t moved = 0;
+    while (moved < n && buf_pos_ < buffer_.rows()) {
+      if (buf_pos_ < buffer_.records.size()) {
+        page->records.push_back(std::move(buffer_.records[buf_pos_]));
+      } else {
+        page->keys.push_back(
+            std::move(buffer_.keys[buf_pos_ - buffer_.records.size()]));
+      }
+      buf_pos_++;
+      moved++;
+    }
+    if (buf_pos_ >= buffer_.rows()) {
+      buffer_.clear();
+      buf_pos_ = 0;
+    }
+  }
+
+  /// Runs one candidate chunk through the legacy pipeline stages. An
+  /// unlimited query uses one all-covering chunk (exact legacy order and
+  /// counters); a limited one pulls just enough candidates to likely cover
+  /// the *remaining limit* (not the next page — per-page chunks would
+  /// shrink the §3.2 fetch batches and lose their sequential-leaf
+  /// locality), with 25% headroom for validation losses.
+  Status ProcessChunk(size_t want) {
+    const bool unlimited = query_.limit() == 0;
+    size_t chunk = SIZE_MAX;
+    if (!unlimited) {
+      const uint64_t rem = query_.limit() > rows_buffered_
+                               ? query_.limit() - rows_buffered_
+                               : 1;
+      chunk = std::max<size_t>(size_t(rem + rem / 4 + kMinChunkCandidates),
+                               2 * std::max<size_t>(want, 1));
+    }
+
+    // 1. Pull candidates from the streaming secondary search.
+    std::vector<SecondaryMatch> matches;
+    while (matches.size() < chunk) {
+      SecondaryMatch m;
+      bool valid = false;
+      AUXLSM_RETURN_NOT_OK(stream_.Next(&m, &valid));
+      if (!valid) {
+        stream_dry_ = true;
+        break;
+      }
+      matches.push_back(std::move(m));
+    }
+    candidates_ += matches.size();
+    chunks_++;
+    if (matches.empty()) {
+      if (stream_dry_) exhausted_ = true;
+      return Status::OK();
+    }
+    if (stream_dry_) exhausted_ = true;
+
+    // 2. Sort (and dedup by pk, keeping the newest entry). Across chunks, a
+    // pk that already produced a row is dropped here — the global
+    // sort-distinct of the single-chunk path collapses those duplicates, so
+    // this keeps multi-chunk (limited) runs from double-emitting a record
+    // whose obsolete secondary entries survive direct/no validation.
+    SortDistinct(&matches);
+    if (!emitted_pks_.empty()) {
+      matches.erase(std::remove_if(matches.begin(), matches.end(),
+                                   [&](const SecondaryMatch& m) {
+                                     return emitted_pks_.count(m.pk) > 0;
+                                   }),
+                    matches.end());
+    }
+
+    // 3. Validation.
+    std::vector<FetchRequest> requests;
+    requests.reserve(matches.size());
+    auto to_request = [&](const SecondaryMatch& m) {
+      FetchRequest r;
+      r.pk = m.pk;
+      if (opts_.propagate_component_id) r.prune_min_ts = m.component_min_ts;
+      return r;
+    };
+
+    if (validation_ == SecondaryQueryOptions::Validation::kTimestamp) {
+      // Fig 5b: validate (pk, ts) pairs against the primary key index — a
+      // key is invalid if the index holds the same key with a larger
+      // timestamp. (AsterixDB baseline: against each component's deleted-key
+      // B+-tree instead, §4.1 — the captured view made that choice.)
       std::vector<FetchRequest> vreq;
       for (const auto& m : matches) vreq.push_back(FetchRequest{m.pk, 0});
-      PointLookupOptions vopts = MakeLookupOptions(opts);
+      PointLookupOptions vopts = MakeLookupOptions(opts_);
       vopts.raw = true;
       std::vector<FetchedEntry> newest;
       AUXLSM_RETURN_NOT_OK(
-          BulkPointLookup(*index.deleted_keys, vreq, vopts, &newest));
-      std::unordered_map<std::string, Timestamp> newest_ts;
-      for (const auto& e : newest) newest_ts[e.pk] = e.ts;
-      for (const auto& m : matches) {
-        auto it = newest_ts.find(m.pk);
-        if (it != newest_ts.end() && it->second > m.ts) {
-          out->validated_out++;
-          continue;
-        }
-        requests.push_back(to_request(m));
-      }
-    } else {
-      LsmTree* finder = pk_index_ ? pk_index_.get() : primary_.get();
-      std::vector<FetchRequest> vreq;
-      for (const auto& m : matches) vreq.push_back(FetchRequest{m.pk, 0});
-      PointLookupOptions vopts = MakeLookupOptions(opts);
-      vopts.raw = true;
-      std::vector<FetchedEntry> newest;
-      AUXLSM_RETURN_NOT_OK(BulkPointLookup(*finder, vreq, vopts, &newest));
+          BulkPointLookup(validation_view_, vreq, vopts, &newest));
+      const bool deleted_key_mode =
+          dataset_->options_.strategy == MaintenanceStrategy::kDeletedKeyBtree;
       std::unordered_map<std::string, Timestamp> newest_ts;
       std::unordered_map<std::string, bool> newest_alive;
       for (const auto& e : newest) {
@@ -187,60 +326,147 @@ Status Dataset::QueryUserRange(uint64_t lo_user, uint64_t hi_user,
         auto it = newest_ts.find(m.pk);
         const bool invalid =
             it != newest_ts.end() &&
-            (it->second > m.ts || !newest_alive[m.pk]);
+            (it->second > m.ts ||
+             (!deleted_key_mode && !newest_alive[m.pk]));
         if (invalid) {
-          out->validated_out++;
+          validated_out_++;
           continue;
         }
         requests.push_back(to_request(m));
       }
-    }
-    if (opts.index_only) {
-      for (const auto& r : requests) out->keys.push_back(r.pk);
-      return Status::OK();
-    }
-  } else {
-    for (const auto& m : matches) requests.push_back(to_request(m));
-    if (opts.index_only &&
-        validation == SecondaryQueryOptions::Validation::kNone) {
-      for (const auto& r : requests) out->keys.push_back(r.pk);
-      return Status::OK();
-    }
-  }
-
-  // 4. Fetch records from the primary index.
-  std::vector<FetchedEntry> fetched;
-  AUXLSM_RETURN_NOT_OK(BulkPointLookup(*primary_, requests,
-                                       MakeLookupOptions(opts), &fetched));
-
-  // 5. Direct validation re-checks the search condition on the records
-  // (Fig 5a); dead keys simply fetch nothing.
-  const bool recheck =
-      validation == SecondaryQueryOptions::Validation::kDirect;
-  uint64_t missing = requests.size() - fetched.size();
-  out->validated_out += missing;
-  for (auto& e : fetched) {
-    TweetRecord rec;
-    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(e.value, &rec));
-    if (recheck && (rec.user_id < lo_user || rec.user_id > hi_user)) {
-      out->validated_out++;
-      continue;
-    }
-    if (opts.index_only) {
-      out->keys.push_back(e.pk);
+      if (opts_.index_only && !query_.has_time_range()) {
+        for (auto& r : requests) {
+          if (CountBudgetReached()) break;
+          EmitKey(std::move(r.pk));
+        }
+        MaybeFinishCountOnly();
+        return Status::OK();
+      }
     } else {
-      out->records.push_back(std::move(rec));
+      for (const auto& m : matches) requests.push_back(to_request(m));
+      if (opts_.index_only && !query_.has_time_range() &&
+          validation_ == SecondaryQueryOptions::Validation::kNone) {
+        for (auto& r : requests) {
+          if (CountBudgetReached()) break;
+          EmitKey(std::move(r.pk));
+        }
+        MaybeFinishCountOnly();
+        return Status::OK();
+      }
     }
+
+    // 4. Fetch records from the primary index.
+    std::vector<FetchedEntry> fetched;
+    AUXLSM_RETURN_NOT_OK(BulkPointLookup(fetch_view_, requests,
+                                         MakeLookupOptions(opts_), &fetched));
+
+    // 5. Direct validation re-checks the search condition on the records
+    // (Fig 5a); dead keys simply fetch nothing.
+    const bool recheck =
+        validation_ == SecondaryQueryOptions::Validation::kDirect;
+    validated_out_ += requests.size() - fetched.size();
+    const size_t first_record = buffer_.records.size();
+    for (auto& e : fetched) {
+      if (CountBudgetReached()) break;
+      TweetRecord rec;
+      AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(e.value, &rec));
+      if (recheck && query_.has_range() &&
+          (rec.user_id < query_.range_lo() ||
+           rec.user_id > query_.range_hi())) {
+        validated_out_++;
+        continue;
+      }
+      if (query_.has_time_range() &&
+          (rec.creation_time < query_.time_lo() ||
+           rec.creation_time > query_.time_hi())) {
+        time_filtered_++;
+        continue;
+      }
+      if (opts_.index_only) {
+        EmitKey(std::move(e.pk));
+      } else {
+        // The emitted-pk set only matters across chunks; unlimited queries
+        // run one chunk, so skip its upkeep on the legacy hot path.
+        if (query_.limit() != 0) emitted_pks_.insert(e.pk);
+        rows_buffered_++;
+        if (!query_.count_only()) {
+          buffer_.records.push_back(std::move(rec));
+        }
+      }
+    }
+
+    // 6. Optionally restore primary-key order destroyed by batching
+    // (Fig 12d); chunk-local, which is global order for unlimited queries.
+    if (opts_.sort_results_by_pk && !opts_.index_only) {
+      std::sort(buffer_.records.begin() + first_record,
+                buffer_.records.end(),
+                [](const TweetRecord& a, const TweetRecord& b) {
+                  return a.id < b.id;
+                });
+    }
+    MaybeFinishCountOnly();
+    return Status::OK();
   }
 
-  // 6. Optionally restore primary-key order destroyed by batching (Fig 12d).
-  if (opts.sort_results_by_pk && !opts.index_only) {
-    std::sort(out->records.begin(), out->records.end(),
-              [](const TweetRecord& a, const TweetRecord& b) {
-                return a.id < b.id;
-              });
+  void EmitKey(std::string pk) {
+    if (query_.limit() != 0) emitted_pks_.insert(pk);
+    rows_buffered_++;
+    if (!query_.count_only()) buffer_.keys.push_back(std::move(pk));
   }
-  return Status::OK();
+
+  /// Count-only cursors deliver no pages, so the cursor-side Limit never
+  /// triggers; the count stops exactly at the Limit and ends the stream.
+  bool CountBudgetReached() const {
+    return query_.count_only() && query_.limit() != 0 &&
+           rows_buffered_ >= query_.limit();
+  }
+  void MaybeFinishCountOnly() {
+    if (CountBudgetReached()) exhausted_ = true;
+  }
+
+  static constexpr size_t kMinChunkCandidates = 16;
+
+  Dataset* dataset_;
+  SecondaryIndex* index_;
+  ReadQuery query_;
+  SecondaryQueryOptions opts_;
+  SecondaryQueryOptions::Validation validation_ =
+      SecondaryQueryOptions::Validation::kAuto;
+
+  SecondaryScanStream stream_;
+  LsmReadView validation_view_;
+  LsmReadView fetch_view_;
+
+  /// pks that already produced a row (multi-chunk dedup; see ProcessChunk).
+  std::unordered_set<std::string> emitted_pks_;
+  uint64_t rows_buffered_ = 0;  ///< rows ever produced (chunk sizing input)
+  QueryPage buffer_;
+  size_t buf_pos_ = 0;
+  bool stream_dry_ = false;
+  bool exhausted_ = false;
+
+  uint64_t candidates_ = 0;
+  uint64_t validated_out_ = 0;
+  uint64_t time_filtered_ = 0;
+  uint64_t chunks_ = 0;
+};
+
+std::unique_ptr<QueryExecutor> MakeSecondaryQueryExecutor(
+    Dataset* dataset, SecondaryIndex* index, const ReadQuery& query) {
+  return std::make_unique<SecondaryQueryExecutor>(dataset, index, query);
+}
+
+// --- Legacy wrapper ---------------------------------------------------------
+
+Status Dataset::QueryUserRange(uint64_t lo_user, uint64_t hi_user,
+                               const SecondaryQueryOptions& opts,
+                               QueryResult* out) {
+  ReadOptions ro;
+  ro.secondary = opts;
+  AUXLSM_ASSIGN_OR_RETURN(
+      auto cursor,
+      NewCursor(ReadQuery().Secondary().Range(lo_user, hi_user).Options(ro)));
+  return cursor->Drain(out);
 }
 
 }  // namespace auxlsm

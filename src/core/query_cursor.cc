@@ -1,0 +1,185 @@
+// QueryCursor mechanics and query planning: Dataset::NewCursor resolves a
+// declarative ReadQuery to one of three executors — point lookup (here),
+// secondary-index query (query.cc), primary scan (scan.cc) — and the cursor
+// meters pages out of it, enforcing the Limit and charging execution to the
+// ReadOptions::io_queue device queue.
+#include "core/query_cursor.h"
+
+#include <algorithm>
+
+#include "core/dataset.h"
+#include "format/key_codec.h"
+#include "io/io_engine.h"
+
+namespace auxlsm {
+
+// Executor factories (query.cc / scan.cc).
+std::unique_ptr<QueryExecutor> MakeSecondaryQueryExecutor(
+    Dataset* dataset, SecondaryIndex* index, const ReadQuery& query);
+std::unique_ptr<QueryExecutor> MakeFilterScanExecutor(Dataset* dataset,
+                                                      const ReadQuery& query);
+
+// ---------------------------------------------------------------------------
+// Point lookup plan: Query().Primary(id). One-shot by nature; kept
+// behavior-identical to the legacy GetById (a reconciling LsmTree::Get).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PointLookupExecutor final : public QueryExecutor {
+ public:
+  PointLookupExecutor(Dataset* dataset, const ReadQuery& query)
+      : dataset_(dataset), query_(query) {}
+
+  Status Open() override { return Status::OK(); }
+
+  Status Produce(size_t max_rows, QueryPage* page, bool* done) override {
+    *done = true;
+    if (max_rows == 0) return Status::OK();
+    OwnedEntry e;
+    GetOptions opts;
+    opts.use_blocked_bloom = dataset_->options().build_blocked_bloom;
+    Status st =
+        dataset_->primary()->Get(EncodeU64(query_.primary_id()), &e, opts);
+    if (st.IsNotFound()) return Status::OK();
+    AUXLSM_RETURN_NOT_OK(st);
+    TweetRecord rec;
+    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(e.value, &rec));
+    if (query_.has_time_range() && (rec.creation_time < query_.time_lo() ||
+                                    rec.creation_time > query_.time_hi())) {
+      time_filtered_++;
+      return Status::OK();
+    }
+    if (!query_.count_only()) page->records.push_back(std::move(rec));
+    matched_++;
+    return Status::OK();
+  }
+
+  void AccumulateStats(CursorStats* out) const override {
+    out->time_filtered = time_filtered_;
+    out->records_matched = matched_;
+  }
+
+ private:
+  Dataset* dataset_;
+  ReadQuery query_;
+  uint64_t time_filtered_ = 0;
+  uint64_t matched_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryCursor
+// ---------------------------------------------------------------------------
+
+QueryCursor::QueryCursor(Dataset* dataset, const ReadQuery& query,
+                         std::unique_ptr<QueryExecutor> executor)
+    : dataset_(dataset),
+      query_(query),
+      executor_(std::move(executor)),
+      remaining_(query.limit() == 0 ? UINT64_MAX : query.limit()) {}
+
+QueryCursor::~QueryCursor() = default;
+
+Status QueryCursor::Charged(const std::function<Status()>& fn) {
+  IoEngine* io = dataset_->env()->io();
+  MaybeIoQueueScope scope(io, query_.read_options().io_queue);
+  const double before = io->stats().simulated_us;
+  Status st = fn();
+  stats_.io_simulated_us += io->stats().simulated_us - before;
+  executor_->AccumulateStats(&stats_);
+  return st;
+}
+
+Status QueryCursor::Next(QueryPage* page) {
+  page->clear();
+  if (done_) return Status::OK();
+  const size_t want =
+      size_t(std::min<uint64_t>(query_.page_size(), remaining_));
+  bool exec_done = false;
+  AUXLSM_RETURN_NOT_OK(
+      Charged([&] { return executor_->Produce(want, page, &exec_done); }));
+  stats_.rows += page->rows();
+  remaining_ -= std::min<uint64_t>(page->rows(), remaining_);
+  if (exec_done || remaining_ == 0) done_ = true;
+  return Status::OK();
+}
+
+Status QueryCursor::Drain(QueryResult* out) {
+  QueryPage page;
+  while (!done_) {
+    AUXLSM_RETURN_NOT_OK(Next(&page));
+    for (auto& r : page.records) out->records.push_back(std::move(r));
+    for (auto& k : page.keys) out->keys.push_back(std::move(k));
+  }
+  out->candidates = stats_.candidates;
+  out->validated_out = stats_.validated_out;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+Result<SecondaryIndex*> Dataset::secondary_by_name(std::string_view name) {
+  auto it = secondary_catalog_.find(std::string(name));
+  if (it == secondary_catalog_.end()) {
+    return Status::InvalidArgument("unknown secondary index: " +
+                                   std::string(name));
+  }
+  return secondaries_[it->second].get();
+}
+
+Result<std::unique_ptr<QueryCursor>> Dataset::NewCursor(
+    const ReadQuery& query) {
+  std::unique_ptr<QueryExecutor> exec;
+  if (query.has_primary()) {
+    if (query.has_secondary() || query.has_range()) {
+      return Status::InvalidArgument(
+          "Primary() does not compose with Secondary()/Range()");
+    }
+    if (query.index_only()) {
+      return Status::InvalidArgument(
+          "IndexOnly() requires a secondary-index query");
+    }
+    exec = std::make_unique<PointLookupExecutor>(this, query);
+  } else if (query.has_secondary()) {
+    SecondaryIndex* index = nullptr;
+    if (query.index_name().empty()) {
+      if (secondaries_.empty()) {
+        return Status::InvalidArgument("no secondary index");
+      }
+      index = secondaries_[0].get();
+    } else {
+      AUXLSM_ASSIGN_OR_RETURN(index, secondary_by_name(query.index_name()));
+    }
+    exec = MakeSecondaryQueryExecutor(this, index, query);
+  } else {
+    if (query.index_only()) {
+      return Status::InvalidArgument(
+          "IndexOnly() requires a secondary-index query");
+    }
+    exec = MakeFilterScanExecutor(this, query);
+  }
+  auto cursor = std::unique_ptr<QueryCursor>(
+      new QueryCursor(this, query, std::move(exec)));
+  // The snapshot capture itself may read pages (cursor seeks); charge it to
+  // the cursor's queue like every later pull.
+  QueryExecutor* e = cursor->executor_.get();
+  AUXLSM_RETURN_NOT_OK(cursor->Charged([e] { return e->Open(); }));
+  return cursor;
+}
+
+// --- Legacy wrapper ---------------------------------------------------------
+
+Status Dataset::GetById(uint64_t id, TweetRecord* out) {
+  AUXLSM_ASSIGN_OR_RETURN(auto cursor, NewCursor(ReadQuery().Primary(id)));
+  QueryResult res;
+  AUXLSM_RETURN_NOT_OK(cursor->Drain(&res));
+  if (res.records.empty()) return Status::NotFound("id not found");
+  *out = std::move(res.records.front());
+  return Status::OK();
+}
+
+}  // namespace auxlsm

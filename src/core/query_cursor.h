@@ -1,0 +1,121 @@
+// Pull-based streaming query cursor.
+//
+// A QueryCursor is opened by Dataset::NewCursor(ReadQuery) and delivers
+// result pages on demand. The underlying executor captures its snapshot —
+// memtable entry snapshots plus pinned disk-component lists, taken
+// memtables-before-components exactly like the one-shot paths — once at
+// open, so:
+//
+//   - the candidate set is stable: concurrent inserts, flushes, and merges
+//     during the cursor's lifetime neither add, drop, nor duplicate rows
+//     (pinned components keep their files alive until the cursor closes);
+//   - work happens per pull: a Limit(k) query stops pulling candidate
+//     chunks, validating, and fetching as soon as k rows are out, which is
+//     observable as strictly fewer candidates and fewer simulated-I/O
+//     microseconds in stats();
+//   - without a Limit, the pipeline runs in one chunk with exactly the
+//     legacy operator order, so a drained cursor is bit-identical (order
+//     included) to the pre-redesign entry points.
+//
+// Validation and record fetch consult the pinned trees' memtables, which
+// remain live for the *active* memtable: a concurrent update/delete of a
+// snapshot row may still validate it out or refresh its fetched value —
+// the same read-latest semantics the one-shot paths always had.
+//
+// Cursors are not thread-safe and must not outlive their Dataset.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/read_query.h"
+
+namespace auxlsm {
+
+class Dataset;
+class QueryExecutor;
+
+/// One page of results. Record queries fill `records`; index-only queries
+/// fill `keys`; count-only queries fill neither (counters only).
+struct QueryPage {
+  std::vector<TweetRecord> records;
+  std::vector<std::string> keys;
+
+  size_t rows() const { return records.size() + keys.size(); }
+  bool empty() const { return records.empty() && keys.empty(); }
+  void clear() {
+    records.clear();
+    keys.clear();
+  }
+};
+
+/// Cumulative work/result counters of a cursor (the QueryResult/ScanResult
+/// counters, unified, plus the cursor's own I/O accounting).
+struct CursorStats {
+  uint64_t rows = 0;                ///< result rows delivered in pages
+  uint64_t candidates = 0;          ///< secondary matches pulled pre-validation
+  uint64_t validated_out = 0;       ///< candidates rejected by validation
+  uint64_t time_filtered = 0;       ///< rows dropped by a TimeRange predicate
+  uint64_t candidate_chunks = 0;    ///< candidate chunks processed
+  uint64_t records_scanned = 0;     ///< scan plans: live entries visited
+  uint64_t records_matched = 0;     ///< scan plans + CountOnly: matched rows
+  uint64_t components_scanned = 0;
+  uint64_t components_pruned = 0;
+  /// Simulated-I/O microseconds of the storage device charged while this
+  /// cursor was executing (open + pulls). Exact when the cursor runs alone;
+  /// concurrent actors on the same Env make it an overestimate.
+  double io_simulated_us = 0;
+};
+
+/// Internal executor interface: one implementation per plan shape
+/// (point lookup in query_cursor.cc, secondary query in query.cc, primary
+/// scans in scan.cc). Produce() appends up to max_rows rows and sets *done
+/// when the stream is exhausted.
+class QueryExecutor {
+ public:
+  virtual ~QueryExecutor() = default;
+  virtual Status Open() = 0;
+  virtual Status Produce(size_t max_rows, QueryPage* page, bool* done) = 0;
+  virtual void AccumulateStats(CursorStats* out) const = 0;
+};
+
+class QueryCursor {
+ public:
+  ~QueryCursor();
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+
+  /// Pulls the next page: up to PageSize rows, fewer at stream end or when
+  /// the Limit is reached. An exhausted cursor returns OK with an empty
+  /// page. Execution is charged to ReadOptions::io_queue while inside.
+  Status Next(QueryPage* page);
+
+  /// True once the stream is exhausted (or the Limit was delivered).
+  bool done() const { return done_; }
+
+  /// Drains the remaining pages into a materialized QueryResult (records or
+  /// keys, plus the legacy candidates/validated_out counters).
+  Status Drain(QueryResult* out);
+
+  /// Counters so far; final once done(). Scan counters map onto ScanResult.
+  const CursorStats& stats() const { return stats_; }
+
+ private:
+  friend class Dataset;
+  QueryCursor(Dataset* dataset, const ReadQuery& query,
+              std::unique_ptr<QueryExecutor> executor);
+
+  /// Runs fn under the cursor's I/O-queue binding, accounting simulated-us.
+  Status Charged(const std::function<Status()>& fn);
+
+  Dataset* dataset_;
+  ReadQuery query_;
+  std::unique_ptr<QueryExecutor> executor_;
+  uint64_t remaining_;  ///< rows still allowed by Limit (UINT64_MAX = none)
+  bool done_ = false;
+  CursorStats stats_;
+};
+
+}  // namespace auxlsm

@@ -1,0 +1,203 @@
+// Declarative read queries: the dataset's single composable read surface.
+//
+// A ReadQuery describes *what* to read — the target index (by name), key and
+// time predicates, projection (records / keys / counters only), result bound
+// and delivery granularity — while ReadOptions carries *how* to read it: the
+// §3.2/§4.3 navigation and validation knobs, and the device queue the
+// cursor's simulated I/O is charged to. Dataset::NewCursor plans the query
+// and returns a pull-based QueryCursor (core/query_cursor.h) that streams
+// result pages from a snapshot captured at open.
+//
+//   auto cursor = dataset.NewCursor(
+//       Query().Secondary("user_id").Range(lo, hi).Limit(10).PageSize(5));
+//
+// The four legacy entry points (GetById, QueryUserRange, ScanTimeRange,
+// FullScanUserRange) are thin wrappers over this API and keep their exact
+// pre-redesign behavior, counters included.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "format/record.h"
+
+namespace auxlsm {
+
+/// Knobs of §3.2's index-to-index navigation optimizations and §4.3's
+/// validation methods.
+struct SecondaryQueryOptions {
+  enum class LookupAlgo { kNaive, kBatched };
+  LookupAlgo lookup = LookupAlgo::kBatched;
+  /// Memory for one batch of primary keys (paper default 16 MB).
+  size_t batch_memory_bytes = 16u << 20;
+  bool stateful_btree_lookup = true;   ///< "sLookup"
+  bool use_blocked_bloom = true;       ///< "bBF"
+  bool propagate_component_id = false; ///< "pID" (Jia [21])
+  /// Sort fetched records back into primary-key order (Fig 12d). A limited
+  /// cursor sorts within each candidate chunk (global order would defeat
+  /// early termination); unlimited queries sort globally as before.
+  bool sort_results_by_pk = false;
+
+  enum class Validation { kAuto, kNone, kDirect, kTimestamp };
+  Validation validation = Validation::kAuto;
+
+  bool index_only = false;
+};
+
+/// A matching (primary key, timestamp) pair surfaced by a secondary search,
+/// with the component ID floor used by the pID optimization.
+struct SecondaryMatch {
+  std::string pk;
+  Timestamp ts = 0;
+  Timestamp component_min_ts = 0;
+};
+
+/// How to run a read: navigation/validation knobs plus the cursor's device
+/// binding. Orthogonal to the query description itself.
+struct ReadOptions {
+  SecondaryQueryOptions secondary;
+  /// Device queue of the storage engine this cursor's I/O is charged to
+  /// (io/io_engine.h). Negative = the calling thread's current binding
+  /// (queue 0 when unbound) — the legacy behavior. Spreading reader threads
+  /// over queues lets concurrent reads overlap in *simulated* time.
+  int32_t io_queue = -1;
+  /// Scan readahead pages; 0 = the dataset's configured default.
+  uint32_t readahead_pages = 0;
+};
+
+/// Composable description of one read. Built fluently (see Query() below);
+/// executed by Dataset::NewCursor. Unset clauses default to "everything":
+/// a query with no clauses full-scans the primary index.
+class ReadQuery {
+ public:
+  ReadQuery() = default;
+
+  /// Primary-key point read.
+  ReadQuery& Primary(uint64_t id) {
+    has_primary_ = true;
+    primary_id_ = id;
+    return *this;
+  }
+
+  /// Target the first configured secondary index.
+  ReadQuery& Secondary() {
+    has_secondary_ = true;
+    index_name_.clear();
+    return *this;
+  }
+
+  /// Target a secondary index by catalog name (e.g. "user_id", "attr1").
+  /// Unknown names fail at NewCursor with a proper error.
+  ReadQuery& Secondary(std::string index_name) {
+    has_secondary_ = true;
+    index_name_ = std::move(index_name);
+    return *this;
+  }
+
+  /// Key range [lo, hi]: the secondary-key range when Secondary() is set,
+  /// otherwise a user_id predicate evaluated by a full primary scan (the
+  /// Fig 12b "scan" baseline).
+  ReadQuery& Range(uint64_t lo, uint64_t hi) {
+    has_range_ = true;
+    range_lo_ = lo;
+    range_hi_ = hi;
+    return *this;
+  }
+
+  /// creation_time predicate [lo, hi]. Alone it plans the §6.4.2
+  /// range-filter scan (component pruning); composed with Secondary/Range
+  /// it filters fetched records.
+  ReadQuery& TimeRange(uint64_t lo, uint64_t hi) {
+    has_time_ = true;
+    time_lo_ = lo;
+    time_hi_ = hi;
+    return *this;
+  }
+
+  /// Project primary keys instead of records (secondary queries only).
+  ReadQuery& IndexOnly(bool on = true) {
+    index_only_ = on;
+    return *this;
+  }
+
+  /// Count matches without materializing rows (the legacy scan entry
+  /// points' semantics; results arrive via CursorStats).
+  ReadQuery& CountOnly(bool on = true) {
+    count_only_ = on;
+    return *this;
+  }
+
+  /// Stop after k result rows. The cursor terminates early: fewer candidate
+  /// chunks are pulled, validated, and fetched than an unlimited run.
+  ReadQuery& Limit(uint64_t k) {
+    limit_ = k;
+    return *this;
+  }
+
+  /// Rows delivered per QueryCursor::Next pull (default 256).
+  ReadQuery& PageSize(size_t n) {
+    page_size_ = n == 0 ? 1 : n;
+    return *this;
+  }
+
+  ReadQuery& Options(const ReadOptions& ro) {
+    read_options_ = ro;
+    return *this;
+  }
+
+  // --- Planner accessors ------------------------------------------------------
+  bool has_primary() const { return has_primary_; }
+  uint64_t primary_id() const { return primary_id_; }
+  bool has_secondary() const { return has_secondary_; }
+  const std::string& index_name() const { return index_name_; }
+  bool has_range() const { return has_range_; }
+  uint64_t range_lo() const { return range_lo_; }
+  uint64_t range_hi() const { return range_hi_; }
+  bool has_time_range() const { return has_time_; }
+  uint64_t time_lo() const { return time_lo_; }
+  uint64_t time_hi() const { return time_hi_; }
+  bool index_only() const { return index_only_; }
+  bool count_only() const { return count_only_; }
+  uint64_t limit() const { return limit_; }  ///< 0 = unlimited
+  size_t page_size() const { return page_size_; }
+  const ReadOptions& read_options() const { return read_options_; }
+
+ private:
+  bool has_primary_ = false;
+  uint64_t primary_id_ = 0;
+  bool has_secondary_ = false;
+  std::string index_name_;
+  bool has_range_ = false;
+  uint64_t range_lo_ = 0, range_hi_ = 0;
+  bool has_time_ = false;
+  uint64_t time_lo_ = 0, time_hi_ = 0;
+  bool index_only_ = false;
+  bool count_only_ = false;
+  uint64_t limit_ = 0;
+  size_t page_size_ = 256;
+  ReadOptions read_options_;
+};
+
+/// Builder entry point: Query().Secondary("user_id").Range(lo, hi)...
+inline ReadQuery Query() { return ReadQuery(); }
+
+/// Materialized result of a fully-drained query (the legacy entry points'
+/// output shape; QueryCursor::Drain fills one).
+struct QueryResult {
+  std::vector<TweetRecord> records;  ///< non-index-only queries
+  std::vector<std::string> keys;     ///< index-only queries
+  uint64_t candidates = 0;           ///< matches before validation
+  uint64_t validated_out = 0;        ///< candidates rejected by validation
+};
+
+struct ScanResult {
+  uint64_t records_scanned = 0;
+  uint64_t records_matched = 0;
+  uint64_t components_pruned = 0;
+  uint64_t components_scanned = 0;
+};
+
+}  // namespace auxlsm

@@ -1,5 +1,10 @@
-// Primary-index scans: full scans (the Fig 12b baseline) and range-filter
-// scans (§6.4.2), with strategy-dependent component pruning.
+// Primary-index scans as a streaming executor: full scans (the Fig 12b
+// baseline) and range-filter scans (§6.4.2) with strategy-dependent
+// component pruning, pulled one entry at a time so a Limit stops reading
+// pages as soon as enough rows matched. The legacy one-shot entry points
+// drain an unlimited count-only cursor, visiting entries in exactly the
+// pre-cursor order — ScanResult counters are bit-identical.
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,48 +13,320 @@
 
 namespace auxlsm {
 
-namespace {
+// ---------------------------------------------------------------------------
+// FilterScanExecutor (a Dataset friend; see dataset.h)
+// ---------------------------------------------------------------------------
 
-/// Reconciling scan over the given primary components + a memtable snapshot
-/// taken by the caller *before* the component snapshot (so a concurrent
-/// flush cannot hide entries from both), invoking cb(value) for every live
-/// record. Duplicate keys resolve to the larger timestamp.
-Status ReconcilingScan(const std::vector<DiskComponentPtr>& comps,
-                       const std::vector<OwnedEntry>& mem,
-                       uint32_t readahead,
-                       const std::function<void(const Slice&)>& cb) {
-  MergeCursor::Options mo;
-  mo.readahead_pages = readahead;
-  mo.respect_bitmaps = true;
-  MergeCursor cursor(comps, mo);
-  AUXLSM_RETURN_NOT_OK(cursor.Init());
+class FilterScanExecutor final : public QueryExecutor {
+ public:
+  FilterScanExecutor(Dataset* dataset, const ReadQuery& query)
+      : dataset_(dataset), query_(query) {}
 
-  size_t mi = 0;
-  while (cursor.Valid() || mi < mem.size()) {
+  Status Open() override {
+    readahead_ = query_.read_options().readahead_pages;
+    if (readahead_ == 0) readahead_ = dataset_->options_.scan_readahead_pages;
+    const auto strategy = dataset_->options_.strategy;
+    LsmTree* primary = dataset_->primary_.get();
+
+    // A pure time-range query scans with range-filter pruning; any user_id
+    // predicate forces the full primary scan (filters only cover time).
+    const bool prune_mode = query_.has_time_range() && !query_.has_range();
+
+    if (!prune_mode) {
+      mem_ = primary->MemSnapshot();  // before Components()
+      selected_ = primary->Components();
+      components_scanned_ = selected_.size();
+      include_memtable_ = true;
+      return InitCursor();
+    }
+
+    // Memtable state before the component snapshot (flush-race ordering).
+    // Covers active and sealed memory components.
+    const bool mem_overlaps =
+        primary->MemOverlaps(query_.time_lo(), query_.time_hi());
+    mem_ = primary->MemSnapshot();
+
+    auto comps = primary->Components();
+    auto overlaps = [&](const DiskComponentPtr& c) {
+      const auto& f = c->range_filter();
+      // A component without a filter can never be pruned.
+      if (!f.has_value()) return true;
+      return f->Overlaps(query_.time_lo(), query_.time_hi());
+    };
+
+    if (strategy == MaintenanceStrategy::kMutableBitmap) {
+      // §5: bitmaps make disk entries self-describing, so components are
+      // scanned one by one with independent pruning and no reconciliation.
+      // The memtable snapshot was taken before the component snapshot, so a
+      // concurrently flushed entry can appear in both; the newer timestamp
+      // wins in either direction. Serially a mem/disk duplicate cannot
+      // exist with a valid bitmap bit (the upsert marks the old version),
+      // so the reconciliation map is only built when the maintenance engine
+      // makes concurrent flushes possible — the serial hot loop stays
+      // allocation-free.
+      per_component_ = true;
+      comps_ = std::move(comps);
+      overlaps_ = overlaps;
+      include_memtable_ = mem_overlaps;
+      if (mem_overlaps && (dataset_->maintenance_ != nullptr ||
+                           dataset_->multi_writer())) {
+        for (const auto& e : mem_) mem_ts_[e.key] = e.ts;
+      }
+      return Status::OK();
+    }
+
+    // Candidate components by filter overlap.
+    std::vector<bool> candidate(comps.size());
+    int oldest_candidate = -1;
+    for (size_t i = 0; i < comps.size(); i++) {
+      candidate[i] = overlaps(comps[i]);
+      if (candidate[i]) oldest_candidate = static_cast<int>(i);
+    }
+
+    include_memtable_ = mem_overlaps;
+    if (strategy == MaintenanceStrategy::kValidation ||
+        strategy == MaintenanceStrategy::kDeletedKeyBtree) {
+      // §4.2: filters only reflect new records, so a query touching an
+      // older component must read every newer component (and the memtable)
+      // to see overriding updates.
+      if (oldest_candidate >= 0) {
+        include_memtable_ = true;
+        for (int i = 0; i <= oldest_candidate; i++) {
+          selected_.push_back(comps[i]);
+        }
+      }
+    } else {
+      // Eager: filters were widened with old-record values, so components
+      // prune independently.
+      for (size_t i = 0; i < comps.size(); i++) {
+        if (candidate[i]) selected_.push_back(comps[i]);
+      }
+    }
+    components_scanned_ = selected_.size();
+    components_pruned_ = comps.size() - selected_.size();
+    return InitCursor();
+  }
+
+  Status Produce(size_t max_rows, QueryPage* page, bool* done) override {
+    const uint64_t match_budget =
+        query_.limit() == 0 ? UINT64_MAX : query_.limit();
+    size_t emitted = 0;
+    while (!done_) {
+      if (query_.count_only()) {
+        // No rows to deliver: run to exhaustion (or to the match Limit) in
+        // this single pull.
+        if (records_matched_ >= match_budget) break;
+      } else if (emitted >= max_rows) {
+        break;
+      }
+      bool produced = false;
+      AUXLSM_RETURN_NOT_OK(per_component_ ? StepPerComponent(page, &produced)
+                                          : StepReconciling(page, &produced));
+      if (produced) emitted++;
+    }
+    *done = done_ || records_matched_ >= match_budget;
+    return Status::OK();
+  }
+
+  void AccumulateStats(CursorStats* out) const override {
+    out->records_scanned = records_scanned_;
+    out->records_matched = records_matched_;
+    out->components_scanned = components_scanned_;
+    out->components_pruned = components_pruned_;
+  }
+
+ private:
+  Status InitCursor() {
+    MergeCursor::Options mo;
+    mo.readahead_pages = readahead_;
+    mo.respect_bitmaps = true;
+    cursor_ = std::make_unique<MergeCursor>(selected_, mo);
+    return cursor_->Init();
+  }
+
+  /// Evaluates the query predicates against a serialized record.
+  bool Matches(const Slice& value) const {
+    if (query_.has_range()) {
+      uint64_t uid = 0;
+      if (!(ExtractUserId(value, &uid).ok() && uid >= query_.range_lo() &&
+            uid <= query_.range_hi())) {
+        return false;
+      }
+    }
+    if (query_.has_time_range()) {
+      uint64_t t = 0;
+      if (!(ExtractCreationTime(value, &t).ok() && t >= query_.time_lo() &&
+            t <= query_.time_hi())) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Counts (and, for row-producing cursors, materializes) one live record.
+  Status Visit(const Slice& value, QueryPage* page, bool* produced) {
+    records_scanned_++;
+    if (!Matches(value)) return Status::OK();
+    records_matched_++;
+    if (!query_.count_only()) {
+      TweetRecord rec;
+      AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(value, &rec));
+      page->records.push_back(std::move(rec));
+      *produced = true;
+    }
+    return Status::OK();
+  }
+
+  /// One step of the reconciling merge over (selected components, memtable
+  /// snapshot): duplicate keys resolve to the larger timestamp. Mirrors the
+  /// legacy ReconcilingScan loop body.
+  Status StepReconciling(QueryPage* page, bool* produced) {
+    const auto& mem = include_memtable_ ? mem_ : kNoMem;
+    if (!cursor_->Valid() && mi_ >= mem.size()) {
+      done_ = true;
+      return Status::OK();
+    }
     int cmp;
-    if (!cursor.Valid()) {
+    if (!cursor_->Valid()) {
       cmp = -1;
-    } else if (mi >= mem.size()) {
+    } else if (mi_ >= mem.size()) {
       cmp = 1;
     } else {
-      cmp = Slice(mem[mi].key).compare(cursor.key());
+      cmp = Slice(mem[mi_].key).compare(cursor_->key());
     }
     if (cmp < 0) {
-      if (!mem[mi].antimatter) cb(mem[mi].value);
-      mi++;
-    } else if (cmp > 0) {
-      if (!cursor.antimatter()) cb(cursor.value());
-      AUXLSM_RETURN_NOT_OK(cursor.Next());
-    } else {
-      if (mem[mi].ts >= cursor.ts()) {
-        if (!mem[mi].antimatter) cb(mem[mi].value);
-      } else {
-        if (!cursor.antimatter()) cb(cursor.value());
+      if (!mem[mi_].antimatter) {
+        AUXLSM_RETURN_NOT_OK(Visit(mem[mi_].value, page, produced));
       }
-      mi++;
-      AUXLSM_RETURN_NOT_OK(cursor.Next());
+      mi_++;
+    } else if (cmp > 0) {
+      if (!cursor_->antimatter()) {
+        AUXLSM_RETURN_NOT_OK(Visit(cursor_->value(), page, produced));
+      }
+      AUXLSM_RETURN_NOT_OK(cursor_->Next());
+    } else {
+      if (mem[mi_].ts >= cursor_->ts()) {
+        if (!mem[mi_].antimatter) {
+          AUXLSM_RETURN_NOT_OK(Visit(mem[mi_].value, page, produced));
+        }
+      } else {
+        if (!cursor_->antimatter()) {
+          AUXLSM_RETURN_NOT_OK(Visit(cursor_->value(), page, produced));
+        }
+      }
+      mi_++;
+      AUXLSM_RETURN_NOT_OK(cursor_->Next());
+    }
+    return Status::OK();
+  }
+
+  /// One step of the Mutable-bitmap per-component scan: components in
+  /// newest-first order (independent pruning), then the memtable snapshot.
+  Status StepPerComponent(QueryPage* page, bool* produced) {
+    while (true) {
+      if (it_.has_value()) {
+        if (it_->Valid()) {
+          const DiskComponentPtr& c = comps_[ci_];
+          bool visit = false;
+          if (!it_->antimatter() && c->EntryValid(it_->ordinal())) {
+            visit = true;
+            if (!mem_ts_.empty()) {
+              auto dup = mem_ts_.find(it_->key().ToString());
+              if (dup != mem_ts_.end()) {
+                if (dup->second >= it_->ts()) {
+                  visit = false;  // mem copy newer: skip the disk copy
+                } else {
+                  superseded_.insert(dup->first);  // disk newer: skip mem
+                }
+              }
+            }
+          }
+          Status st;
+          if (visit) st = Visit(it_->value(), page, produced);
+          AUXLSM_RETURN_NOT_OK(st);
+          AUXLSM_RETURN_NOT_OK(it_->Next());
+          if (*produced || visit) return Status::OK();
+          continue;
+        }
+        it_.reset();
+        ci_++;
+      }
+      if (ci_ < comps_.size()) {
+        const DiskComponentPtr& c = comps_[ci_];
+        if (!overlaps_(c)) {
+          components_pruned_++;
+          ci_++;
+          continue;
+        }
+        components_scanned_++;
+        it_.emplace(c->tree().NewIterator(readahead_));
+        AUXLSM_RETURN_NOT_OK(it_->SeekToFirst());
+        continue;
+      }
+      // Memtable phase.
+      if (!include_memtable_ || mi_ >= mem_.size()) {
+        done_ = true;
+        return Status::OK();
+      }
+      const OwnedEntry& e = mem_[mi_++];
+      if (!e.antimatter &&
+          (superseded_.empty() || superseded_.count(e.key) == 0)) {
+        return Visit(e.value, page, produced);
+      }
     }
   }
+
+  static const std::vector<OwnedEntry> kNoMem;
+
+  Dataset* dataset_;
+  ReadQuery query_;
+  uint32_t readahead_ = 32;
+
+  // Snapshot (captured at Open).
+  std::vector<OwnedEntry> mem_;
+  std::vector<DiskComponentPtr> selected_;  // reconciling mode
+  std::vector<DiskComponentPtr> comps_;     // per-component mode
+  std::function<bool(const DiskComponentPtr&)> overlaps_;
+  bool include_memtable_ = false;
+  bool per_component_ = false;
+
+  // Iteration state.
+  std::unique_ptr<MergeCursor> cursor_;
+  size_t mi_ = 0;
+  size_t ci_ = 0;
+  std::optional<Btree::Iterator> it_;
+  std::unordered_map<std::string, Timestamp> mem_ts_;
+  std::unordered_set<std::string> superseded_;
+  bool done_ = false;
+
+  uint64_t records_scanned_ = 0;
+  uint64_t records_matched_ = 0;
+  uint64_t components_scanned_ = 0;
+  uint64_t components_pruned_ = 0;
+};
+
+const std::vector<OwnedEntry> FilterScanExecutor::kNoMem;
+
+std::unique_ptr<QueryExecutor> MakeFilterScanExecutor(Dataset* dataset,
+                                                      const ReadQuery& query) {
+  return std::make_unique<FilterScanExecutor>(dataset, query);
+}
+
+// --- Legacy wrappers --------------------------------------------------------
+
+namespace {
+
+Status FillScanResult(Dataset* ds, const ReadQuery& q, ScanResult* out) {
+  AUXLSM_ASSIGN_OR_RETURN(auto cursor, ds->NewCursor(q));
+  QueryPage page;
+  while (!cursor->done()) {
+    AUXLSM_RETURN_NOT_OK(cursor->Next(&page));
+  }
+  const CursorStats& s = cursor->stats();
+  out->records_scanned = s.records_scanned;
+  out->records_matched = s.records_matched;
+  out->components_scanned = s.components_scanned;
+  out->components_pruned = s.components_pruned;
   return Status::OK();
 }
 
@@ -57,146 +334,12 @@ Status ReconcilingScan(const std::vector<DiskComponentPtr>& comps,
 
 Status Dataset::FullScanUserRange(uint64_t lo_user, uint64_t hi_user,
                                   ScanResult* out) {
-  const auto mem = primary_->MemSnapshot();  // before Components()
-  auto comps = primary_->Components();
-  out->components_scanned = comps.size();
-  uint64_t scanned = 0, matched = 0;
-  AUXLSM_RETURN_NOT_OK(ReconcilingScan(
-      comps, mem, options_.scan_readahead_pages,
-      [&](const Slice& value) {
-        scanned++;
-        uint64_t uid = 0;
-        if (ExtractUserId(value, &uid).ok() && uid >= lo_user &&
-            uid <= hi_user) {
-          matched++;
-        }
-      }));
-  out->records_scanned = scanned;
-  out->records_matched = matched;
-  return Status::OK();
+  return FillScanResult(this, Query().Range(lo_user, hi_user).CountOnly(),
+                        out);
 }
 
 Status Dataset::ScanTimeRange(uint64_t lo, uint64_t hi, ScanResult* out) {
-  // Memtable state before the component snapshot (flush-race ordering; see
-  // ReconcilingScan). Covers active and sealed memory components.
-  const bool mem_overlaps = primary_->MemOverlaps(lo, hi);
-  const auto mem = primary_->MemSnapshot();
-
-  auto comps = primary_->Components();
-  auto overlaps = [&](const DiskComponentPtr& c) {
-    const auto& f = c->range_filter();
-    // A component without a filter can never be pruned.
-    if (!f.has_value()) return true;
-    return f->Overlaps(lo, hi);
-  };
-  auto count_matches = [&](const Slice& value, uint64_t* matched) {
-    uint64_t t = 0;
-    if (ExtractCreationTime(value, &t).ok() && t >= lo && t <= hi) {
-      (*matched)++;
-    }
-  };
-
-  uint64_t scanned = 0, matched = 0;
-
-  if (options_.strategy == MaintenanceStrategy::kMutableBitmap) {
-    // §5: bitmaps make disk entries self-describing, so components are
-    // scanned one by one with independent pruning and no reconciliation.
-    // The memtable snapshot was taken before the component snapshot, so a
-    // concurrently flushed entry can appear in both; the newer timestamp
-    // wins in either direction. Serially a mem/disk duplicate cannot exist
-    // with a valid bitmap bit (the upsert marks the old version), so the
-    // reconciliation map is only built when the maintenance engine makes
-    // concurrent flushes possible — the serial hot loop stays
-    // allocation-free.
-    std::unordered_map<std::string, Timestamp> mem_ts;
-    std::unordered_set<std::string> superseded;
-    if (mem_overlaps && (maintenance_ != nullptr || multi_writer())) {
-      for (const auto& e : mem) mem_ts[e.key] = e.ts;
-    }
-    for (const auto& c : comps) {
-      if (!overlaps(c)) {
-        out->components_pruned++;
-        continue;
-      }
-      out->components_scanned++;
-      auto it = c->tree().NewIterator(options_.scan_readahead_pages);
-      AUXLSM_RETURN_NOT_OK(it.SeekToFirst());
-      while (it.Valid()) {
-        if (!it.antimatter() && c->EntryValid(it.ordinal())) {
-          bool dup_wins = false;
-          if (!mem_ts.empty()) {
-            auto dup = mem_ts.find(it.key().ToString());
-            if (dup != mem_ts.end()) {
-              if (dup->second >= it.ts()) {
-                dup_wins = true;  // mem copy newer: skip the disk copy
-              } else {
-                superseded.insert(dup->first);  // disk copy newer: skip mem
-              }
-            }
-          }
-          if (!dup_wins) {
-            scanned++;
-            count_matches(it.value(), &matched);
-          }
-        }
-        AUXLSM_RETURN_NOT_OK(it.Next());
-      }
-    }
-    if (mem_overlaps) {
-      for (const auto& e : mem) {
-        if (!e.antimatter &&
-            (superseded.empty() || superseded.count(e.key) == 0)) {
-          scanned++;
-          count_matches(e.value, &matched);
-        }
-      }
-    }
-    out->records_scanned = scanned;
-    out->records_matched = matched;
-    return Status::OK();
-  }
-
-  // Candidate components by filter overlap.
-  std::vector<bool> candidate(comps.size());
-  int oldest_candidate = -1;
-  for (size_t i = 0; i < comps.size(); i++) {
-    candidate[i] = overlaps(comps[i]);
-    if (candidate[i]) oldest_candidate = static_cast<int>(i);
-  }
-
-  std::vector<DiskComponentPtr> selected;
-  bool include_memtable = mem_overlaps;
-  if (options_.strategy == MaintenanceStrategy::kValidation ||
-      options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
-    // §4.2: filters only reflect new records, so a query touching an older
-    // component must read every newer component (and the memtable) to see
-    // overriding updates.
-    if (oldest_candidate >= 0) {
-      include_memtable = true;
-      for (int i = 0; i <= oldest_candidate; i++) {
-        selected.push_back(comps[i]);
-      }
-    }
-  } else {
-    // Eager: filters were widened with old-record values, so components
-    // prune independently.
-    for (size_t i = 0; i < comps.size(); i++) {
-      if (candidate[i]) selected.push_back(comps[i]);
-    }
-  }
-  out->components_scanned = selected.size();
-  out->components_pruned = comps.size() - selected.size();
-
-  static const std::vector<OwnedEntry> kNoMem;
-  AUXLSM_RETURN_NOT_OK(ReconcilingScan(
-      selected, include_memtable ? mem : kNoMem,
-      options_.scan_readahead_pages, [&](const Slice& value) {
-        scanned++;
-        count_matches(value, &matched);
-      }));
-  out->records_scanned = scanned;
-  out->records_matched = matched;
-  return Status::OK();
+  return FillScanResult(this, Query().TimeRange(lo, hi).CountOnly(), out);
 }
 
 }  // namespace auxlsm

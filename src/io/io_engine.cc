@@ -123,4 +123,22 @@ IoQueueScope::~IoQueueScope() {
   }
 }
 
+MaybeIoQueueScope::MaybeIoQueueScope(IoEngine* engine, int32_t queue)
+    : engine_(queue >= 0 ? engine : nullptr) {
+  if (engine_ == nullptr) return;
+  IoEngine::TlsBindings().emplace_back(
+      engine_, uint32_t(queue) % engine_->num_queues());
+}
+
+MaybeIoQueueScope::~MaybeIoQueueScope() {
+  if (engine_ == nullptr) return;
+  auto& bindings = IoEngine::TlsBindings();
+  for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+    if (it->first == engine_) {
+      bindings.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
 }  // namespace auxlsm

@@ -127,6 +127,7 @@ class IoEngine {
 
  private:
   friend class IoQueueScope;
+  friend class MaybeIoQueueScope;
   /// Per-thread binding stack; engine-keyed so one thread can hold bindings
   /// on several engines (storage + log) at once.
   static std::vector<std::pair<const IoEngine*, uint32_t>>& TlsBindings();
@@ -152,6 +153,23 @@ class IoQueueScope {
 
  private:
   IoEngine* engine_;
+};
+
+/// Conditional binding: binds like IoQueueScope when queue >= 0 and leaves
+/// the thread's current binding untouched when queue is negative. This is
+/// the read path's queue selector — ReadOptions::io_queue defaults to -1
+/// ("charge wherever the calling thread is bound"), and a reader pool binds
+/// reader i to queue i % Q by passing explicit ids.
+class MaybeIoQueueScope {
+ public:
+  MaybeIoQueueScope(IoEngine* engine, int32_t queue);
+  ~MaybeIoQueueScope();
+
+  MaybeIoQueueScope(const MaybeIoQueueScope&) = delete;
+  MaybeIoQueueScope& operator=(const MaybeIoQueueScope&) = delete;
+
+ private:
+  IoEngine* engine_;  ///< null when no binding was pushed
 };
 
 }  // namespace auxlsm

@@ -81,4 +81,44 @@ Status LoadRecords(Dataset* ds, TweetGenerator* gen, uint64_t n) {
   return Status::OK();
 }
 
+Status RunPagedReadWorkload(Dataset* ds,
+                            const PagedReadWorkloadOptions& options,
+                            PagedReadReport* report) {
+  Random rng(options.seed);
+  const uint64_t span =
+      options.user_domain > options.range_width
+          ? options.user_domain - options.range_width
+          : 1;
+  ReadOptions ro;
+  ro.io_queue = options.io_queue;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < options.num_queries; i++) {
+    const uint64_t lo = rng.Uniform(span);
+    ReadQuery q = Query()
+                      .Range(lo, lo + options.range_width - 1)
+                      .Limit(options.limit)
+                      .PageSize(options.page_size)
+                      .Options(ro);
+    if (options.index_name.empty()) {
+      q.Secondary();
+    } else {
+      q.Secondary(options.index_name);
+    }
+    AUXLSM_ASSIGN_OR_RETURN(auto cursor, ds->NewCursor(q));
+    QueryPage page;
+    while (!cursor->done()) {
+      AUXLSM_RETURN_NOT_OK(cursor->Next(&page));
+      report->rows += page.rows();
+      if (!page.empty()) report->pages++;
+    }
+    report->candidates += cursor->stats().candidates;
+    report->validated_out += cursor->stats().validated_out;
+    report->queries++;
+  }
+  report->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return Status::OK();
+}
+
 }  // namespace auxlsm

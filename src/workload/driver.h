@@ -42,6 +42,35 @@ Status RunUpsertWorkload(Dataset* dataset, TweetGenerator* gen,
                          const UpsertWorkloadOptions& options,
                          WorkloadReport* report);
 
+/// Paginated top-k read workload over the new cursor API: each query is a
+/// secondary range of `range_width` user ids, drained page by page up to
+/// `limit` rows (0 = unlimited). `io_queue` binds the queries' simulated
+/// I/O to one device queue (a reader pool passes reader i % queues);
+/// negative keeps the calling thread's binding.
+struct PagedReadWorkloadOptions {
+  uint64_t num_queries = 100;
+  uint64_t range_width = 100;
+  uint64_t limit = 10;
+  size_t page_size = 10;
+  uint64_t user_domain = 100000;
+  uint64_t seed = 7;
+  int32_t io_queue = -1;
+  std::string index_name;  ///< empty = the first secondary index
+};
+
+struct PagedReadReport {
+  uint64_t queries = 0;
+  uint64_t rows = 0;
+  uint64_t pages = 0;
+  uint64_t candidates = 0;
+  uint64_t validated_out = 0;
+  double elapsed_seconds = 0;  ///< wall-clock CPU-side time
+};
+
+Status RunPagedReadWorkload(Dataset* dataset,
+                            const PagedReadWorkloadOptions& options,
+                            PagedReadReport* report);
+
 /// Loads `n` fresh records via upsert (dataset preparation helper).
 Status LoadRecords(Dataset* dataset, TweetGenerator* gen, uint64_t n);
 
