@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -148,6 +149,27 @@ inline void PrintDigest(const std::string& section, double simulated_us,
                         double critical_path_us) {
   std::printf("DIGEST %-24s sim_us=%.3f crit_us=%.3f\n", section.c_str(),
               simulated_us, critical_path_us);
+}
+
+/// Per-op latency distribution summary for the ingest-stall sections
+/// (fig13-lat / fig23f): median, tail, and worst observed stall.
+struct LatencyPercentiles {
+  double p50 = 0, p99 = 0, max = 0;
+};
+
+inline LatencyPercentiles ComputePercentiles(std::vector<double> samples) {
+  LatencyPercentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: the q-th percentile is the ceil(q*n)-th order statistic.
+  auto rank = [&](double q) {
+    const size_t r = size_t(std::ceil(q * double(samples.size())));
+    return samples[std::min(samples.size() - 1, r == 0 ? 0 : r - 1)];
+  };
+  p.p50 = rank(0.50);
+  p.p99 = rank(0.99);
+  p.max = samples.back();
+  return p;
 }
 
 /// A dataset prepared by upserting `base_records` fresh records and then

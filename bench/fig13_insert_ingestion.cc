@@ -69,6 +69,33 @@ CaseResult RunCase(bool ssd, bool pk_index, double dup_ratio, size_t threads,
   return r;
 }
 
+/// Per-op modeled ingest latency on the serial path: most inserts cost a
+/// memtable put plus the uniqueness check, while budget-triggered ops pay
+/// the whole inline flush (+ merges) — the stall spikes the decoupled
+/// pipeline (Fig 23f) exists to bound. Deterministic (writers=1, mt=1,
+/// queues=1), so the tiny run's DIGEST lines are CI parity anchors.
+LatencyPercentiles RunLatencyCase(bool pk_index, uint64_t ops) {
+  Env env(BenchEnv(/*cache_mb=*/4));
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kEager;
+  o.enable_primary_key_index = pk_index;
+  o.mem_budget_bytes = 1 << 20;
+  o.max_mergeable_bytes = 8 << 20;
+  o.maintenance_threads = 1;
+  Dataset ds(&env, o);
+  TweetGenerator gen;
+  std::vector<double> lat;
+  lat.reserve(ops);
+  for (uint64_t i = 0; i < ops; i++) {
+    const double before =
+        env.stats().simulated_us + ds.wal()->stats().simulated_us;
+    if (!ds.Insert(gen.Next()).ok()) std::abort();
+    lat.push_back(env.stats().simulated_us + ds.wal()->stats().simulated_us -
+                  before);
+  }
+  return ComputePercentiles(std::move(lat));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace auxlsm
@@ -108,6 +135,26 @@ int main(int argc, char** argv) {
                   parallel.total_s, serial.total_s / parallel.total_s);
     PrintRow("pk-idx 0% dup mt=" + std::to_string(hw), ssd ? "ssd" : "hdd",
              parallel.total_s, extra);
+  }
+
+  // Per-op ingest latency: the serial path's stall distribution. The p50 is
+  // the memtable put + uniqueness check; the max is a full inline
+  // flush-and-merge cycle charged to one unlucky op — the spike the
+  // decoupled merge scheduling of Fig 23f bounds to flush-only time.
+  PrintHeader("Fig13-lat",
+              "serial per-op modeled ingest latency (us; p50/p99/max)");
+  for (bool pk : {true, false}) {
+    const LatencyPercentiles p = RunLatencyCase(pk, g_ops);
+    char extra[160];
+    std::snprintf(extra, sizeof(extra), "p50_us=%.3f p99_us=%.3f max_us=%.1f",
+                  p.p50, p.p99, p.max);
+    PrintRow(pk ? "pk-idx" : "no-pk-idx", "hdd", p.max / 1e6, extra);
+    if (flags.tiny) {
+      const std::string s = pk ? "fig13-lat-pk" : "fig13-lat-nopk";
+      PrintDigest(s + "-p50", p.p50, p.p50);
+      PrintDigest(s + "-p99", p.p99, p.p99);
+      PrintDigest(s + "-max", p.max, p.max);
+    }
   }
 
   // Multi-queue device: the same maintenance fan-out now also shortens

@@ -109,10 +109,21 @@ Dataset::Dataset(Env* env, DatasetOptions options)
                                   : options_.merge_partition_min_bytes;
   mopts.io = env_->io();  // queue affinity for fanned-out maintenance tasks
   auto scheduler = std::make_unique<MaintenanceScheduler>(mopts);
-  // threads == 1 keeps the serial code paths untouched (no scheduler).
-  if (scheduler->parallel()) maintenance_ = std::move(scheduler);
+  // threads == 1 keeps the serial code paths untouched (no scheduler) —
+  // unless decoupled merge scheduling needs the scheduler for its per-tree
+  // merge queues (the engine then still runs every task inline/serially;
+  // engine_parallel() keeps the serial code paths routed as before).
+  const bool decoupled_merges =
+      options_.merge_queue_depth > 0 && multi_writer();
+  if (scheduler->parallel() || decoupled_merges) {
+    maintenance_ = std::move(scheduler);
+  }
   // Multi-writer commits batch their modeled log syncs (group commit).
   if (multi_writer()) wal_.set_group_commit(true);
+}
+
+bool Dataset::engine_parallel() const {
+  return maintenance_ != nullptr && maintenance_->parallel();
 }
 
 Dataset::~Dataset() {
@@ -143,7 +154,7 @@ size_t Dataset::MemComponentBytes() const {
   return total;
 }
 
-Status Dataset::WaitForMaintenance() {
+Status Dataset::JoinFlushCycle() {
   std::thread t;
   {
     std::lock_guard<std::mutex> l(bg_mu_);
@@ -154,15 +165,75 @@ Status Dataset::WaitForMaintenance() {
   return bg_status_;
 }
 
-Status Dataset::MaintainAsync() {
+Status Dataset::WaitForMaintenance() {
+  Status s = JoinFlushCycle();
+  if (maintenance_ != nullptr) {
+    // Decoupled merge scheduling: quiescing means the merge queues are empty
+    // too, and their sticky first error surfaces here (a no-op with empty
+    // queues, i.e. on every coupled configuration).
+    const Status merge = maintenance_->DrainMerges();
+    if (s.ok()) s = merge;
+  }
+  return s;
+}
+
+Status Dataset::TakeBackgroundError() {
+  // Pop one error class per call: when both the flush cycle and a merge job
+  // failed, the first call returns (and clears) the flush error and leaves
+  // the merge error observable for the next call — never silently dropped.
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    if (!bg_status_.ok()) {
+      Status s = bg_status_;
+      bg_status_ = Status::OK();
+      return s;
+    }
+  }
+  if (maintenance_ != nullptr) return maintenance_->TakeMergeError();
+  return Status::OK();
+}
+
+Status Dataset::MaintainAsync(bool in_explicit_txn) {
   {
     std::lock_guard<std::mutex> l(bg_mu_);
     AUXLSM_RETURN_NOT_OK(bg_status_);  // surface sticky pipeline errors
   }
+  if (merge_queues_enabled() && maintenance_->has_merge_error()) {
+    AUXLSM_RETURN_NOT_OK(maintenance_->merge_error());  // rare slow path
+  }
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
-  // Backpressure: writers that outrun the pipeline by a whole extra budget
-  // wait for the in-flight cycle instead of growing memory without bound.
-  if (MemComponentBytes() >= 2 * options_.mem_budget_bytes) {
+  // Deadlock guard: only the §5.3 Lock-method builder takes record locks
+  // during a merge, so only there can "merge waits on a transaction's lock,
+  // the transaction's thread waits on the merge" form a cycle no timeout
+  // breaks. Threads holding an open explicit transaction skip merge-side
+  // waits in exactly that configuration (their overrun is bounded by the
+  // transaction's length); every other strategy/CC keeps full backpressure,
+  // and the flush-cycle join stays safe everywhere (seal/build/install
+  // never take record locks).
+  const bool skip_merge_waits =
+      in_explicit_txn &&
+      options_.strategy == MaintenanceStrategy::kMutableBitmap &&
+      options_.build_cc == BuildCcMethod::kLock;
+  if (merge_queues_enabled()) {
+    // Bounded merge-backlog backpressure: writers stall only while the merge
+    // queues are more than merge_queue_depth flush rounds behind — they wait
+    // out the backlog *excess*, never a full drain, so the stall is bounded
+    // by the overrun rather than the whole merge schedule.
+    if (!skip_merge_waits) {
+      maintenance_->WaitForMergeRounds(options_.merge_queue_depth);
+    }
+    // Memory bound: a writer a whole budget ahead joins the in-flight
+    // *flush* cycle only (merges are queued elsewhere), so this wait is
+    // bounded by flush time — the decoupling payoff.
+    if (MemComponentBytes() >= 2 * options_.mem_budget_bytes) {
+      AUXLSM_RETURN_NOT_OK(JoinFlushCycle());
+    }
+  } else if (!skip_merge_waits &&
+             MemComponentBytes() >= 2 * options_.mem_budget_bytes) {
+    // Coupled legacy backpressure: wait for the whole cycle, merges
+    // included — which is why Lock-method explicit-txn threads must skip it
+    // (the cycle's merge phase can be blocked on one of their locks: the
+    // same deadlock, present since the pipeline landed, closed here too).
     AUXLSM_RETURN_NOT_OK(WaitForMaintenance());
   }
   bool expected = false;
@@ -220,7 +291,7 @@ Status Dataset::MaintenanceCycle() {
                             sealed[i].first->BuildFromSealed(sealed[i].second));
     return Status::OK();
   };
-  if (maintenance_ != nullptr) {
+  if (engine_parallel()) {
     std::vector<std::function<Status()>> tasks;
     for (size_t i = 0; i < sealed.size(); i++) {
       tasks.push_back([&build_one, i]() { return build_one(i); });
@@ -262,8 +333,87 @@ Status Dataset::MaintenanceCycle() {
   // Phase 4 — merges off-latch. Writers only mutate memtables (and, under
   // Mutable-bitmap, old components' bitmaps — which CorrelatedMerge routes
   // through the §5.3 concurrency-control machinery), so merges are safe
-  // against concurrent ingestion.
+  // against concurrent ingestion. Decoupled mode hands the work to the
+  // per-tree merge queues instead, so this cycle — and with it the *next*
+  // seal/install — never waits on a merge backlog.
+  if (merge_queues_enabled()) {
+    // Every cycle enqueues its round unconditionally: a tree whose earlier
+    // jobs already retired would otherwise never see this cycle's installs
+    // (no re-enqueue path exists outside a flush cycle), leaving a quiesced
+    // dataset above its merge policy. Backlog stays bounded anyway: writers
+    // wait at merge_queue_depth before launching a cycle, and each of the
+    // at-most-writer_threads threads parked between that wait and the CAS
+    // can add one stale round — ≤ depth + writer_threads rounds total.
+    EnqueueMergeWork();
+    return Status::OK();
+  }
   return RunMerges();
+}
+
+void Dataset::EnqueueMergeWork() {
+  // One round = one job per serial merge stream: the whole dataset under
+  // correlated merges (every index merges in lock step with the anchor), one
+  // per tree otherwise. Jobs sharing a key run serially in FIFO order on the
+  // scheduler's merge queues, preserving the per-tree merge serialization
+  // invariant; redundant jobs (the tree's policy is already satisfied when
+  // they run) are cheap no-op policy checks, and the round count is exactly
+  // how many flush cycles the merge queues are running behind.
+  std::vector<MaintenanceScheduler::MergeJob> round;
+  auto add = [&](LsmTree* accounting_tree, MaintenanceScheduler::MergeKey key,
+                 std::function<Status()> work) {
+    accounting_tree->BeginQueuedMerge();
+    round.push_back(MaintenanceScheduler::MergeJob{
+        key, [accounting_tree, work = std::move(work)]() {
+          const Status s = work();
+          accounting_tree->EndQueuedMerge();
+          return s;
+        }});
+  };
+  if (options_.correlated_merges) {
+    LsmTree* anchor = pk_index_ ? pk_index_.get() : primary_.get();
+    add(anchor, anchor, [this]() { return CorrelatedMerge(/*decoupled=*/true); });
+    maintenance_->EnqueueMergeRound(std::move(round));
+    return;
+  }
+  add(primary_.get(), primary_.get(), [this]() {
+    uint64_t merges = 0;
+    const Status s = maintenance_->MergeToPolicy(primary_.get(), &merges);
+    stats_.merges += merges;
+    return s;
+  });
+  if (pk_index_ != nullptr) {
+    add(pk_index_.get(), pk_index_.get(), [this]() {
+      uint64_t merges = 0;
+      const Status s = maintenance_->MergeToPolicy(pk_index_.get(), &merges);
+      stats_.merges += merges;
+      return s;
+    });
+  }
+  for (auto& sp : secondaries_) {
+    SecondaryIndex* s = sp.get();
+    add(s->tree.get(), s->tree.get(), [this, s]() {
+      uint64_t merges = 0, repairs = 0;
+      const Status st =
+          SecondaryMergesToPolicy(s, &merges, &repairs, /*decoupled=*/true);
+      stats_.merges += merges;
+      stats_.repairs += repairs;
+      return st;
+    });
+  }
+  maintenance_->EnqueueMergeRound(std::move(round));
+}
+
+Status Dataset::SecondaryMergesToPolicy(SecondaryIndex* s, uint64_t* merges,
+                                        uint64_t* repairs, bool decoupled) {
+  if (options_.strategy == MaintenanceStrategy::kValidation &&
+      options_.merge_repair) {
+    return MergeRepairToPolicy(s, merges, repairs);
+  }
+  if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
+    return DeletedKeyMergesToPolicy(s, merges, decoupled);
+  }
+  AUXLSM_RETURN_NOT_OK(maintenance_->MergeToPolicy(s->tree.get(), merges));
+  return maintenance_->MergeToPolicy(s->deleted_keys.get(), merges);
 }
 
 void Dataset::RecordBitmapFixup(const std::string& pk, Timestamp ts) {
@@ -323,7 +473,7 @@ Status Dataset::FlushAllLocked() {
     if (!comps.empty()) comps.front()->set_max_lsn(flush_lsn);
     return Status::OK();
   };
-  if (maintenance_ != nullptr) {
+  if (engine_parallel()) {
     // All indexes flush together (shared budget); their flushes write to
     // distinct trees and files, so they run concurrently on the pool.
     std::vector<std::function<Status()>> tasks;
@@ -391,19 +541,48 @@ Status Dataset::MergeRepairToPolicy(SecondaryIndex* index, uint64_t* merges,
   return Status::OK();
 }
 
+MergeRange Dataset::PickTieringRange(
+    const std::vector<DiskComponentPtr>& comps) const {
+  std::vector<ComponentSizeInfo> sizes;
+  sizes.reserve(comps.size());
+  for (const auto& c : comps) {
+    sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+  }
+  TieringMergePolicy policy(options_.merge_size_ratio,
+                            options_.max_mergeable_bytes);
+  return policy.PickMerge(sizes);
+}
+
+namespace {
+
+std::vector<DiskComponentPtr> SliceRange(
+    const std::vector<DiskComponentPtr>& comps, const MergeRange& r) {
+  return {comps.begin() + r.begin, comps.begin() + r.end};
+}
+
+}  // namespace
+
 Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
-                                         uint64_t* merges) {
+                                         uint64_t* merges, bool decoupled) {
   while (true) {
-    auto comps = index->tree->Components();
-    std::vector<ComponentSizeInfo> sizes;
-    for (const auto& c : comps) {
-      sizes.push_back(ComponentSizeInfo{c->size_bytes()});
+    // Pick and capture the index slice and its lock-step deleted-keys slice
+    // in one consistent view: as a merge-queue job (`decoupled`), flush
+    // installs run concurrently and would shift positions between the two
+    // reads, so the pick holds the ingest latch shared (see CorrelatedMerge).
+    MergeRange r;
+    std::vector<DiskComponentPtr> picked, dk_picked;
+    {
+      std::shared_lock<RwLatch> pick_latch(ingest_mu_, std::defer_lock);
+      if (decoupled) pick_latch.lock();
+      auto comps = index->tree->Components();
+      r = PickTieringRange(comps);
+      if (r.empty() || r.count() < 2) break;
+      picked = SliceRange(comps, r);
+      auto dk = index->deleted_keys->Components();
+      if (dk.size() >= r.end) dk_picked = SliceRange(dk, r);
     }
-    TieringMergePolicy policy(options_.merge_size_ratio,
-                              options_.max_mergeable_bytes);
-    const MergeRange r = policy.PickMerge(sizes);
-    if (r.empty() || r.count() < 2) break;
-    AUXLSM_RETURN_NOT_OK(RunDeletedKeyMerge(this, index, r));
+    AUXLSM_RETURN_NOT_OK(RunDeletedKeyMergePicked(this, index, picked,
+                                                  dk_picked));
     (*merges)++;
   }
   return Status::OK();
@@ -411,7 +590,7 @@ Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
 
 Status Dataset::RunMerges() {
   if (options_.correlated_merges) return CorrelatedMerge();
-  if (maintenance_ != nullptr) return ParallelMerges();
+  if (engine_parallel()) return ParallelMerges();
   auto merge_tree = [&](LsmTree* t) -> Status {
     if (t == nullptr) return Status::OK();
     bool merged = true;
@@ -465,19 +644,9 @@ Status Dataset::ParallelMerges() {
     SecondaryIndex* s = secondaries_[i].get();
     uint64_t* mc = &merge_counts[2 + i];
     uint64_t* rc = &repair_counts[i];
-    if (options_.strategy == MaintenanceStrategy::kValidation &&
-        options_.merge_repair) {
-      tasks.push_back(
-          [this, s, mc, rc]() { return MergeRepairToPolicy(s, mc, rc); });
-    } else if (options_.strategy == MaintenanceStrategy::kDeletedKeyBtree) {
-      tasks.push_back(
-          [this, s, mc]() { return DeletedKeyMergesToPolicy(s, mc); });
-    } else {
-      tasks.push_back([this, s, mc]() -> Status {
-        AUXLSM_RETURN_NOT_OK(maintenance_->MergeToPolicy(s->tree.get(), mc));
-        return maintenance_->MergeToPolicy(s->deleted_keys.get(), mc);
-      });
-    }
+    tasks.push_back([this, s, mc, rc]() {
+      return SecondaryMergesToPolicy(s, mc, rc, /*decoupled=*/false);
+    });
   }
   AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
   for (uint64_t c : merge_counts) stats_.merges += c;
@@ -485,35 +654,72 @@ Status Dataset::ParallelMerges() {
   return Status::OK();
 }
 
-Status Dataset::CorrelatedMerge() {
+Status Dataset::CorrelatedMerge(bool decoupled) {
   // The correlated merge policy (§4.4) keeps all of a dataset's indexes
   // merging in lock step with the primary key index: all indexes flush
   // together, so their newest-first component lists are positionally aligned
   // and one pick applies to every index.
   LsmTree* anchor = pk_index_ ? pk_index_.get() : primary_.get();
   while (true) {
-    auto comps = anchor->Components();
-    std::vector<ComponentSizeInfo> sizes;
-    for (const auto& c : comps) {
-      sizes.push_back(ComponentSizeInfo{c->size_bytes()});
-    }
-    TieringMergePolicy policy(options_.merge_size_ratio,
-                              options_.max_mergeable_bytes);
-    const MergeRange r = policy.PickMerge(sizes);
-    if (r.empty() || r.count() < 2) break;
-
-    // Ranged merge of one tree; routed through the maintenance engine (which
-    // may partition large merges) when it is active.
-    auto ranged = [this](LsmTree* t, const MergeRange& range) -> Status {
-      if (maintenance_ == nullptr) return t->MergeComponentRange(range);
-      auto comps = t->Components();
-      if (range.end > comps.size() || range.empty()) {
-        return Status::InvalidArgument("bad merge range");
-      }
-      std::vector<DiskComponentPtr> picked(comps.begin() + range.begin,
-                                           comps.begin() + range.end);
-      return maintenance_->MergeComponents(t, picked);
+    // Pick the round's range and capture every tree's input slice in one
+    // consistent view. As a merge-queue job (`decoupled`), flush installs
+    // run concurrently and would shift positional indexes between reads of
+    // different trees' lists, so the pick holds the ingest latch *shared* —
+    // installs hold it exclusively, writers are unaffected. The merges below
+    // install by identity (ReplaceComponents), which tolerates components
+    // prepended after the capture.
+    MergeRange r;
+    std::vector<DiskComponentPtr> p_picked, k_picked;
+    struct SecPick {
+      std::vector<DiskComponentPtr> tree;
+      std::vector<DiskComponentPtr> deleted;
     };
+    std::vector<SecPick> spicked(secondaries_.size());
+    {
+      std::shared_lock<RwLatch> pick_latch(ingest_mu_, std::defer_lock);
+      if (decoupled) pick_latch.lock();
+      auto comps = anchor->Components();
+      r = PickTieringRange(comps);
+      if (r.empty() || r.count() < 2) break;
+      // The anchor's pick slices straight off the snapshot the policy saw;
+      // only the non-anchor primary needs a bounds re-check (the trees flush
+      // in lock step, so a shortfall means the positional alignment the
+      // correlated policy relies on is broken — fail loudly rather than
+      // merge a wrong slice).
+      if (pk_index_ != nullptr) {
+        k_picked = SliceRange(comps, r);
+        auto pcomps = primary_->Components();
+        if (r.end > pcomps.size()) {
+          return Status::InvalidArgument(
+              "primary/pk component lists out of sync");
+        }
+        p_picked = SliceRange(pcomps, r);
+      } else {
+        p_picked = SliceRange(comps, r);
+      }
+      for (size_t i = 0; i < secondaries_.size(); i++) {
+        SecondaryIndex* s = secondaries_[i].get();
+        auto scomps = s->tree->Components();
+        if (scomps.size() < r.end) continue;  // index skipped early flushes
+        spicked[i].tree = SliceRange(scomps, r);
+        if (s->deleted_keys != nullptr) {
+          auto dcomps = s->deleted_keys->Components();
+          if (dcomps.size() >= r.end) {
+            spicked[i].deleted = SliceRange(dcomps, r);
+          }
+        }
+      }
+    }
+
+    // Merge of one tree's captured slice; routed through the maintenance
+    // engine (which may partition large merges) when it is active.
+    auto merge_picked =
+        [this](LsmTree* t, const std::vector<DiskComponentPtr>& picked) {
+          if (maintenance_ != nullptr) {
+            return maintenance_->MergeComponents(t, picked);
+          }
+          return t->MergeComponents(picked);
+        };
 
     // Phase 1: primary and primary key index merge (concurrently when the
     // engine is active) — their post-merge components must exist before the
@@ -529,28 +735,37 @@ Status Dataset::CorrelatedMerge() {
       ConcurrentMergeStats cstats;
       if (options_.build_cc == BuildCcMethod::kNone) {
         std::unique_lock<RwLatch> latch(ingest_mu_);
-        AUXLSM_RETURN_NOT_OK(ConcurrentMerge(this, r.begin, r.end,
-                                             BuildCcMethod::kNone, &cstats,
-                                             /*dataset_latched=*/true));
+        AUXLSM_RETURN_NOT_OK(ConcurrentMergePicked(this, p_picked, k_picked,
+                                                   BuildCcMethod::kNone,
+                                                   &cstats,
+                                                   /*dataset_latched=*/true));
       } else {
-        AUXLSM_RETURN_NOT_OK(ConcurrentMerge(this, r.begin, r.end,
-                                             options_.build_cc, &cstats));
+        AUXLSM_RETURN_NOT_OK(ConcurrentMergePicked(this, p_picked, k_picked,
+                                                   options_.build_cc,
+                                                   &cstats));
       }
     } else {
-      if (maintenance_ != nullptr && pk_index_ != nullptr) {
+      if (engine_parallel() && pk_index_ != nullptr) {
         std::vector<std::function<Status()>> tasks;
-        tasks.push_back(
-            [&ranged, this, r]() { return ranged(primary_.get(), r); });
-        tasks.push_back(
-            [&ranged, this, r]() { return ranged(pk_index_.get(), r); });
+        tasks.push_back([&merge_picked, this, &p_picked]() {
+          return merge_picked(primary_.get(), p_picked);
+        });
+        tasks.push_back([&merge_picked, this, &k_picked]() {
+          return merge_picked(pk_index_.get(), k_picked);
+        });
         AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
       } else {
-        AUXLSM_RETURN_NOT_OK(ranged(primary_.get(), r));
-        if (pk_index_) AUXLSM_RETURN_NOT_OK(ranged(pk_index_.get(), r));
+        AUXLSM_RETURN_NOT_OK(merge_picked(primary_.get(), p_picked));
+        if (pk_index_) {
+          AUXLSM_RETURN_NOT_OK(merge_picked(pk_index_.get(), k_picked));
+        }
       }
       if (options_.strategy == MaintenanceStrategy::kMutableBitmap &&
           pk_index_) {
-        // Re-share the merged components' bitmap.
+        // Re-share the merged components' bitmap. Positional refetch is safe
+        // here: this branch never runs concurrently with installs (the
+        // Mutable-bitmap multi-writer path goes through ConcurrentMerge
+        // above, which shares the bitmap during the build).
         auto pcomps = primary_->Components();
         auto kcomps = pk_index_->Components();
         if (r.begin < pcomps.size() && r.begin < kcomps.size()) {
@@ -564,30 +779,27 @@ Status Dataset::CorrelatedMerge() {
     std::vector<uint64_t> srepairs(secondaries_.size(), 0);
     for (size_t i = 0; i < secondaries_.size(); i++) {
       SecondaryIndex* s = secondaries_[i].get();
-      if (s->tree->NumDiskComponents() < r.end) continue;
+      if (spicked[i].tree.empty()) continue;
       std::function<Status()> work;
       if (options_.strategy == MaintenanceStrategy::kValidation &&
           options_.merge_repair) {
         uint64_t* rc = &srepairs[i];
-        work = [this, s, r, rc]() -> Status {
-          auto scomps = s->tree->Components();
-          std::vector<DiskComponentPtr> picked(scomps.begin() + r.begin,
-                                               scomps.begin() + r.end);
+        work = [this, s, picked = spicked[i].tree, rc]() -> Status {
           AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s, picked));
           (*rc)++;
           return Status::OK();
         };
       } else {
-        work = [&ranged, s, r]() -> Status {
-          AUXLSM_RETURN_NOT_OK(ranged(s->tree.get(), r));
-          if (s->deleted_keys &&
-              s->deleted_keys->NumDiskComponents() >= r.end) {
-            AUXLSM_RETURN_NOT_OK(ranged(s->deleted_keys.get(), r));
+        work = [&merge_picked, s, tpicked = spicked[i].tree,
+                dpicked = spicked[i].deleted]() -> Status {
+          AUXLSM_RETURN_NOT_OK(merge_picked(s->tree.get(), tpicked));
+          if (!dpicked.empty()) {
+            AUXLSM_RETURN_NOT_OK(merge_picked(s->deleted_keys.get(), dpicked));
           }
           return Status::OK();
         };
       }
-      if (maintenance_ != nullptr) {
+      if (engine_parallel()) {
         stasks.push_back(std::move(work));
       } else {
         AUXLSM_RETURN_NOT_OK(work());

@@ -130,6 +130,29 @@ struct DatasetOptions {
   /// merges run under the §5.3 concurrency-control method selected by
   /// `build_cc` (kNone = stop-the-world merge, the Fig 23 baseline).
   size_t writer_threads = 1;
+
+  // --- Decoupled merge scheduling (PR 5) ------------------------------------
+  /// 0 (default) = legacy coupled maintenance: each background cycle runs
+  /// seal -> flush -> install -> merges end-to-end, so a long merge phase
+  /// delays the next seal and writers hit the 2x-budget backpressure for the
+  /// whole merge's duration — bit-for-bit the pre-decoupling behavior.
+  /// > 0 (with writer_threads > 1): the cycle stops after install and hands
+  /// merge work to per-tree merge queues drained by the MaintenanceScheduler
+  /// (exec/maintenance.h). A backlogged merge on one tree then never blocks
+  /// the next seal/install or other trees' merges (per-tree merges stay
+  /// mutually serial), so per-op ingest stalls are bounded by flush — not
+  /// merge — time. The value is the backpressure depth: writers stall once
+  /// the merge queues fall more than `merge_queue_depth` flush rounds
+  /// behind, replacing the raw 2x-budget wait-for-the-whole-cycle.
+  size_t merge_queue_depth = 0;
+
+  /// Serial-path no-steal (writer_threads == 1): the legacy inline
+  /// budget-triggered flush can run *between an open explicit transaction's
+  /// operations* and flush its uncommitted entries to disk — a rollback then
+  /// cannot reach them (the pipeline path already defers sealing while
+  /// explicit transactions are open). true defers the inline flush the same
+  /// way; false keeps the seed behavior for bit-for-bit parity.
+  bool strict_no_steal = false;
 };
 
 /// Counters are relaxed atomics: they are bumped from concurrent writers
@@ -186,6 +209,7 @@ struct DatasetCatalog {
 };
 
 class MaintenanceScheduler;
+struct ConcurrentMergeStats;
 
 class Dataset {
  public:
@@ -246,11 +270,19 @@ class Dataset {
   Status FlushAll();
   Status MergeAllIndexes();
 
-  /// Joins the in-flight background maintenance cycle (writer_threads > 1)
-  /// and returns its sticky first error, if any. No-op on the serial path.
-  /// Callers should quiesce writers first if they need "all data flushed"
-  /// semantics rather than "the current cycle finished".
+  /// Joins the in-flight background maintenance cycle (writer_threads > 1),
+  /// drains the decoupled merge queues, and returns the sticky first
+  /// background error, if any. No-op on the serial path. Callers should
+  /// quiesce writers first if they need "all data flushed" semantics rather
+  /// than "the current cycle finished".
   Status WaitForMaintenance();
+
+  /// Returns and *clears* one sticky background error per call (flush-cycle
+  /// first, then merge-queue — when both failed, two calls observe both).
+  /// Without this, one transient maintenance failure poisons every later
+  /// ingest forever; callers that handled the error (retried, shed load)
+  /// take it to re-arm the pipeline. OK() once everything is clear.
+  Status TakeBackgroundError();
 
   /// Standalone repair of every secondary index (§4.4). Brings repairedTS
   /// forward; used by Fig 20-22.
@@ -294,8 +326,11 @@ class Dataset {
   const IngestStats& ingest_stats() const { return stats_; }
   uint64_t num_records() const;
 
-  /// The maintenance engine; null when maintenance_threads resolves to 1
-  /// (serial path).
+  /// The maintenance engine; null on the fully serial path. Non-null does
+  /// NOT imply a parallel pool: with merge_queue_depth > 0 (and
+  /// writer_threads > 1) the scheduler is kept alive even at
+  /// maintenance_threads = 1 solely for its merge queues — gate engine
+  /// fan-out on engine_parallel(), never on this pointer.
   MaintenanceScheduler* maintenance() { return maintenance_.get(); }
 
   /// Total memory-component bytes across indexes (flush trigger input).
@@ -313,6 +348,20 @@ class Dataset {
   friend Status RunMergeRepair(Dataset* dataset, SecondaryIndex* index,
                                const std::vector<DiskComponentPtr>& picked);
   friend Status RunStandaloneRepair(Dataset* dataset, SecondaryIndex* index);
+  friend Status ConcurrentMergePicked(Dataset* dataset,
+                                      const std::vector<DiskComponentPtr>&,
+                                      const std::vector<DiskComponentPtr>&,
+                                      BuildCcMethod, ConcurrentMergeStats*,
+                                      bool);
+
+  /// Lock-only internal transaction excluded from the no-steal active count
+  /// (the §5.3 Lock-method builder): it has no memtable effects, so sealing
+  /// while it runs is safe and must not be deferred. Deliberately NOT public
+  /// — a write transaction begun this way would be flushable mid-flight,
+  /// breaking the no-steal invariant its rollback relies on.
+  std::unique_ptr<Transaction> BeginReadOnly() {
+    return txns_.BeginReadOnly();
+  }
 
   // ingest.cc
   Status IngestOp(LogRecordType op, const TweetRecord& record,
@@ -334,18 +383,41 @@ class Dataset {
                           Transaction* txn, bool is_delete);
   Status InsertIntoAll(const TweetRecord& record, Timestamp ts,
                        Transaction* txn);
-  Status CheckBudgetAndMaintain();
+  /// `in_explicit_txn` = the calling thread holds an open explicit
+  /// transaction (and with it record locks): it must never park on
+  /// maintenance backpressure, because the merge it would wait for may
+  /// itself be blocked on one of its locks (§5.3 Lock-method builder) — a
+  /// deadlock no timeout would break.
+  Status CheckBudgetAndMaintain(bool in_explicit_txn);
 
   // --- Writer-group pipeline (ingest.cc / dataset.cc) ----------------------
   bool multi_writer() const { return options_.writer_threads > 1; }
+  /// Decoupled merge scheduling is on: flush cycles enqueue merge work onto
+  /// the scheduler's per-tree queues instead of running it inline.
+  bool merge_queues_enabled() const {
+    return options_.merge_queue_depth > 0 && multi_writer() &&
+           maintenance_ != nullptr;
+  }
+  /// True when the maintenance engine fans work out over a pool (a scheduler
+  /// kept solely for its merge queues still runs tasks inline/serially).
+  bool engine_parallel() const;
   /// Every index tree of the dataset (primary, pk, secondaries, deleted-key).
   std::vector<LsmTree*> AllTrees();
   /// Launches one background maintenance cycle if the budget is exceeded and
-  /// none is running; applies backpressure when writers outpace the pipeline.
-  Status MaintainAsync();
+  /// none is running; applies backpressure when writers outpace the pipeline
+  /// (skipped for threads holding an open explicit transaction — see
+  /// CheckBudgetAndMaintain).
+  Status MaintainAsync(bool in_explicit_txn);
   /// One background cycle: seal (brief exclusive latch) -> build components
-  /// off-latch -> install (exclusive latch) -> merges off-latch.
+  /// off-latch -> install (exclusive latch) -> merges (inline in coupled
+  /// mode; enqueued on the per-tree merge queues in decoupled mode).
   Status MaintenanceCycle();
+  /// Joins only the in-flight flush cycle (not the merge queues): the
+  /// decoupled pipeline's 2x-budget wait, bounded by flush time.
+  Status JoinFlushCycle();
+  /// Decoupled mode: hands this cycle's merge work to the scheduler's
+  /// per-tree queues as one round (one job per tree / correlated group).
+  void EnqueueMergeWork();
   /// Mutable-bitmap only: marks entries of the freshly flushed primary
   /// component that are superseded by newer active-memtable writes (their
   /// delete/upsert raced the sealed window). Caller holds the latch. The
@@ -361,15 +433,35 @@ class Dataset {
   Status FlushAllLocked();
   Status RunMerges();
   Status ParallelMerges();
-  Status CorrelatedMerge();
+  /// Correlated merge rounds (§4.4). `decoupled` = running as a merge-queue
+  /// job concurrent with flush installs: each round's range pick and
+  /// per-tree component slices are captured under a brief *shared* ingest
+  /// latch (installs hold it exclusively, so the positional alignment across
+  /// trees is consistent), and the merges install by identity, which
+  /// tolerates components prepended meanwhile.
+  Status CorrelatedMerge(bool decoupled = false);
   /// Merge-repair merges for one secondary index until its policy is
   /// satisfied (Validation strategy, §4.4). Shared by the serial and
   /// parallel engines so their behavior cannot drift.
   Status MergeRepairToPolicy(SecondaryIndex* index, uint64_t* merges,
                              uint64_t* repairs);
   /// Deleted-key merges for one secondary index until its policy is
-  /// satisfied (kDeletedKeyBtree, §4.1).
-  Status DeletedKeyMergesToPolicy(SecondaryIndex* index, uint64_t* merges);
+  /// satisfied (kDeletedKeyBtree, §4.1). `decoupled` = running as a
+  /// merge-queue job: picks are captured under a brief shared ingest latch
+  /// (see CorrelatedMerge).
+  Status DeletedKeyMergesToPolicy(SecondaryIndex* index, uint64_t* merges,
+                                  bool decoupled = false);
+  /// Strategy dispatch for one secondary index's non-correlated merges
+  /// (merge repair / deleted-key / plain). Shared by ParallelMerges and the
+  /// decoupled merge-queue jobs so their behavior cannot drift. Requires the
+  /// maintenance engine.
+  Status SecondaryMergesToPolicy(SecondaryIndex* index, uint64_t* merges,
+                                 uint64_t* repairs, bool decoupled);
+  /// Evaluates the dataset-level tiering policy (merge_size_ratio /
+  /// max_mergeable_bytes) over a component snapshot. Shared by the
+  /// correlated and deleted-key pick paths so their policy cannot drift.
+  MergeRange PickTieringRange(
+      const std::vector<DiskComponentPtr>& comps) const;
   LsmTreeOptions MakeTreeOptions(const std::string& name, bool is_primary,
                                  bool attach_bitmap, bool range_filter) const;
 

@@ -6,14 +6,28 @@ namespace auxlsm {
 
 Status RunDeletedKeyMerge(Dataset* ds, SecondaryIndex* index,
                           const MergeRange& range) {
-  LsmTree* tree = index->tree.get();
-  auto comps = tree->Components();
+  auto comps = index->tree->Components();
   if (range.end > comps.size() || range.empty()) {
     return Status::InvalidArgument("bad merge range");
   }
   std::vector<DiskComponentPtr> picked(comps.begin() + range.begin,
                                        comps.begin() + range.end);
-  const bool includes_oldest = picked.back() == comps.back();
+  std::vector<DiskComponentPtr> dk_picked;
+  auto dk = index->deleted_keys->Components();
+  if (dk.size() >= range.end) {
+    dk_picked.assign(dk.begin() + range.begin, dk.begin() + range.end);
+  }
+  return RunDeletedKeyMergePicked(ds, index, picked, dk_picked);
+}
+
+Status RunDeletedKeyMergePicked(
+    Dataset* ds, SecondaryIndex* index,
+    const std::vector<DiskComponentPtr>& picked,
+    const std::vector<DiskComponentPtr>& dk_picked) {
+  LsmTree* tree = index->tree.get();
+  if (picked.empty()) return Status::InvalidArgument("bad merge range");
+  // Stable under concurrent flush installs: prepends never change the back.
+  const bool includes_oldest = tree->IsOldestComponent(picked.back());
 
   MergeCursor::Options mo;
   mo.respect_bitmaps = true;
@@ -60,8 +74,8 @@ Status RunDeletedKeyMerge(Dataset* ds, SecondaryIndex* index,
   AUXLSM_RETURN_NOT_OK(tree->ReplaceComponents(picked, merged));
 
   // The companion deleted-key tree merges in lock step.
-  if (index->deleted_keys->NumDiskComponents() >= range.end) {
-    AUXLSM_RETURN_NOT_OK(index->deleted_keys->MergeComponentRange(range));
+  if (!dk_picked.empty()) {
+    AUXLSM_RETURN_NOT_OK(index->deleted_keys->MergeComponents(dk_picked));
   }
   return Status::OK();
 }

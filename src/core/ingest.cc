@@ -371,16 +371,25 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   }
 
   ingest_lock.unlock();
-  return CheckBudgetAndMaintain();
+  return CheckBudgetAndMaintain(/*in_explicit_txn=*/!owns_txn);
 }
 
-Status Dataset::CheckBudgetAndMaintain() {
+Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
   // Writer-group pipeline: hand flush + merge to the background cycle
   // instead of running them inline on the ingesting thread.
-  if (multi_writer()) return MaintainAsync();
+  if (multi_writer()) return MaintainAsync(in_explicit_txn);
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
   std::unique_lock<RwLatch> l(ingest_mu_);
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
+  // Serial-path no-steal: an inline budget-triggered flush between an open
+  // explicit transaction's operations would write its uncommitted entries to
+  // disk, out of reach of the rollback closures. Defer exactly as the
+  // pipeline's seal phase does (the transaction's next operation — or the
+  // first op after it closes — re-triggers the flush). Gated on
+  // strict_no_steal: the default keeps the seed behavior bit-for-bit.
+  if (options_.strict_no_steal && txns_.active_transactions() > 0) {
+    return Status::OK();
+  }
   AUXLSM_RETURN_NOT_OK(FlushAllLocked());
   return RunMerges();
 }
@@ -420,7 +429,16 @@ Status Dataset::ReplayBitmap(const LogRecord& r) {
     if (st.IsNotFound()) continue;
     AUXLSM_RETURN_NOT_OK(st);
     if (entry.ts >= r.ts || entry.antimatter) continue;  // not the old version
-    if (c->bitmap() != nullptr) c->bitmap()->Set(ordinal);
+    if (c->bitmap() == nullptr) {
+      // The log says this component's version was superseded (update bit),
+      // but the recovered component cannot record it — returning OK here
+      // would silently resurrect the old version. Under the Mutable-bitmap
+      // strategy every primary/pk component carries a bitmap, so a missing
+      // one means the checkpointed catalog and the log disagree.
+      return Status::Corruption(
+          "bitmap redo for '" + r.key + "' targets component without bitmap");
+    }
+    c->bitmap()->Set(ordinal);
     return Status::OK();
   }
   return Status::OK();

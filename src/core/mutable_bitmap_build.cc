@@ -147,13 +147,6 @@ Status InstallPair(Dataset* ds, const std::vector<DiskComponentPtr>& old_p,
 Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
                        BuildCcMethod method, ConcurrentMergeStats* stats,
                        bool dataset_latched) {
-  const auto t0 = std::chrono::steady_clock::now();
-  // Acquires the dataset latch exclusively unless the caller already holds
-  // it (the latch is not reentrant).
-  auto drain_writers = [ds, dataset_latched]() {
-    return dataset_latched ? std::unique_lock<RwLatch>()
-                           : std::unique_lock<RwLatch>(ds->ingest_latch());
-  };
   auto old_p_all = ds->primary()->Components();
   auto old_k_all = ds->primary_key_index() != nullptr
                        ? ds->primary_key_index()->Components()
@@ -170,6 +163,28 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
     }
     old_k.assign(old_k_all.begin() + begin, old_k_all.begin() + end);
   }
+  return ConcurrentMergePicked(ds, old_p, old_k, method, stats,
+                               dataset_latched);
+}
+
+Status ConcurrentMergePicked(Dataset* ds,
+                             const std::vector<DiskComponentPtr>& old_p,
+                             const std::vector<DiskComponentPtr>& old_k,
+                             BuildCcMethod method, ConcurrentMergeStats* stats,
+                             bool dataset_latched) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Acquires the dataset latch exclusively unless the caller already holds
+  // it (the latch is not reentrant).
+  auto drain_writers = [ds, dataset_latched]() {
+    return dataset_latched ? std::unique_lock<RwLatch>()
+                           : std::unique_lock<RwLatch>(ds->ingest_latch());
+  };
+  if (old_p.empty()) {
+    return Status::InvalidArgument("bad merge range");
+  }
+  if (!old_k.empty() && old_k.size() != old_p.size()) {
+    return Status::InvalidArgument("pk index components out of sync");
+  }
 
   uint64_t capacity = 0;
   for (const auto& c : old_p) capacity += c->num_entries();
@@ -177,7 +192,10 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
   const ComponentId id{old_p.back()->id().min_ts, old_p.front()->id().max_ts};
   Timestamp repaired = old_p.front()->repaired_ts();
   for (const auto& c : old_p) repaired = std::min(repaired, c->repaired_ts());
-  const bool drop_antimatter = old_p.back() == old_p_all.back();
+  // Anti-matter may be dropped only when the merge reaches the tree's oldest
+  // component; checking against the live list is stable under concurrent
+  // flush installs (they only prepend at the newest end).
+  const bool drop_antimatter = ds->primary()->IsOldestComponent(old_p.back());
 
   DualBuilder dual(ds->env());
 
@@ -220,7 +238,11 @@ Status ConcurrentMerge(Dataset* ds, size_t begin, size_t end,
     mo.drop_antimatter = drop_antimatter;
     MergeCursor cursor(old_p, mo);
     AUXLSM_RETURN_NOT_OK(cursor.Init());
-    auto builder_txn = ds->Begin();
+    // Read-only: the builder takes per-key shared locks but never touches a
+    // memtable, so it must not count toward the no-steal seal deferral — a
+    // long decoupled merge would otherwise block every flush cycle for its
+    // whole scan.
+    auto builder_txn = ds->BeginReadOnly();
     while (cursor.Valid()) {
       {
         ScopedLock sl(ds->locks(), builder_txn->id(), cursor.key(),

@@ -75,4 +75,17 @@ Status ConcurrentMerge(Dataset* dataset, size_t begin, size_t end,
                        BuildCcMethod method, ConcurrentMergeStats* stats,
                        bool dataset_latched = false);
 
+/// Identity-based form: merges the given primary components and (when the
+/// dataset keeps a primary key index) the matching pk-index components,
+/// captured by the caller. Decoupled merge-queue jobs use this — positions
+/// shift when a flush install races the merge, identities do not; the
+/// install replaces the inputs by identity and fails safe if they are no
+/// longer current. `old_k` must be positionally parallel to `old_p` (empty
+/// when there is no pk index).
+Status ConcurrentMergePicked(Dataset* dataset,
+                             const std::vector<DiskComponentPtr>& old_p,
+                             const std::vector<DiskComponentPtr>& old_k,
+                             BuildCcMethod method, ConcurrentMergeStats* stats,
+                             bool dataset_latched = false);
+
 }  // namespace auxlsm

@@ -17,7 +17,144 @@ MaintenanceScheduler::MaintenanceScheduler(MaintenanceOptions options)
   }
 }
 
-MaintenanceScheduler::~MaintenanceScheduler() = default;
+MaintenanceScheduler::~MaintenanceScheduler() {
+  // Shut the merge queues down like ThreadPool: remaining jobs still run
+  // (the owning Dataset keeps its trees alive until after this destructor),
+  // then the workers exit and are joined.
+  {
+    std::lock_guard<std::mutex> l(merge_mu_);
+    merge_stop_ = true;
+  }
+  merge_cv_.notify_all();
+  for (auto& w : merge_workers_) w.join();
+}
+
+void MaintenanceScheduler::EnqueueMergeRound(std::vector<MergeJob> jobs) {
+  jobs.erase(std::remove_if(jobs.begin(), jobs.end(),
+                            [](const MergeJob& j) { return !j.work; }),
+             jobs.end());
+  if (jobs.empty()) return;
+  std::lock_guard<std::mutex> l(merge_mu_);
+  auto remaining = std::make_shared<size_t>(jobs.size());
+  merge_rounds_pending_++;
+  merge_rounds_relaxed_.store(merge_rounds_pending_, std::memory_order_relaxed);
+  for (auto& j : jobs) {
+    auto [it, fresh] = merge_queues_.try_emplace(j.key);
+    if (fresh) it->second.io_index = next_merge_queue_index_++;
+    it->second.jobs.push_back(QueuedMergeJob{std::move(j.work), remaining});
+    merge_jobs_pending_++;
+  }
+  // Merge work gets dedicated drain workers (never the flush pool): lazily
+  // spawned, capped at one per registered queue — a tree's queue can always
+  // drain even while every other queue is stuck on a long merge, which is
+  // the "a backlogged merge on one tree never blocks other trees' merges"
+  // guarantee. Queue count is the dataset's tree count, so this stays a
+  // handful of mostly-parked threads even on a serial engine.
+  size_t claimable = 0;
+  for (const auto& [key, q] : merge_queues_) {
+    (void)key;
+    if (!q.draining && !q.jobs.empty()) claimable++;
+  }
+  size_t available = idle_merge_workers_;
+  while (available < claimable &&
+         merge_workers_.size() < merge_queues_.size()) {
+    merge_workers_.emplace_back([this]() { MergeDrainLoop(); });
+    available++;
+  }
+  merge_cv_.notify_all();
+}
+
+MaintenanceScheduler::MergeQueue* MaintenanceScheduler::ClaimQueueLocked() {
+  for (auto& [key, q] : merge_queues_) {
+    (void)key;
+    if (!q.draining && !q.jobs.empty()) {
+      q.draining = true;
+      return &q;  // unordered_map references are stable across inserts
+    }
+  }
+  return nullptr;
+}
+
+void MaintenanceScheduler::MergeDrainLoop() {
+  std::unique_lock<std::mutex> l(merge_mu_);
+  while (true) {
+    MergeQueue* q = ClaimQueueLocked();
+    if (q == nullptr) {
+      if (merge_stop_) return;
+      idle_merge_workers_++;
+      merge_cv_.wait(l);
+      idle_merge_workers_--;
+      continue;
+    }
+    // Drain this queue to empty; its jobs run strictly serially (the
+    // per-tree merge serialization rule), newest-enqueued last.
+    while (!q->jobs.empty()) {
+      QueuedMergeJob job = std::move(q->jobs.front());
+      q->jobs.pop_front();
+      const uint32_t io_index = q->io_index;
+      l.unlock();
+      Status st;
+      {
+        // Queue-aware device affinity, mirroring RunAll's task binding.
+        IoQueueScope scope(options_.io, io_index);
+        st = job.work();
+      }
+      l.lock();
+      if (!st.ok() && merge_error_.ok()) {
+        merge_error_ = st;
+        has_merge_error_.store(true, std::memory_order_release);
+      }
+      merge_jobs_pending_--;
+      if (--*job.round_remaining == 0) {
+        merge_rounds_pending_--;
+        merge_rounds_relaxed_.store(merge_rounds_pending_,
+                                    std::memory_order_relaxed);
+      }
+      merge_cv_.notify_all();
+    }
+    q->draining = false;
+    merge_cv_.notify_all();
+  }
+}
+
+size_t MaintenanceScheduler::PendingMergeRounds() const {
+  std::lock_guard<std::mutex> l(merge_mu_);
+  return merge_rounds_pending_;
+}
+
+size_t MaintenanceScheduler::PendingMergeJobs() const {
+  std::lock_guard<std::mutex> l(merge_mu_);
+  return merge_jobs_pending_;
+}
+
+void MaintenanceScheduler::WaitForMergeRounds(size_t limit) {
+  // Per-op ingest fast path: no backlog means no lock — writers only
+  // contend on merge_mu_ once the queues are genuinely behind.
+  if (merge_rounds_relaxed_.load(std::memory_order_relaxed) <= limit) return;
+  std::unique_lock<std::mutex> l(merge_mu_);
+  merge_cv_.wait(l, [&] {
+    return merge_rounds_pending_ <= limit || merge_stop_;
+  });
+}
+
+Status MaintenanceScheduler::DrainMerges() {
+  std::unique_lock<std::mutex> l(merge_mu_);
+  merge_cv_.wait(l, [&] { return merge_jobs_pending_ == 0; });
+  return merge_error_;
+}
+
+Status MaintenanceScheduler::merge_error() const {
+  std::lock_guard<std::mutex> l(merge_mu_);
+  return merge_error_;
+}
+
+Status MaintenanceScheduler::TakeMergeError() {
+  std::lock_guard<std::mutex> l(merge_mu_);
+  Status s = merge_error_;
+  merge_error_ = Status::OK();
+  has_merge_error_.store(false, std::memory_order_release);
+  return s;
+}
 
 ThreadPool* MaintenanceScheduler::pool() {
   if (threads_ <= 1) return nullptr;

@@ -40,12 +40,30 @@
 //   - Waits use "helping": a thread blocked on task futures runs queued
 //     tasks itself, so nested fan-out (merge loop inside a task spawning
 //     partition scans) cannot deadlock the fixed-size pool.
+//   - Decoupled merge scheduling (PR 5): EnqueueMergeRound hands merge work
+//     to per-tree FIFO queues drained by dedicated lazily-spawned drain
+//     workers — NOT the flush pool, so a long merge backlog can never starve
+//     the next flush cycle's fan-out. Jobs of one queue key run strictly
+//     serially (the per-tree merge serialization rule above); distinct keys
+//     drain concurrently. Each queue is bound to device queue
+//     (registration-index % io queues) for its jobs' duration, mirroring
+//     RunAll's task-index affinity. A *round* is the batch of jobs one flush
+//     cycle enqueues; PendingMergeRounds() counts rounds not yet fully
+//     retired and is the ingestion pipeline's bounded merge-backlog
+//     backpressure signal. The first job error is sticky
+//     (merge_error / TakeMergeError) until explicitly taken.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -104,16 +122,90 @@ class MaintenanceScheduler {
   Status MergeComponents(LsmTree* tree,
                          const std::vector<DiskComponentPtr>& picked);
 
+  // --- Decoupled per-tree merge queues --------------------------------------
+  /// Opaque serial-stream key: one tree (or one correlated-merge group).
+  /// Jobs sharing a key never run concurrently and run in FIFO order.
+  using MergeKey = const void*;
+  struct MergeJob {
+    MergeKey key = nullptr;
+    std::function<Status()> work;
+  };
+
+  /// Enqueues one *round* of merge work (the batch one flush cycle hands
+  /// over). Jobs are appended to their keys' FIFO queues and drained by
+  /// dedicated merge workers, never by the flush pool. The round stays
+  /// pending until every one of its jobs finished. Empty rounds are ignored.
+  void EnqueueMergeRound(std::vector<MergeJob> jobs);
+
+  /// Rounds whose jobs have not all finished — the merge-backlog depth the
+  /// ingestion pipeline backpressures on.
+  size_t PendingMergeRounds() const;
+  /// Queued + running individual merge jobs (diagnostics / tests).
+  size_t PendingMergeJobs() const;
+
+  /// Blocks until PendingMergeRounds() <= limit (bounded backpressure: the
+  /// caller waits out only the backlog *excess*, never a full drain). The
+  /// common no-backlog case is lock-free — the mutex is only taken once the
+  /// relaxed round count exceeds the limit.
+  void WaitForMergeRounds(size_t limit);
+
+  /// Blocks until every queue is empty and all jobs finished; returns the
+  /// sticky first merge error (which stays sticky — see TakeMergeError).
+  Status DrainMerges();
+
+  /// Lock-free fast path for the per-op ingest check: true iff a merge job
+  /// has failed since the last TakeMergeError(). Callers take merge_error()
+  /// (which locks) only when this fires.
+  bool has_merge_error() const {
+    return has_merge_error_.load(std::memory_order_acquire);
+  }
+  /// First non-OK status of any merge job since the last TakeMergeError().
+  Status merge_error() const;
+  /// Returns and clears the sticky merge error.
+  Status TakeMergeError();
+
  private:
   /// Blocks on `futures`, helping run queued pool tasks meanwhile.
   Status WaitAll(std::vector<std::future<Status>>& futures);
 
   size_t partitions() const;
 
+  struct QueuedMergeJob {
+    std::function<Status()> work;
+    /// Shared per-round countdown (guarded by merge_mu_); the round retires
+    /// when it reaches zero.
+    std::shared_ptr<size_t> round_remaining;
+  };
+  struct MergeQueue {
+    std::deque<QueuedMergeJob> jobs;
+    bool draining = false;   ///< a worker is running this queue's jobs
+    uint32_t io_index = 0;   ///< device-queue binding (registration order)
+  };
+  /// Long-lived merge drain worker: claims a non-draining queue with work,
+  /// runs its jobs to empty (serially), repeats; exits on shutdown once no
+  /// claimable work remains (the destructor drains, like ThreadPool's).
+  void MergeDrainLoop();
+  MergeQueue* ClaimQueueLocked();
+
   MaintenanceOptions options_;
   size_t threads_ = 1;
   std::mutex pool_mu_;                // guards lazy pool creation
   std::unique_ptr<ThreadPool> pool_;  // null until first use / if serial
+
+  // Merge-queue state (all guarded by merge_mu_ except where noted).
+  mutable std::mutex merge_mu_;
+  std::condition_variable merge_cv_;
+  std::unordered_map<MergeKey, MergeQueue> merge_queues_;
+  size_t merge_jobs_pending_ = 0;    // queued + running
+  size_t merge_rounds_pending_ = 0;  // rounds with unfinished jobs
+  /// Relaxed mirror of merge_rounds_pending_ for the per-op fast path.
+  std::atomic<size_t> merge_rounds_relaxed_{0};
+  size_t idle_merge_workers_ = 0;
+  bool merge_stop_ = false;
+  Status merge_error_;
+  std::atomic<bool> has_merge_error_{false};  // mirrors merge_error_.ok()
+  uint32_t next_merge_queue_index_ = 0;
+  std::vector<std::thread> merge_workers_;
 };
 
 }  // namespace auxlsm

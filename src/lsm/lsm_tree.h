@@ -15,6 +15,7 @@
 // one step under the latch, so there is never more than the active one.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -211,6 +212,21 @@ class LsmTree {
   uint64_t TotalDiskBytes() const;
   size_t NumDiskComponents() const;
 
+  // --- Decoupled merge scheduling (exec/maintenance.h) -----------------------
+  /// Merge-pending accounting: jobs enqueued on this tree's merge queue and
+  /// not yet finished. Maintained by the Dataset's decoupled merge
+  /// scheduling (the queue itself serializes per-tree merges; this counter
+  /// is the observable backlog for backpressure diagnostics and tests).
+  void BeginQueuedMerge() {
+    merge_pending_jobs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndQueuedMerge() {
+    merge_pending_jobs_.fetch_sub(1, std::memory_order_release);
+  }
+  size_t merge_pending_jobs() const {
+    return merge_pending_jobs_.load(std::memory_order_acquire);
+  }
+
   /// Registers a hook invoked after every merge installs its new component;
   /// used by the Dataset to trigger merge repair (§4.4).
   using MergeHook = std::function<void(const std::vector<DiskComponentPtr>&,
@@ -239,6 +255,8 @@ class LsmTree {
   // merges for one tree concurrently).
   mutable std::mutex components_mu_;
   std::vector<DiskComponentPtr> components_;  // newest first
+
+  std::atomic<size_t> merge_pending_jobs_{0};
 
   MergeHook merge_hook_;
 };

@@ -69,6 +69,17 @@ class TransactionManager {
         next_id_.fetch_add(1, std::memory_order_relaxed), locks_, wal_, this);
   }
 
+  /// A maintenance-internal transaction that takes locks but has no
+  /// uncommitted memtable effects (e.g. the §5.3 Lock-method builder): it is
+  /// excluded from active_transactions(), so a long-running merge holding
+  /// one never defers the pipeline's seal phase — sealing while it runs is
+  /// safe precisely because it has nothing to roll back in the memtables.
+  std::unique_ptr<Transaction> BeginReadOnly() {
+    return std::make_unique<Transaction>(
+        next_id_.fetch_add(1, std::memory_order_relaxed), locks_, wal_,
+        nullptr);
+  }
+
   /// Transactions begun and not yet committed/aborted. The ingestion
   /// pipeline checks this under the exclusive ingest latch (where in-flight
   /// auto-commit transactions are drained) to keep the no-steal invariant:

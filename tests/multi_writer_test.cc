@@ -121,6 +121,8 @@ struct PipelineConfig {
   BuildCcMethod cc;
   const char* name;
   bool pk_index = true;
+  /// > 0 = decoupled merge scheduling (per-tree merge queues, PR 5).
+  size_t merge_queue_depth = 0;
 };
 
 class MultiWriterParityTest
@@ -140,6 +142,7 @@ TEST_P(MultiWriterParityTest, MatchesSingleWriterState) {
   mo.enable_primary_key_index = cfg.pk_index;
   mo.writer_threads = writers;
   mo.maintenance_threads = 2;
+  mo.merge_queue_depth = cfg.merge_queue_depth;
   mo.mem_budget_bytes = 64 << 10;  // force several pipeline cycles
   Dataset multi(&menv, mo);
 
@@ -188,7 +191,18 @@ INSTANTIATE_TEST_SUITE_P(
                        BuildCcMethod::kSideFile, "bitmap_no_pk_index",
                        /*pk_index=*/false},
         PipelineConfig{MaintenanceStrategy::kDeletedKeyBtree, false,
-                       BuildCcMethod::kNone, "deleted_key"}),
+                       BuildCcMethod::kNone, "deleted_key"},
+        // Decoupled merge scheduling (PR 5): same parity bar with merge work
+        // on the per-tree queues instead of inline in the cycle.
+        PipelineConfig{MaintenanceStrategy::kEager, false, BuildCcMethod::kNone,
+                       "eager_decoupled", /*pk_index=*/true,
+                       /*merge_queue_depth=*/4},
+        PipelineConfig{MaintenanceStrategy::kMutableBitmap, false,
+                       BuildCcMethod::kSideFile, "bitmap_sidefile_decoupled",
+                       /*pk_index=*/true, /*merge_queue_depth=*/4},
+        PipelineConfig{MaintenanceStrategy::kDeletedKeyBtree, false,
+                       BuildCcMethod::kNone, "deleted_key_decoupled",
+                       /*pk_index=*/true, /*merge_queue_depth=*/4}),
     [](const auto& info) { return info.param.name; });
 
 // The TSan stress target: writers, background flush/merge cycles, and
@@ -204,6 +218,7 @@ TEST_P(PipelineStressTest, ConcurrentIngestAndQueries) {
   o.build_cc = cfg.cc;
   o.writer_threads = 4;
   o.maintenance_threads = 2;
+  o.merge_queue_depth = cfg.merge_queue_depth;
   o.mem_budget_bytes = 128 << 10;
   Dataset ds(&env, o);
 
@@ -263,7 +278,13 @@ INSTANTIATE_TEST_SUITE_P(
         PipelineConfig{MaintenanceStrategy::kMutableBitmap, false,
                        BuildCcMethod::kSideFile, "bitmap_sidefile"},
         PipelineConfig{MaintenanceStrategy::kMutableBitmap, false,
-                       BuildCcMethod::kLock, "bitmap_lock"}),
+                       BuildCcMethod::kLock, "bitmap_lock"},
+        PipelineConfig{MaintenanceStrategy::kEager, false, BuildCcMethod::kNone,
+                       "eager_decoupled", /*pk_index=*/true,
+                       /*merge_queue_depth=*/4},
+        PipelineConfig{MaintenanceStrategy::kMutableBitmap, false,
+                       BuildCcMethod::kLock, "bitmap_lock_decoupled",
+                       /*pk_index=*/true, /*merge_queue_depth=*/4}),
     [](const auto& info) { return info.param.name; });
 
 // No-steal under the pipeline: the background cycle must not seal (and so

@@ -157,6 +157,41 @@ TEST(RecoveryBitmapTest, BitmapChangesAfterCheckpointAreRedone) {
   EXPECT_EQ(comps.back()->bitmap()->CountSet(), 10u);
 }
 
+// A logged update bit whose target component cannot record it (no bitmap)
+// must fail recovery loudly: returning OK would silently resurrect the old
+// version the log says was superseded.
+TEST(RecoveryBitmapTest, MissingBitmapOnRedoIsCorruption) {
+  Env env(TestEnv());
+  Wal shared_wal;
+  DatasetCatalog catalog;
+  {
+    Dataset ds(&env, Opts(MaintenanceStrategy::kMutableBitmap));
+    for (uint64_t i = 1; i <= 20; i++) {
+      ASSERT_TRUE(ds.Upsert(MakeTweet(i, 1, i)).ok());
+    }
+    ASSERT_TRUE(ds.FlushAll().ok());
+    catalog = ds.Checkpoint();
+    ASSERT_TRUE(ds.Delete(3).ok());  // flips a bit; logged with update_bit
+    for (const auto& r : ds.wal()->ReadFrom(kInvalidLsn)) {
+      shared_wal.Append(r);
+    }
+  }
+  // Corrupt the checkpoint: the catalog loses its bitmaps, as if the
+  // per-component metadata were damaged in the crash.
+  for (auto& e : catalog.primary) e.has_bitmap = false;
+  for (auto& e : catalog.primary_key) {
+    e.has_bitmap = false;
+    e.shares_primary_bitmap = false;
+  }
+  RecoveryStats stats;
+  auto recovered = Dataset::Recover(&env, &shared_wal, catalog,
+                                    Opts(MaintenanceStrategy::kMutableBitmap),
+                                    &stats);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_TRUE(recovered.status().IsCorruption())
+      << recovered.status().ToString();
+}
+
 TEST(RecoveryCatalogTest, CheckpointCapturesFiltersAndRepairedTs) {
   Env env(TestEnv());
   DatasetOptions o = Opts(MaintenanceStrategy::kValidation);

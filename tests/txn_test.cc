@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "core/dataset.h"
 #include "txn/lock_manager.h"
 #include "txn/log_record.h"
 #include "txn/recovery.h"
@@ -273,6 +274,98 @@ TEST(RecoveryTest, BitmapRedoUsesUpdateBitAndCheckpoint) {
   // Only "z": "x" is before the bitmap checkpoint, "y" has no update bit.
   ASSERT_EQ(bitmap_redo.size(), 1u);
   EXPECT_EQ(bitmap_redo[0], "z");
+}
+
+// --- Serial-path no-steal (DatasetOptions::strict_no_steal) ------------------
+
+namespace nosteal {
+
+EnvOptions TestEnv() {
+  EnvOptions o;
+  o.page_size = 1024;
+  o.cache_pages = 1 << 14;
+  o.disk_profile = DiskProfile::Null();
+  return o;
+}
+
+TweetRecord MakeTweet(uint64_t id) {
+  TweetRecord r;
+  r.id = id;
+  r.user_id = id % 10;
+  r.location = "TX";
+  r.creation_time = id;
+  r.message = std::string(120, 't');
+  return r;
+}
+
+DatasetOptions SmallBudget(bool strict) {
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kEager;
+  o.mem_budget_bytes = 4 << 10;  // a handful of records triggers the flush
+  o.strict_no_steal = strict;
+  return o;
+}
+
+}  // namespace nosteal
+
+// Documents the legacy serial behavior the knob defaults to: an inline
+// budget-triggered flush runs *between an open explicit transaction's
+// operations* and writes its uncommitted entries to disk (a steal) — the
+// seed behavior, kept bit-for-bit while strict_no_steal is off.
+TEST(SerialNoStealTest, LegacyInlineFlushStealsUncommittedEntries) {
+  Env env(nosteal::TestEnv());
+  Dataset ds(&env, nosteal::SmallBudget(/*strict=*/false));
+  auto txn = ds.Begin();
+  for (uint64_t id = 1; id <= 60; id++) {
+    ASSERT_TRUE(ds.UpsertTxn(nosteal::MakeTweet(id), txn.get()).ok());
+  }
+  // The transaction is still open, yet its entries were flushed to disk.
+  EXPECT_GT(ds.ingest_stats().flushes, 0u);
+  EXPECT_GT(ds.primary()->NumDiskComponents(), 0u);
+  ASSERT_TRUE(txn->Abort().ok());
+}
+
+// The fix: with strict_no_steal the inline flush defers while an explicit
+// transaction is open (matching the pipeline's seal deferral), so a rollback
+// always finds its entries still in the memtable — no uncommitted data ever
+// reaches disk.
+TEST(SerialNoStealTest, StrictModeDefersFlushUntilTransactionCloses) {
+  Env env(nosteal::TestEnv());
+  Dataset ds(&env, nosteal::SmallBudget(/*strict=*/true));
+  auto txn = ds.Begin();
+  for (uint64_t id = 1; id <= 60; id++) {
+    ASSERT_TRUE(ds.UpsertTxn(nosteal::MakeTweet(id), txn.get()).ok());
+  }
+  // Well past the budget, but no flush stole the open transaction's writes.
+  EXPECT_EQ(ds.ingest_stats().flushes, 0u);
+  EXPECT_EQ(ds.primary()->NumDiskComponents(), 0u);
+  ASSERT_TRUE(txn->Abort().ok());
+  EXPECT_EQ(ds.num_records(), 0u);  // the rollback reached every entry
+
+  // The next (auto-commit) operation re-triggers maintenance; only committed
+  // data reaches disk.
+  ASSERT_TRUE(ds.Upsert(nosteal::MakeTweet(1000)).ok());
+  ASSERT_TRUE(ds.FlushAll().ok());
+  EXPECT_EQ(ds.num_records(), 1u);
+  TweetRecord r;
+  EXPECT_TRUE(ds.GetById(1000, &r).ok());
+  EXPECT_TRUE(ds.GetById(5, &r).IsNotFound());
+}
+
+// Committed explicit transactions flush normally under strict mode: the
+// deferral ends as soon as the transaction closes.
+TEST(SerialNoStealTest, StrictModeFlushesCommittedWork) {
+  Env env(nosteal::TestEnv());
+  Dataset ds(&env, nosteal::SmallBudget(/*strict=*/true));
+  auto txn = ds.Begin();
+  for (uint64_t id = 1; id <= 60; id++) {
+    ASSERT_TRUE(ds.UpsertTxn(nosteal::MakeTweet(id), txn.get()).ok());
+  }
+  ASSERT_TRUE(txn->Commit().ok());
+  // Budget is still exceeded; the first op after the close flushes.
+  ASSERT_TRUE(ds.Upsert(nosteal::MakeTweet(61)).ok());
+  EXPECT_GT(ds.ingest_stats().flushes, 0u);
+  EXPECT_EQ(ds.num_records(), 61u);
 }
 
 }  // namespace
