@@ -125,6 +125,9 @@ inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false,
 struct BenchFlags {
   bool tiny = false;
   uint32_t queues = 4;
+  /// Run the fault-injection diagnostic sections at full size (they are
+  /// always on for --tiny smoke runs).
+  bool faults = false;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
@@ -132,6 +135,8 @@ struct BenchFlags {
       const std::string a = argv[i];
       if (a == "--tiny") {
         f.tiny = true;
+      } else if (a == "--faults") {
+        f.faults = true;
       } else if (a.rfind("--queues=", 0) == 0) {
         f.queues = uint32_t(std::max(1, std::atoi(a.c_str() + 9)));
       }

@@ -2,6 +2,16 @@
 
 namespace auxlsm {
 
+Status Status::WithContext(std::string_view ctx) const {
+  if (ok() || ctx.empty()) return *this;
+  std::string msg(ctx);
+  if (msg_ && !msg_->empty()) {
+    msg += ": ";
+    msg += *msg_;
+  }
+  return Status(code_, msg);
+}
+
 std::string Status::ToString() const {
   const char* name = "Unknown";
   switch (code_) {

@@ -60,6 +60,20 @@ class Status {
 
   Code code() const { return code_; }
 
+  /// Transient/retryable classification: IOError and Busy model conditions
+  /// that can succeed on retry (a flaky device, a contended resource);
+  /// Corruption, InvalidArgument, Aborted, etc. are permanent — retrying
+  /// cannot help and retry policies must give up immediately.
+  bool retryable() const {
+    return code_ == Code::kIOError || code_ == Code::kBusy;
+  }
+  bool IsTransient() const { return retryable(); }
+
+  /// Returns a copy whose message is prefixed with `ctx` ("flush(user_id):
+  /// IOError: injected fault"), so a sticky background error names the
+  /// failing step. No-op on OK statuses.
+  Status WithContext(std::string_view ctx) const;
+
   /// Human-readable rendering, e.g. "Corruption: bad page checksum".
   std::string ToString() const;
 

@@ -1,6 +1,7 @@
 #include "core/dataset.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/hash.h"
 #include "core/deleted_key.h"
@@ -108,6 +109,7 @@ Dataset::Dataset(Env* env, DatasetOptions options)
                                   ? UINT64_MAX
                                   : options_.merge_partition_min_bytes;
   mopts.io = env_->io();  // queue affinity for fanned-out maintenance tasks
+  mopts.fault = options_.fault_injector;
   auto scheduler = std::make_unique<MaintenanceScheduler>(mopts);
   // threads == 1 keeps the serial code paths untouched (no scheduler) —
   // unless decoupled merge scheduling needs the scheduler for its per-tree
@@ -120,6 +122,11 @@ Dataset::Dataset(Env* env, DatasetOptions options)
   }
   // Multi-writer commits batch their modeled log syncs (group commit).
   if (multi_writer()) wal_.set_group_commit(true);
+  // Thread the fault injector through the WAL seams (Env/cache/IO sites are
+  // wired by the Env itself via EnvOptions::fault_injector).
+  if (options_.fault_injector != nullptr) {
+    wal_.set_fault_injector(options_.fault_injector);
+  }
 }
 
 bool Dataset::engine_parallel() const {
@@ -181,16 +188,88 @@ Status Dataset::TakeBackgroundError() {
   // Pop one error class per call: when both the flush cycle and a merge job
   // failed, the first call returns (and clears) the flush error and leaves
   // the merge error observable for the next call — never silently dropped.
+  Status s;
   {
     std::lock_guard<std::mutex> l(bg_mu_);
     if (!bg_status_.ok()) {
-      Status s = bg_status_;
+      s = bg_status_;
       bg_status_ = Status::OK();
-      return s;
     }
   }
-  if (maintenance_ != nullptr) return maintenance_->TakeMergeError();
-  return Status::OK();
+  if (s.ok() && maintenance_ != nullptr) s = maintenance_->TakeMergeError();
+  // Degraded mode lifts only once no sticky error remains in either class —
+  // taking the flush error while a merge error is still queued keeps ingest
+  // fail-fast until that one is taken too.
+  bool clear;
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    clear = bg_status_.ok() &&
+            (maintenance_ == nullptr || !maintenance_->has_merge_error());
+  }
+  if (clear) degraded_.store(false, std::memory_order_release);
+  return s;
+}
+
+Status Dataset::RunWithRetry(const std::string& what,
+                             const std::function<Status()>& fn) {
+  uint32_t attempt = 0;
+  while (true) {
+    const Status s = fn();
+    if (s.ok()) {
+      if (attempt > 0) mstats_.retries_succeeded++;
+      return s;
+    }
+    if (!s.retryable()) {
+      // Permanent (Corruption, Aborted, ...): re-running cannot help.
+      mstats_.rounds_abandoned++;
+      return s.WithContext(what);
+    }
+    mstats_.transient_failures++;
+    if (attempt >= options_.maintenance_retry_limit) {
+      mstats_.rounds_abandoned++;
+      return s.WithContext(what + " (retries exhausted)");
+    }
+    attempt++;
+    mstats_.retries_attempted++;
+    // Exponential backoff: charged to the modeled clock (so retry storms
+    // show up in simulated time) and bounded-slept for real (so the
+    // background thread cannot spin a core under a fault storm).
+    const uint64_t backoff = options_.retry_backoff_us
+                             << std::min<uint32_t>(attempt, 10);
+    if (backoff > 0) {
+      env_->io()->ChargeDelay(double(backoff));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(std::min<uint64_t>(backoff, 1000)));
+    }
+  }
+}
+
+void Dataset::MarkDegraded(const Status& cause) {
+  if (!cause.ok()) {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    if (bg_status_.ok()) bg_status_ = cause;
+  }
+  MarkDegraded();
+}
+
+void Dataset::MarkDegraded() {
+  if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+    mstats_.degraded_transitions++;
+  }
+}
+
+Status Dataset::DegradedError() {
+  {
+    std::lock_guard<std::mutex> l(bg_mu_);
+    if (!bg_status_.ok()) return bg_status_;
+  }
+  if (maintenance_ != nullptr) {
+    const Status s = maintenance_->merge_error();
+    if (!s.ok()) return s;
+  }
+  // The flag is set but both sticky slots already drained (a concurrent
+  // taker raced us): report the state rather than inventing an error.
+  return Status::Aborted("dataset degraded: maintenance failed");
 }
 
 Status Dataset::MaintainAsync(bool in_explicit_txn) {
@@ -250,10 +329,10 @@ Status Dataset::MaintainAsync(bool in_explicit_txn) {
   std::lock_guard<std::mutex> l(bg_mu_);
   bg_thread_ = std::thread([this]() {
     Status s = MaintenanceCycle();
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> bl(bg_mu_);
-      if (bg_status_.ok()) bg_status_ = s;
-    }
+    // A failed cycle already exhausted its retry budget (or hit a permanent
+    // error): store the sticky error and degrade to read-only until the
+    // caller takes it (TakeBackgroundError).
+    if (!s.ok()) MarkDegraded(s);
     bg_active_.store(false, std::memory_order_release);
   });
   return Status::OK();
@@ -277,7 +356,11 @@ Status Dataset::MaintenanceCycle() {
     // ingest op re-triggers it).
     if (txns_.active_transactions() > 0) return Status::OK();
     for (LsmTree* t : AllTrees()) {
-      if (auto m = t->SealMemtable()) sealed.emplace_back(t, std::move(m));
+      t->SealMemtable();
+      // Collect every pending sealed memtable, not just the fresh one: a
+      // prior cycle abandoned by a build failure left its memtables sealed
+      // (recoverable, but uninstalled) — this is their re-flush path.
+      for (auto& m : t->PendingSealed()) sealed.emplace_back(t, m);
     }
     flush_lsn = wal_.tail_lsn();
   }
@@ -285,11 +368,21 @@ Status Dataset::MaintenanceCycle() {
 
   // Phase 2 — build the flushed components off-latch (fanned out on the
   // maintenance engine when it is active; distinct trees, distinct files).
+  // Each build runs under the transient-retry policy; a failed build leaves
+  // its sealed memtable in place, so no data is lost (WAL + sealed state).
+  FaultInjector* const fault = options_.fault_injector;
   std::vector<DiskComponentPtr> built(sealed.size());
   auto build_one = [&](size_t i) -> Status {
-    AUXLSM_ASSIGN_OR_RETURN(built[i],
-                            sealed[i].first->BuildFromSealed(sealed[i].second));
-    return Status::OK();
+    return RunWithRetry(
+        "flush(" + sealed[i].first->options().name + ")", [&, i]() -> Status {
+          if (fault != nullptr) {
+            AUXLSM_RETURN_NOT_OK(
+                fault->Hit(failpoints::kFlushBuild, env_->io()));
+          }
+          AUXLSM_ASSIGN_OR_RETURN(
+              built[i], sealed[i].first->BuildFromSealed(sealed[i].second));
+          return Status::OK();
+        });
   };
   if (engine_parallel()) {
     std::vector<std::function<Status()>> tasks;
@@ -308,9 +401,17 @@ Status Dataset::MaintenanceCycle() {
 
   // Phase 3 — install under the latch: all trees' components appear
   // atomically w.r.t. ingestion, preserving the positional alignment that
-  // correlated merges and bitmap sharing rely on.
+  // correlated merges and bitmap sharing rely on. The install failpoint is
+  // consulted ONCE, before any tree installs — an injected install error is
+  // all-or-nothing (no tree installed), never a partial install that would
+  // break the positional alignment.
   {
     std::unique_lock<RwLatch> latch(ingest_mu_);
+    if (fault != nullptr) {
+      AUXLSM_RETURN_NOT_OK(RunWithRetry("install", [&]() -> Status {
+        return fault->Hit(failpoints::kInstall, env_->io());
+      }));
+    }
     for (size_t i = 0; i < sealed.size(); i++) {
       AUXLSM_RETURN_NOT_OK(
           sealed[i].first->InstallFlushed(sealed[i].second, built[i]));
@@ -362,10 +463,27 @@ void Dataset::EnqueueMergeWork() {
   auto add = [&](LsmTree* accounting_tree, MaintenanceScheduler::MergeKey key,
                  std::function<Status()> work) {
     accounting_tree->BeginQueuedMerge();
+    const std::string what =
+        "merge_job(" + accounting_tree->options().name + ")";
     round.push_back(MaintenanceScheduler::MergeJob{
-        key, [accounting_tree, work = std::move(work)]() {
-          const Status s = work();
+        key, [this, accounting_tree, what, work = std::move(work)]() {
+          // Transient job failures retry in place on the queue (the work
+          // re-picks its merge inputs each run, so a retry sees the current
+          // component lists). This is the merge-round retry policy the
+          // decoupled scheduling PR deferred. EndQueuedMerge runs no matter
+          // what — a failed job must never leave the accounting wedged.
+          FaultInjector* const fault = options_.fault_injector;
+          const Status s = RunWithRetry(what, [&]() -> Status {
+            if (fault != nullptr) {
+              AUXLSM_RETURN_NOT_OK(
+                  fault->Hit(failpoints::kMergeJob, env_->io()));
+            }
+            return work();
+          });
           accounting_tree->EndQueuedMerge();
+          // Flag-only degrade: the scheduler keeps the sticky error itself
+          // (storing a copy in bg_status_ would double-report it).
+          if (!s.ok()) MarkDegraded();
           return s;
         }});
   };
@@ -445,14 +563,23 @@ Status Dataset::FixupFlushedBitmap() {
   if (pcomps.empty()) return Status::OK();
   const DiskComponentPtr& front = pcomps.front();
   if (front->bitmap() == nullptr) return Status::OK();
-  for (const auto& [key, ts] : pending) {
+  for (size_t i = 0; i < pending.size(); i++) {
+    const auto& [key, ts] = pending[i];
     LeafEntry entry;
     std::string backing;
     uint64_t ordinal = 0;
     Status st = front->tree().GetWithOrdinal(key, &entry, &backing,
                                              &ordinal);
     if (st.IsNotFound()) continue;
-    AUXLSM_RETURN_NOT_OK(st);
+    if (!st.ok()) {
+      // Re-stash the unprocessed marks (current one included — Set is
+      // idempotent): a retried cycle must not lose supersessions, or the §5
+      // scans would resurrect the dead entries.
+      std::lock_guard<std::mutex> l(fixup_mu_);
+      pending_bitmap_fixups_.insert(pending_bitmap_fixups_.begin(),
+                                    pending.begin() + i, pending.end());
+      return st.WithContext("bitmap fixup");
+    }
     if (!entry.antimatter && entry.ts < ts) front->bitmap()->Set(ordinal);
   }
   return Status::OK();
@@ -466,44 +593,81 @@ Status Dataset::FlushAll() {
 
 Status Dataset::FlushAllLocked() {
   const Lsn flush_lsn = wal_.tail_lsn();
-  auto flush_tree = [flush_lsn](LsmTree* t) -> Status {
-    if (t == nullptr || !t->NeedsFlush()) return Status::OK();
-    AUXLSM_RETURN_NOT_OK(t->Flush());
-    auto comps = t->Components();
-    if (!comps.empty()) comps.front()->set_max_lsn(flush_lsn);
-    return Status::OK();
+  FaultInjector* const fault = options_.fault_injector;
+  // Phase 1 — seal every tree (the caller holds the exclusive latch). The
+  // slot number preserves the legacy per-tree device-queue binding (one slot
+  // per enumerated tree position, occupied or not), so multi-queue simulated
+  // charges are bit-for-bit the pre-restructure costs.
+  struct PendingFlush {
+    LsmTree* tree;
+    std::shared_ptr<Memtable> mem;
+    uint32_t slot;
+  };
+  std::vector<PendingFlush> sealed;
+  uint32_t slot = 0;
+  auto collect = [&](LsmTree* t) {
+    const uint32_t my_slot = slot++;
+    if (t == nullptr) return;
+    t->SealMemtable();
+    for (auto& m : t->PendingSealed()) {
+      sealed.push_back(PendingFlush{t, m, my_slot});
+    }
+  };
+  collect(primary_.get());
+  collect(pk_index_.get());
+  for (auto& s : secondaries_) {
+    collect(s->tree.get());
+    collect(s->deleted_keys.get());
+  }
+
+  // Phase 2 — build all components, then install all (phase 3): a build
+  // failure (injected or real) leaves every tree uninstalled and its sealed
+  // memtables intact, instead of some trees flushed and others not — the
+  // partial state that breaks the positional alignment correlated merges
+  // and bitmap sharing rely on. Builds run under the transient-retry policy.
+  std::vector<DiskComponentPtr> built(sealed.size());
+  auto build_one = [&](size_t i) -> Status {
+    return RunWithRetry(
+        "flush(" + sealed[i].tree->options().name + ")", [&, i]() -> Status {
+          if (fault != nullptr) {
+            AUXLSM_RETURN_NOT_OK(
+                fault->Hit(failpoints::kFlushBuild, env_->io()));
+          }
+          AUXLSM_ASSIGN_OR_RETURN(built[i],
+                                  sealed[i].tree->BuildFromSealed(
+                                      sealed[i].mem));
+          return Status::OK();
+        });
   };
   if (engine_parallel()) {
-    // All indexes flush together (shared budget); their flushes write to
+    // All indexes flush together (shared budget); their builds write to
     // distinct trees and files, so they run concurrently on the pool.
     std::vector<std::function<Status()>> tasks;
-    auto add = [&](LsmTree* t) {
-      if (t != nullptr && t->NeedsFlush()) {
-        tasks.push_back([t, flush_tree]() { return flush_tree(t); });
-      }
-    };
-    add(primary_.get());
-    add(pk_index_.get());
-    for (auto& s : secondaries_) {
-      add(s->tree.get());
-      add(s->deleted_keys.get());
+    for (size_t i = 0; i < sealed.size(); i++) {
+      tasks.push_back([&build_one, i]() { return build_one(i); });
     }
     AUXLSM_RETURN_NOT_OK(maintenance_->RunAll(std::move(tasks)));
   } else {
-    // Serial path: flushes run inline, but each tree still charges its own
+    // Serial path: builds run inline, but each tree still charges its own
     // device queue so multi-queue profiles overlap them in simulated time
     // (queue 0 for every tree on a single-queue device — the legacy costs).
-    size_t tree_no = 0;
-    auto flush_bound = [&](LsmTree* t) -> Status {
-      IoQueueScope io_scope(env_->io(), uint32_t(tree_no++));
-      return flush_tree(t);
-    };
-    AUXLSM_RETURN_NOT_OK(flush_bound(primary_.get()));
-    AUXLSM_RETURN_NOT_OK(flush_bound(pk_index_.get()));
-    for (auto& s : secondaries_) {
-      AUXLSM_RETURN_NOT_OK(flush_bound(s->tree.get()));
-      AUXLSM_RETURN_NOT_OK(flush_bound(s->deleted_keys.get()));
+    for (size_t i = 0; i < sealed.size(); i++) {
+      IoQueueScope io_scope(env_->io(), sealed[i].slot);
+      AUXLSM_RETURN_NOT_OK(build_one(i));
     }
+  }
+
+  // Phase 3 — install everything. The install failpoint is consulted once,
+  // before any tree installs (all-or-nothing, as in MaintenanceCycle).
+  if (fault != nullptr && !sealed.empty()) {
+    AUXLSM_RETURN_NOT_OK(RunWithRetry("install", [&]() -> Status {
+      return fault->Hit(failpoints::kInstall, env_->io());
+    }));
+  }
+  for (size_t i = 0; i < sealed.size(); i++) {
+    AUXLSM_RETURN_NOT_OK(sealed[i].tree->InstallFlushed(sealed[i].mem,
+                                                        built[i]));
+    built[i]->set_max_lsn(flush_lsn);
   }
   // A direct FlushAll flushed active and sealed memtables together, so any
   // recorded seal-window supersessions now coexist with their newer versions
@@ -532,9 +696,16 @@ Status Dataset::MergeRepairToPolicy(SecondaryIndex* index, uint64_t* merges,
                                     uint64_t* repairs) {
   // Merge repair replaces the plain merge for secondary indexes (§4.4). The
   // tree's own policy is the same tiering policy the options describe.
+  FaultInjector* const fault = options_.fault_injector;
   std::vector<DiskComponentPtr> picked;
   while (index->tree->PickMergeCandidates(&picked)) {
-    AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, index, picked));
+    AUXLSM_RETURN_NOT_OK(RunWithRetry(
+        "repair(" + index->def.name + ")", [&]() -> Status {
+          if (fault != nullptr) {
+            AUXLSM_RETURN_NOT_OK(fault->Hit(failpoints::kMerge, env_->io()));
+          }
+          return RunMergeRepair(this, index, picked);
+        }));
     (*merges)++;
     (*repairs)++;
   }
@@ -581,8 +752,14 @@ Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
       auto dk = index->deleted_keys->Components();
       if (dk.size() >= r.end) dk_picked = SliceRange(dk, r);
     }
-    AUXLSM_RETURN_NOT_OK(RunDeletedKeyMergePicked(this, index, picked,
-                                                  dk_picked));
+    FaultInjector* const fault = options_.fault_injector;
+    AUXLSM_RETURN_NOT_OK(RunWithRetry(
+        "merge(" + index->def.name + ".deleted)", [&]() -> Status {
+          if (fault != nullptr) {
+            AUXLSM_RETURN_NOT_OK(fault->Hit(failpoints::kMerge, env_->io()));
+          }
+          return RunDeletedKeyMergePicked(this, index, picked, dk_picked);
+        }));
     (*merges)++;
   }
   return Status::OK();
@@ -591,14 +768,25 @@ Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
 Status Dataset::RunMerges() {
   if (options_.correlated_merges) return CorrelatedMerge();
   if (engine_parallel()) return ParallelMerges();
+  FaultInjector* const fault = options_.fault_injector;
   auto merge_tree = [&](LsmTree* t) -> Status {
     if (t == nullptr) return Status::OK();
-    bool merged = true;
-    while (merged) {
-      AUXLSM_RETURN_NOT_OK(t->TryMerge(&merged));
-      if (merged) stats_.merges++;
-    }
-    return Status::OK();
+    // The serial path bypasses the scheduler (whose MergeComponents carries
+    // the merge failpoint), so the site is consulted here; transient
+    // failures retry the tree's merge loop from the current component set.
+    return RunWithRetry(
+        "merge(" + t->options().name + ")", [&, t]() -> Status {
+          bool merged = true;
+          while (merged) {
+            if (fault != nullptr) {
+              AUXLSM_RETURN_NOT_OK(fault->Hit(failpoints::kMerge,
+                                              env_->io()));
+            }
+            AUXLSM_RETURN_NOT_OK(t->TryMerge(&merged));
+            if (merged) stats_.merges++;
+          }
+          return Status::OK();
+        });
   };
   AUXLSM_RETURN_NOT_OK(merge_tree(primary_.get()));
   AUXLSM_RETURN_NOT_OK(merge_tree(pk_index_.get()));
@@ -712,14 +900,25 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
     }
 
     // Merge of one tree's captured slice; routed through the maintenance
-    // engine (which may partition large merges) when it is active.
+    // engine (which may partition large merges) when it is active. A merge
+    // fails before any component is replaced, so transient failures retry
+    // against the same captured slice.
+    FaultInjector* const fault = options_.fault_injector;
     auto merge_picked =
-        [this](LsmTree* t, const std::vector<DiskComponentPtr>& picked) {
-          if (maintenance_ != nullptr) {
-            return maintenance_->MergeComponents(t, picked);
-          }
-          return t->MergeComponents(picked);
-        };
+        [this, fault](LsmTree* t,
+                      const std::vector<DiskComponentPtr>& picked) -> Status {
+      return RunWithRetry(
+          "merge(" + t->options().name + ")", [&]() -> Status {
+            if (maintenance_ != nullptr) {
+              return maintenance_->MergeComponents(t, picked);
+            }
+            if (fault != nullptr) {
+              AUXLSM_RETURN_NOT_OK(fault->Hit(failpoints::kMerge,
+                                              env_->io()));
+            }
+            return t->MergeComponents(picked);
+          });
+    };
 
     // Phase 1: primary and primary key index merge (concurrently when the
     // engine is active) — their post-merge components must exist before the
@@ -735,14 +934,18 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
       ConcurrentMergeStats cstats;
       if (options_.build_cc == BuildCcMethod::kNone) {
         std::unique_lock<RwLatch> latch(ingest_mu_);
-        AUXLSM_RETURN_NOT_OK(ConcurrentMergePicked(this, p_picked, k_picked,
-                                                   BuildCcMethod::kNone,
-                                                   &cstats,
-                                                   /*dataset_latched=*/true));
+        AUXLSM_RETURN_NOT_OK(
+            RunWithRetry("merge(concurrent)", [&]() -> Status {
+              return ConcurrentMergePicked(this, p_picked, k_picked,
+                                           BuildCcMethod::kNone, &cstats,
+                                           /*dataset_latched=*/true);
+            }));
       } else {
-        AUXLSM_RETURN_NOT_OK(ConcurrentMergePicked(this, p_picked, k_picked,
-                                                   options_.build_cc,
-                                                   &cstats));
+        AUXLSM_RETURN_NOT_OK(
+            RunWithRetry("merge(concurrent)", [&]() -> Status {
+              return ConcurrentMergePicked(this, p_picked, k_picked,
+                                           options_.build_cc, &cstats);
+            }));
       }
     } else {
       if (engine_parallel() && pk_index_ != nullptr) {
@@ -785,7 +988,10 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
           options_.merge_repair) {
         uint64_t* rc = &srepairs[i];
         work = [this, s, picked = spicked[i].tree, rc]() -> Status {
-          AUXLSM_RETURN_NOT_OK(RunMergeRepair(this, s, picked));
+          AUXLSM_RETURN_NOT_OK(
+              RunWithRetry("repair(" + s->def.name + ")", [&]() -> Status {
+                return RunMergeRepair(this, s, picked);
+              }));
           (*rc)++;
           return Status::OK();
         };
@@ -985,12 +1191,47 @@ Result<std::unique_ptr<Dataset>> Dataset::Recover(Env* env, Wal* wal,
     AUXLSM_RETURN_NOT_OK(
         ReopenTree(env, ds->pk_index_.get(), catalog.primary_key));
     // Re-establish bitmap sharing between primary and pk-index components.
+    // Sharing is positional, so first verify the two lists actually line up
+    // wherever the catalog asks for a share: matching component ids and
+    // entry counts (bit positions are ordinals — a count mismatch means the
+    // shared bitmap would mark the wrong rows).
     auto pcomps = ds->primary_->Components();
     auto kcomps = ds->pk_index_->Components();
-    for (size_t i = 0; i < kcomps.size() && i < pcomps.size(); i++) {
-      if (i < catalog.primary_key.size() &&
-          catalog.primary_key[i].shares_primary_bitmap) {
-        kcomps[i]->set_bitmap(pcomps[i]->bitmap());
+    bool aligned = true;
+    for (size_t i = 0; i < kcomps.size(); i++) {
+      if (i >= catalog.primary_key.size() ||
+          !catalog.primary_key[i].shares_primary_bitmap) {
+        continue;
+      }
+      if (i >= pcomps.size() ||
+          pcomps[i]->id().min_ts != kcomps[i]->id().min_ts ||
+          pcomps[i]->id().max_ts != kcomps[i]->id().max_ts ||
+          pcomps[i]->meta().num_entries != kcomps[i]->meta().num_entries) {
+        aligned = false;
+        break;
+      }
+    }
+    if (aligned) {
+      for (size_t i = 0; i < kcomps.size() && i < pcomps.size(); i++) {
+        if (i < catalog.primary_key.size() &&
+            catalog.primary_key[i].shares_primary_bitmap) {
+          kcomps[i]->set_bitmap(pcomps[i]->bitmap());
+        }
+      }
+    } else if (ds->options_.strategy == MaintenanceStrategy::kMutableBitmap) {
+      // Positional alignment was lost (a fault tore the lock-step merge
+      // schedule before the crash). The reopened components still carry
+      // correct per-component bitmap *contents* from the catalog; a full
+      // merge of both trees materializes that validity into one component
+      // each, and the pair can share a single fresh bitmap again. This must
+      // happen before WAL replay: replayed bitmap ops target the front
+      // component's shared bitmap.
+      AUXLSM_RETURN_NOT_OK(ds->primary_->MergeAll());
+      AUXLSM_RETURN_NOT_OK(ds->pk_index_->MergeAll());
+      auto pm = ds->primary_->Components();
+      auto km = ds->pk_index_->Components();
+      if (!pm.empty() && !km.empty()) {
+        km.front()->set_bitmap(pm.front()->bitmap());
       }
     }
   }

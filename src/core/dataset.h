@@ -33,6 +33,7 @@
 #include "common/result.h"
 #include "common/stat_counter.h"
 #include "core/query_cursor.h"
+#include "fault/fault_injector.h"
 #include "core/read_query.h"
 #include "format/record.h"
 #include "lsm/lsm_tree.h"
@@ -153,6 +154,41 @@ struct DatasetOptions {
   /// explicit transactions are open). true defers the inline flush the same
   /// way; false keeps the seed behavior for bit-for-bit parity.
   bool strict_no_steal = false;
+
+  // --- Robustness (PR 6) ----------------------------------------------------
+  /// Optional fault injector threaded through every modeled-storage seam
+  /// (fault/fault_injector.h). Must outlive the Dataset AND the Env — the
+  /// same injector instance should be handed to EnvOptions::fault_injector
+  /// so the Env/cache/IO sites and the maintenance sites fire consistently.
+  /// Null (default) disables injection entirely (a pure branch per site).
+  FaultInjector* fault_injector = nullptr;
+  /// Transient-failure retry budget for maintenance steps (flush builds,
+  /// installs, merges, merge-queue jobs): a step failing with a retryable
+  /// Status (Status::retryable(): IOError / Busy) is re-run up to this many
+  /// times before the round is abandoned. 0 = fail fast on first error.
+  /// Permanent errors (Corruption, Aborted, ...) never retry.
+  uint32_t maintenance_retry_limit = 3;
+  /// Base backoff charged between maintenance retries, doubled per attempt
+  /// (modeled clock when the Env has one; also a real sleep bound for the
+  /// background thread so a fault storm cannot spin a core).
+  uint64_t retry_backoff_us = 50;
+};
+
+/// Dataset health for the robustness state machine (PR 6): once maintenance
+/// exhausts its retry budget or hits a permanent error, the dataset degrades
+/// to read-only — ingest fails fast with the sticky background error while
+/// reads keep serving the installed components. TakeBackgroundError() clears
+/// the degradation once every sticky error class has been taken.
+enum class DatasetHealth { kHealthy, kDegraded };
+
+/// Robustness counters (relaxed atomics, like IngestStats): retry/abandon
+/// activity of the maintenance pipeline plus degraded-mode transitions.
+struct MaintenanceStats {
+  StatCounter transient_failures;   ///< retryable step failures observed
+  StatCounter retries_attempted;    ///< re-runs issued after a transient failure
+  StatCounter retries_succeeded;    ///< steps that succeeded on a retry
+  StatCounter rounds_abandoned;     ///< steps given up (budget/permanent)
+  StatCounter degraded_transitions; ///< kHealthy -> kDegraded edges
 };
 
 /// Counters are relaxed atomics: they are bumped from concurrent writers
@@ -281,8 +317,20 @@ class Dataset {
   /// first, then merge-queue — when both failed, two calls observe both).
   /// Without this, one transient maintenance failure poisons every later
   /// ingest forever; callers that handled the error (retried, shed load)
-  /// take it to re-arm the pipeline. OK() once everything is clear.
+  /// take it to re-arm the pipeline. OK() once everything is clear; degraded
+  /// mode (health()) lifts once the last sticky error class is taken.
   Status TakeBackgroundError();
+
+  /// Robustness state (PR 6): kDegraded once maintenance exhausted its retry
+  /// budget or hit a permanent error. Degraded ingest fails fast with the
+  /// sticky background error; reads keep serving. Cleared by taking every
+  /// sticky error via TakeBackgroundError().
+  DatasetHealth health() const {
+    return degraded_.load(std::memory_order_acquire) ? DatasetHealth::kDegraded
+                                                     : DatasetHealth::kHealthy;
+  }
+  /// Retry / degraded-mode counters.
+  const MaintenanceStats& maintenance_stats() const { return mstats_; }
 
   /// Standalone repair of every secondary index (§4.4). Brings repairedTS
   /// forward; used by Fig 20-22.
@@ -465,6 +513,24 @@ class Dataset {
   LsmTreeOptions MakeTreeOptions(const std::string& name, bool is_primary,
                                  bool attach_bitmap, bool range_filter) const;
 
+  // --- Robustness helpers (dataset.cc) --------------------------------------
+  /// Runs `fn` with bounded retry-on-transient: a Status::retryable() failure
+  /// is re-run up to maintenance_retry_limit times with exponential backoff
+  /// (retry_backoff_us, modeled + real); permanent errors and exhausted
+  /// budgets return immediately with `what` prefixed as context. Updates
+  /// mstats_.
+  Status RunWithRetry(const std::string& what,
+                      const std::function<Status()>& fn);
+  /// Marks the dataset degraded and stores `cause` as the sticky flush-cycle
+  /// error if none is stored yet.
+  void MarkDegraded(const Status& cause);
+  /// Flag-only degraded transition: used when the sticky error lives in the
+  /// merge scheduler (TakeMergeError would double-report a copied status).
+  void MarkDegraded();
+  /// The error degraded ingest fails with (a peek at the sticky state —
+  /// does NOT clear it; callers clear via TakeBackgroundError).
+  Status DegradedError();
+
   Env* const env_;
   DatasetOptions options_;
   LogicalClock clock_;
@@ -499,6 +565,11 @@ class Dataset {
   std::thread bg_thread_;          // guarded by bg_mu_
   std::atomic<bool> bg_active_{false};
   Status bg_status_;               // guarded by bg_mu_
+
+  // Robustness state (PR 6): set on retry-budget exhaustion or permanent
+  // maintenance errors; read lock-free by every ingest op.
+  std::atomic<bool> degraded_{false};
+  MaintenanceStats mstats_;
 };
 
 // repair.cc — exposed for tests and benchmarks.

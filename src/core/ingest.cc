@@ -227,7 +227,23 @@ Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
   // memtable under the exclusive latch). An old version in the *active*
   // memtable needs nothing — both versions flush together and reconcile —
   // and one on disk had its bit flipped directly below.
-  if (old_in_mem && res.from_sealed) RecordBitmapFixup(pk, ts);
+  if (old_in_mem && res.from_sealed) {
+    RecordBitmapFixup(pk, ts);
+    if (txn != nullptr) {
+      // An abort must retract the recorded supersession, or the install-time
+      // fixup would mark the (still live) old version deleted.
+      txn->PushUndo([this, pk, ts]() {
+        std::lock_guard<std::mutex> l(fixup_mu_);
+        auto& v = pending_bitmap_fixups_;
+        for (auto it = v.begin(); it != v.end(); ++it) {
+          if (it->first == pk && it->second == ts) {
+            v.erase(it);
+            break;
+          }
+        }
+      });
+    }
+  }
 
   if (old_in_disk && res.component->bitmap() != nullptr) {
     // Mark the old version deleted directly in the disk component.
@@ -297,6 +313,12 @@ Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
 
 Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
                          Transaction* txn, bool* inserted, bool log_to_wal) {
+  // Degraded read-only mode: maintenance exhausted its retry budget (or hit
+  // a permanent error), so ingest fails fast with the sticky cause while
+  // reads keep serving the installed components. TakeBackgroundError()
+  // re-arms the pipeline.
+  if (degraded_.load(std::memory_order_acquire)) return DegradedError();
+
   std::shared_lock<RwLatch> ingest_lock(ingest_mu_);
 
   std::unique_ptr<Transaction> auto_txn;
@@ -308,8 +330,11 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   // Record-level X lock on the primary key for the transaction's duration.
   const std::string pk = record.primary_key();
   txn->Lock(pk, LockMode::kExclusive);
-  // Auto-commit transactions never roll back; skip undo bookkeeping.
-  Transaction* undo_txn = owns_txn ? nullptr : txn;
+  // Auto-commit transactions never roll back; skip undo bookkeeping — unless
+  // a fault injector is armed: an injected WAL drop must be able to undo the
+  // op's memtable effects, or unlogged state would survive to the next flush.
+  Transaction* undo_txn =
+      owns_txn && options_.fault_injector == nullptr ? nullptr : txn;
 
   const Timestamp ts = clock_.Tick();
   bool update_bit = false;
@@ -364,10 +389,31 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
     if (op != LogRecordType::kDelete) r.value = record.Serialize();
     r.ts = ts;
     r.update_bit = update_bit;
-    txn->Log(std::move(r));
+    if (txn->Log(std::move(r)) == kInvalidLsn) {
+      // The WAL dropped the operation record (fault injection / crash): the
+      // op can never be durable. Abort the transaction — its undo closures
+      // remove the memtable effects — and surface the injector's parked
+      // error. A transaction with a hole in its log must not commit: its
+      // other records would replay while this op silently vanished.
+      txn->Abort();
+      Status parked;
+      if (options_.fault_injector != nullptr) {
+        parked = options_.fault_injector->TakePending();
+      }
+      return parked.ok() ? Status::IOError("wal dropped the log record")
+                         : parked;
+    }
   }
   if (owns_txn) {
-    AUXLSM_RETURN_NOT_OK(txn->Commit());
+    const Status cs = txn->Commit();
+    if (!cs.ok()) {
+      // Prefer the injector's parked Status: it names the failpoint site.
+      if (options_.fault_injector != nullptr) {
+        const Status parked = options_.fault_injector->TakePending();
+        if (!parked.ok()) return parked;
+      }
+      return cs;
+    }
   }
 
   ingest_lock.unlock();
@@ -390,8 +436,17 @@ Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
   if (options_.strict_no_steal && txns_.active_transactions() > 0) {
     return Status::OK();
   }
-  AUXLSM_RETURN_NOT_OK(FlushAllLocked());
-  return RunMerges();
+  Status s = FlushAllLocked();
+  if (s.ok()) s = RunMerges();
+  if (!s.ok()) {
+    // Serial inline maintenance failed past its retry budget. The op that
+    // tripped the budget check already committed (its WAL records are
+    // durable), so failing *it* would misreport a committed op. Degrade to
+    // read-only with the cause sticky instead: the NEXT ingest fails fast —
+    // before any effect — until TakeBackgroundError() re-arms the pipeline.
+    MarkDegraded(s);
+  }
+  return Status::OK();
 }
 
 Status Dataset::ReplayOp(const LogRecord& r, const TweetRecord& record) {

@@ -127,6 +127,12 @@ Status InstallPair(Dataset* ds, const std::vector<DiskComponentPtr>& old_p,
   kcomp->set_bitmap(bitmap);
   pcomp->set_repaired_ts(repaired);
   kcomp->set_repaired_ts(repaired);
+  // Recovery replays from the max component LSN; the merged pair must keep
+  // carrying the newest LSN of its inputs (see LsmTree::MergeFromStream).
+  Lsn max_lsn = kInvalidLsn;
+  for (const auto& c : old_p) max_lsn = std::max(max_lsn, c->max_lsn());
+  pcomp->set_max_lsn(max_lsn);
+  kcomp->set_max_lsn(max_lsn);
   // Merged range filter: union of inputs (conservative).
   RangeFilter f;
   for (const auto& c : old_p) {
@@ -141,6 +147,48 @@ Status InstallPair(Dataset* ds, const std::vector<DiskComponentPtr>& old_p,
   }
   return Status::OK();
 }
+
+// Unpublishes a build on ANY exit after the link went live. A §5.3 build
+// that fails mid-scan (I/O error, injected fault, failed builder commit)
+// used to leave its BuildLink on the picked components and its side-file
+// open forever: writers kept routing deletes into the dead build, and under
+// decoupled scheduling the failed job wedged its group queue. The guard
+// closes the side-file and clears the links — under a briefly-acquired
+// exclusive ingest latch unless the caller already holds it — and the
+// success path disarms it after its own under-latch cleanup.
+class BuildLinkGuard {
+ public:
+  BuildLinkGuard(Dataset* ds, bool dataset_latched,
+                 const std::vector<DiskComponentPtr>& old_p,
+                 const std::vector<DiskComponentPtr>& old_k)
+      : ds_(ds), latched_(dataset_latched), old_p_(old_p), old_k_(old_k) {}
+
+  void Arm(std::shared_ptr<BuildLink> link) {
+    link_ = std::move(link);
+    armed_ = true;
+  }
+  void Disarm() { armed_ = false; }
+
+  ~BuildLinkGuard() {
+    if (!armed_) return;
+    auto drain = latched_ ? std::unique_lock<RwLatch>()
+                          : std::unique_lock<RwLatch>(ds_->ingest_latch());
+    if (link_ != nullptr) {
+      std::lock_guard<std::mutex> l(link_->mu);
+      link_->side_file_closed = true;
+    }
+    for (const auto& c : old_p_) c->set_build_link(nullptr);
+    for (const auto& c : old_k_) c->set_build_link(nullptr);
+  }
+
+ private:
+  Dataset* const ds_;
+  const bool latched_;
+  const std::vector<DiskComponentPtr>& old_p_;
+  const std::vector<DiskComponentPtr>& old_k_;
+  std::shared_ptr<BuildLink> link_;
+  bool armed_ = false;
+};
 
 }  // namespace
 
@@ -226,12 +274,19 @@ Status ConcurrentMergePicked(Dataset* ds,
   }
 
   auto link = std::make_shared<BuildLink>(method, capacity);
+  BuildLinkGuard guard(ds, dataset_latched, old_p, old_k);
+  FaultInjector* fault = ds->options().fault_injector;
 
   if (method == BuildCcMethod::kLock) {
     // Fig 10a: make the new component visible, then scan with per-key shared
     // locks, re-checking validity under the lock.
     for (const auto& c : old_p) c->set_build_link(link);
     for (const auto& c : old_k) c->set_build_link(link);
+    guard.Arm(link);
+    if (fault != nullptr) {
+      AUXLSM_RETURN_NOT_OK(
+          fault->Hit(failpoints::kConcurrentBuild, ds->env()->io()));
+    }
 
     MergeCursor::Options mo;
     mo.respect_bitmaps = false;  // validity re-checked under the lock
@@ -273,6 +328,7 @@ Status ConcurrentMergePicked(Dataset* ds,
                                      &stats->output_entries));
     for (const auto& c : old_p) c->set_build_link(nullptr);
     for (const auto& c : old_k) c->set_build_link(nullptr);
+    guard.Disarm();
   } else {
     // Side-file method, Fig 11a.
     std::vector<std::shared_ptr<Bitmap>> snapshots;
@@ -288,6 +344,11 @@ Status ConcurrentMergePicked(Dataset* ds,
       }
       for (const auto& c : old_p) c->set_build_link(link);
       for (const auto& c : old_k) c->set_build_link(link);
+      guard.Arm(link);
+    }
+    if (fault != nullptr) {
+      AUXLSM_RETURN_NOT_OK(
+          fault->Hit(failpoints::kConcurrentBuild, ds->env()->io()));
     }
 
     // Build phase: scan against the snapshots; no per-key locks.
@@ -334,6 +395,7 @@ Status ConcurrentMergePicked(Dataset* ds,
                                      &stats->output_entries));
     for (const auto& c : old_p) c->set_build_link(nullptr);
     for (const auto& c : old_k) c->set_build_link(nullptr);
+    guard.Disarm();
   }
 
   stats->elapsed_seconds =

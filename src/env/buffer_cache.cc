@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace auxlsm {
 
 namespace {
@@ -78,6 +80,9 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
   const Key k{file_id, page_no};
   const size_t cap = capacity_.load(std::memory_order_relaxed);
   if (cap == 0) {
+    if (fault_ != nullptr) {
+      AUXLSM_RETURN_NOT_OK(fault_->Hit(failpoints::kCacheMissFill, io_));
+    }
     io_->OnCacheMiss();
     AUXLSM_RETURN_NOT_OK(store_->ReadPage(file_id, page_no, out));
     io_->ChargeRead(file_id, page_no);
@@ -94,6 +99,9 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
       s.hits++;
       io_->OnCacheHit();
       return Status::OK();
+    }
+    if (fault_ != nullptr) {
+      AUXLSM_RETURN_NOT_OK(fault_->Hit(failpoints::kCacheMissFill, io_));
     }
     s.misses++;
     io_->OnCacheMiss();

@@ -33,6 +33,8 @@
 
 namespace auxlsm {
 
+class FaultInjector;
+
 /// Aggregated cache counters (summed over shards).
 struct BufferCacheStats {
   uint64_t hits = 0;
@@ -67,6 +69,10 @@ class BufferCache {
 
   BufferCacheStats stats() const;
 
+  /// Failpoint hook for miss fills (fault/fault_injector.h); the Env wires
+  /// this when EnvOptions::fault_injector is set. Null = no-op branch.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   struct Key {
     uint32_t file_id;
@@ -100,6 +106,7 @@ class BufferCache {
 
   PageStore* const store_;
   IoEngine* const io_;
+  FaultInjector* fault_ = nullptr;
   std::atomic<size_t> capacity_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -71,6 +71,12 @@ double DiskModel::ChargeWrite(uint64_t n_pages) {
   return stats_.simulated_us;
 }
 
+double DiskModel::ChargeDelay(double us) {
+  std::lock_guard<std::mutex> l(mu_);
+  stats_.simulated_us += us;
+  return stats_.simulated_us;
+}
+
 void DiskModel::OnCacheHit() {
   std::lock_guard<std::mutex> l(mu_);
   stats_.cache_hits++;

@@ -87,6 +87,11 @@ class DiskModel {
   /// Charges n sequentially written pages; returns the post-charge clock.
   double ChargeWrite(uint64_t n_pages);
 
+  /// Advances the head's virtual clock by a flat `us` without touching the
+  /// head position or page counters (injected device stalls); returns the
+  /// post-charge clock.
+  double ChargeDelay(double us);
+
   void OnCacheHit();
   void OnCacheMiss();
 

@@ -11,6 +11,7 @@
 #include "env/buffer_cache.h"
 #include "env/disk_model.h"
 #include "env/page_store.h"
+#include "fault/fault_injector.h"
 #include "io/io_engine.h"
 
 namespace auxlsm {
@@ -32,6 +33,13 @@ struct EnvOptions {
   /// Full device profile; when set it wins over disk_profile/io_queues
   /// (e.g. DeviceProfile::Nvme(4) for the multi-queue benches).
   std::optional<DeviceProfile> device_profile;
+
+  /// Failpoint registry (fault/fault_injector.h) threaded through the
+  /// storage seams: page append/read, file delete, cache miss fills, and
+  /// the I/O engine's submissions. Null (default) disables injection — a
+  /// single branch per seam, no behavior or modeled-time change. The
+  /// injector must outlive the Env.
+  FaultInjector* fault_injector = nullptr;
 
   /// The device the engine is built from.
   DeviceProfile ResolvedDevice() const {
@@ -60,6 +68,10 @@ class Env {
   /// Appends a page, charging a sequential write to the calling thread's
   /// device queue.
   Status AppendPage(uint32_t file_id, std::string page, uint32_t* page_no) {
+    if (options_.fault_injector != nullptr) {
+      AUXLSM_RETURN_NOT_OK(
+          options_.fault_injector->Hit(failpoints::kEnvAppendPage, &io_));
+    }
     AUXLSM_RETURN_NOT_OK(store_.AppendPage(file_id, std::move(page), page_no));
     io_.ChargeWrite(1);
     return Status::OK();
@@ -68,6 +80,10 @@ class Env {
   /// Reads a page through the cache.
   Status ReadPage(uint32_t file_id, uint32_t page_no, PageData* out,
                   uint32_t readahead_pages = 0) {
+    if (options_.fault_injector != nullptr) {
+      AUXLSM_RETURN_NOT_OK(
+          options_.fault_injector->Hit(failpoints::kEnvReadPage, &io_));
+    }
     return cache_.Read(file_id, page_no, out, readahead_pages);
   }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "fault/fault_injector.h"
 #include "io/io_engine.h"
 
 namespace auxlsm {
@@ -97,7 +98,17 @@ void MaintenanceScheduler::MergeDrainLoop() {
       {
         // Queue-aware device affinity, mirroring RunAll's task binding.
         IoQueueScope scope(options_.io, io_index);
-        st = job.work();
+        try {
+          st = job.work();
+        } catch (const std::exception& e) {
+          // A throwing job must not wedge the queue: the pending-job and
+          // pending-round counters below have to run no matter what, or
+          // PendingMergeRounds() never drains and ingest backpressure
+          // deadlocks.
+          st = Status::Aborted(std::string("merge job threw: ") + e.what());
+        } catch (...) {
+          st = Status::Aborted("merge job threw");
+        }
       }
       l.lock();
       if (!st.ok() && merge_error_.ok()) {
@@ -235,6 +246,10 @@ Status MaintenanceScheduler::MergeToPolicy(LsmTree* tree, uint64_t* merges) {
 Status MaintenanceScheduler::MergeComponents(
     LsmTree* tree, const std::vector<DiskComponentPtr>& picked) {
   if (picked.empty()) return Status::OK();
+  if (options_.fault != nullptr) {
+    AUXLSM_RETURN_NOT_OK(
+        options_.fault->Hit(failpoints::kMerge, options_.io));
+  }
   uint64_t total_bytes = 0;
   for (const auto& c : picked) total_bytes += c->size_bytes();
   const size_t parts = partitions();

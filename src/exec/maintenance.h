@@ -73,6 +73,7 @@ namespace auxlsm {
 
 class ThreadPool;
 class IoEngine;
+class FaultInjector;
 
 struct MaintenanceOptions {
   /// Worker threads. 0 = one per hardware thread; 1 = no pool (every
@@ -89,6 +90,10 @@ struct MaintenanceOptions {
   /// (i % queues). Null or single-queue = every task charges queue 0, the
   /// legacy single-head accounting.
   IoEngine* io = nullptr;
+  /// Optional fault injector (fault/fault_injector.h): MergeComponents hits
+  /// the "maintenance.merge" failpoint before any merge I/O. Null disables
+  /// (a pure branch — no behavior change).
+  FaultInjector* fault = nullptr;
 };
 
 class MaintenanceScheduler {

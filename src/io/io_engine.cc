@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace auxlsm {
 
 IoEngine::IoEngine(DeviceProfile profile) : profile_(std::move(profile)) {
@@ -37,11 +39,21 @@ uint32_t IoEngine::ResolveQueue(int32_t requested) const {
 IoTicket IoEngine::Submit(const IoRequest& req) {
   IoTicket t;
   t.queue = ResolveQueue(req.queue);
+  if (fault_ != nullptr && fault_->HitCharge(failpoints::kIoSubmit, this)) {
+    // The injected device dropped the request; its ticket completes at the
+    // queue's current clock with nothing charged.
+    t.complete_us = queues_[t.queue]->stats().simulated_us;
+    return t;
+  }
   DiskModel& model = *queues_[t.queue];
   t.complete_us = req.op == IoRequest::Op::kRead
                       ? model.ChargeRead(req.file_id, req.page_no)
                       : model.ChargeWrite(req.n_pages);
   return t;
+}
+
+double IoEngine::ChargeDelay(double us) {
+  return queues_[ResolveQueue(IoRequest::kAnyQueue)]->ChargeDelay(us);
 }
 
 void IoEngine::OnCacheHit() {

@@ -39,6 +39,8 @@
 
 namespace auxlsm {
 
+class FaultInjector;
+
 /// One simulated device request. Reads address a (file, page) pair so the
 /// queue's head can classify them sequential vs. random; writes are
 /// append-streams of n_pages at sequential cost.
@@ -100,6 +102,17 @@ class IoEngine {
   void OnCacheHit();
   void OnCacheMiss();
 
+  /// Advances the calling thread's bound queue clock by a flat `us` without
+  /// moving its head (injected device stalls); returns the post-charge
+  /// clock. This is the modeled-clock sink for FaultSpec::Action::kDelay.
+  double ChargeDelay(double us);
+
+  /// Failpoint hook (fault/fault_injector.h). A null injector (default) is
+  /// a single branch in Submit; an injector that fires an error discards
+  /// the submission (the engine has no Status channel — see
+  /// FaultInjector::HitCharge).
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
   /// Forgets head positions resting on file_id, on every queue. Called when
   /// a retired component's file is deleted (merge and repair paths) so no
   /// queue keeps a stale head on a dead file.
@@ -138,6 +151,7 @@ class IoEngine {
 
   DeviceProfile profile_;
   std::vector<std::unique_ptr<DiskModel>> queues_;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// RAII thread->queue binding. While alive, the constructing thread's

@@ -401,12 +401,20 @@ Status LsmTree::MergeFromStream(
   // A stream that stopped on an error must not install its truncated output.
   if (stream_status != nullptr) AUXLSM_RETURN_NOT_OK(*stream_status);
 
-  // A merged component inherits the most conservative repair progress.
+  // A merged component inherits the most conservative repair progress, and
+  // the newest LSN any input carried: recovery replays the log from the
+  // maximum component LSN, so merging away the components that carried it
+  // must not shrink that watermark (a crash right after a full merge would
+  // otherwise re-replay — and under Eager semantics corrupt — work the
+  // merged component already contains).
   Timestamp repaired = picked.front()->repaired_ts();
+  uint64_t max_lsn = 0;
   for (const auto& c : picked) {
     repaired = std::min(repaired, c->repaired_ts());
+    max_lsn = std::max(max_lsn, c->max_lsn());
   }
   merged->set_repaired_ts(repaired);
+  merged->set_max_lsn(max_lsn);
   // The merged range filter must stay the union of the inputs' filters
   // unless the merge reached the oldest component: a partial merge keeps
   // shadowing obsolete versions in older components, and the Eager

@@ -146,6 +146,15 @@ class LsmTree {
   /// caller must hold the dataset's exclusive ingest latch.
   std::shared_ptr<Memtable> SealMemtable();
 
+  /// Snapshot of the sealed-but-not-yet-installed memtables, oldest first.
+  /// Normally at most one entry (the memtable SealMemtable just returned);
+  /// a flush cycle whose build failed leaves its memtable here, and the next
+  /// cycle re-collects the stragglers so abandoned data is never stranded.
+  std::vector<std::shared_ptr<Memtable>> PendingSealed() const {
+    std::lock_guard<std::mutex> l(mem_mu_);
+    return sealed_;
+  }
+
   /// Builds (but does not install) a disk component from a sealed memtable.
   /// Runs without any latch — writers proceed into the fresh active memtable.
   Result<DiskComponentPtr> BuildFromSealed(

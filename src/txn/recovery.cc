@@ -2,7 +2,45 @@
 
 #include <unordered_set>
 
+#include "common/coding.h"
+
 namespace auxlsm {
+
+Status DecodeWalStream(const Slice& data, std::vector<LogRecord>* out,
+                       RecoveryStats* stats) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const Slice rest(data.data() + off, data.size() - off);
+    LogRecord record;
+    size_t consumed = 0;
+    const Status st = LogRecord::Decode(rest, &record, &consumed);
+    if (st.ok()) {
+      out->push_back(std::move(record));
+      off += consumed;
+      continue;
+    }
+    // This frame is bad. A crash tears the log mid-append, so a bad FINAL
+    // frame is expected and safely discarded; a bad frame with decodable
+    // records after it means durable history was damaged — that must fail
+    // recovery loudly. The frame length (when the header survived) tells
+    // us where the next frame would start; probe it.
+    if (rest.size() >= 8) {
+      const size_t frame = 8 + size_t{DecodeFixed32(rest.data())};
+      if (rest.size() > frame) {
+        LogRecord probe;
+        size_t probe_consumed = 0;
+        const Slice after(rest.data() + frame, rest.size() - frame);
+        if (LogRecord::Decode(after, &probe, &probe_consumed).ok()) {
+          return st.WithContext("mid-log corruption at byte " +
+                                std::to_string(off));
+        }
+      }
+    }
+    if (stats != nullptr) stats->torn_tail_bytes += data.size() - off;
+    break;
+  }
+  return Status::OK();
+}
 
 Status RecoverFromWal(
     const Wal& wal, Lsn max_component_lsn, Lsn bitmap_checkpoint_lsn,

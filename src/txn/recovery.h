@@ -6,7 +6,9 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
+#include "common/slice.h"
 #include "txn/wal.h"
 
 namespace auxlsm {
@@ -16,7 +18,23 @@ struct RecoveryStats {
   uint64_t ops_replayed = 0;
   uint64_t bitmap_ops_replayed = 0;
   uint64_t uncommitted_skipped = 0;
+  /// Bytes discarded as a torn log tail by DecodeWalStream (an incomplete
+  /// or checksum-failing final record — the normal shape of a crash mid
+  /// log append).
+  uint64_t torn_tail_bytes = 0;
 };
+
+/// Decodes a serialized log byte stream (concatenated LogRecord::Encode()
+/// frames) into records, tolerating a torn tail: a *final* frame that is
+/// incomplete or fails its checksum is the normal residue of a crash mid
+/// append, so decoding stops there, the surviving prefix is returned OK,
+/// and stats->torn_tail_bytes records the discard. Corruption that is NOT
+/// at the tail — a checksum-failing frame with decodable records after it —
+/// is damage to already-durable history and returns Corruption loudly.
+/// (A corrupted length field destroys the framing of everything after it
+/// and is indistinguishable from tail garbage; it truncates.)
+Status DecodeWalStream(const Slice& data, std::vector<LogRecord>* out,
+                       RecoveryStats* stats = nullptr);
 
 /// Replays the log.
 ///  - redo_op(record) is invoked for every committed data operation with

@@ -29,7 +29,20 @@ Status Transaction::Commit() {
   LogRecord commit;
   commit.type = LogRecordType::kCommit;
   commit.txn_id = id_;
-  wal_->AppendCommit(std::move(commit));
+  if (wal_->AppendCommit(std::move(commit)) == kInvalidLsn) {
+    // The log dropped the commit record (fault injection / crash): the
+    // transaction can never be durable, so roll its effects back and fail
+    // the commit — leaving the effects in place would let a later flush
+    // persist work the recovered log knows nothing about.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      (*it)();
+    }
+    undo_.clear();
+    state_ = State::kAborted;
+    NoteClosed();
+    ReleaseLocks();
+    return Status::IOError("wal dropped the commit record");
+  }
   undo_.clear();
   state_ = State::kCommitted;
   NoteClosed();

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <thread>
 
+#include "fault/fault_injector.h"
+
 namespace auxlsm {
 
 void Wal::set_group_commit(bool on) {
   std::lock_guard<std::mutex> l(mu_);
   group_commit_ = on;
+}
+
+void Wal::set_fault_injector(FaultInjector* fault) {
+  std::lock_guard<std::mutex> l(mu_);
+  fault_ = fault;
 }
 
 Lsn Wal::AppendLocked(LogRecord record) {
@@ -28,11 +35,17 @@ Lsn Wal::AppendLocked(LogRecord record) {
 
 Lsn Wal::Append(LogRecord record) {
   std::lock_guard<std::mutex> l(mu_);
+  if (fault_ != nullptr && fault_->HitParked(failpoints::kWalAppend, &io_)) {
+    return kInvalidLsn;  // record dropped; Status parked for TakePending
+  }
   return AppendLocked(std::move(record));
 }
 
 Lsn Wal::AppendCommit(LogRecord record) {
   std::unique_lock<std::mutex> l(mu_);
+  if (fault_ != nullptr && fault_->HitParked(failpoints::kWalAppend, &io_)) {
+    return kInvalidLsn;  // commit record dropped — the txn must roll back
+  }
   const Lsn lsn = AppendLocked(std::move(record));
   wstats_.commits++;
   if (!group_commit_) {
@@ -66,8 +79,15 @@ Lsn Wal::AppendCommit(LogRecord record) {
       // commit's latency are always comparable even when appends, syncs,
       // and leaders land on different queues (per-queue clocks are not
       // mutually ordered; the critical path is monotone under mu_).
-      io_.Submit(IoRequest::Write(1));
-      durable_point_us_ = std::max(durable_point_us_, io_.critical_path_us());
+      // An injected wal.sync failure skips the flush charge; the records
+      // themselves already sit in the modeled log, so nothing is lost —
+      // the fire is visible in the injector's stats and commit latency.
+      if (fault_ == nullptr ||
+          !fault_->HitCharge(failpoints::kWalSync, &io_)) {
+        io_.Submit(IoRequest::Write(1));
+        durable_point_us_ =
+            std::max(durable_point_us_, io_.critical_path_us());
+      }
       tail_dirty_ = false;
     }
     durable_lsn_ = next_lsn_ - 1;

@@ -34,6 +34,8 @@
 
 namespace auxlsm {
 
+class FaultInjector;
+
 struct WalStats {
   uint64_t records = 0;          ///< log records appended
   uint64_t commits = 0;          ///< AppendCommit calls
@@ -61,6 +63,13 @@ class Wal {
   /// Enables leader-based group commit for AppendCommit (the dataset turns
   /// this on when writer_threads > 1).
   void set_group_commit(bool on);
+
+  /// Failpoint hook (fault/fault_injector.h). An armed wal.append fire
+  /// DROPS the record — Append/AppendCommit return kInvalidLsn and the
+  /// injected Status is parked for FaultInjector::TakePending(); while the
+  /// injector is crashed every append drops, so the log ends at the crash
+  /// point. A wal.sync fire skips the modeled group-commit sync charge.
+  void set_fault_injector(FaultInjector* fault);
 
   /// Appends a record, assigning it the next LSN (returned).
   Lsn Append(LogRecord record);
@@ -91,6 +100,7 @@ class Wal {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   IoEngine io_;
+  FaultInjector* fault_ = nullptr;
   const size_t log_page_bytes_;
   size_t bytes_since_page_ = 0;
   Lsn next_lsn_ = 1;

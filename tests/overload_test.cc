@@ -234,6 +234,82 @@ TEST(DecoupledMergeTest, MergeErrorsSurfaceAndClear) {
   EXPECT_TRUE(ds.GetById(4, &r).ok());
 }
 
+// Regression (PR 6): a decoupled merge-queue job that fails AFTER capturing
+// its range pick — here a concurrent bitmap build failing right after
+// publishing its build links — must release the links, keep the per-tree
+// merge accounting balanced, and leave the queue drainable. Before the fix,
+// the failed job left the build links published and the round accounting
+// wedged, so every later merge pick stalled behind a round that could never
+// finish. Driven deterministically through the maintenance.concurrent_build
+// failpoint with a permanent (non-retryable) error.
+TEST(DecoupledMergeTest, FailedConcurrentBuildReleasesPicksAndQueue) {
+  FaultInjector fault(17);
+  EnvOptions eo = TestEnv();
+  eo.fault_injector = &fault;
+  Env env(eo);
+  DatasetOptions o;
+  o.strategy = MaintenanceStrategy::kMutableBitmap;
+  o.build_cc = BuildCcMethod::kLock;
+  o.writer_threads = 2;
+  o.maintenance_threads = 2;
+  o.merge_queue_depth = 2;
+  o.mem_budget_bytes = 24 << 10;
+  o.fault_injector = &fault;
+  o.maintenance_retry_limit = 3;  // permanent errors must not consume it
+  Dataset ds(&env, o);
+
+  fault.Arm(failpoints::kConcurrentBuild,
+            FaultSpec::ErrorNth(Status::Corruption("injected build wreck"), 1));
+  // Sustained ingest until merge rounds run; once the armed build fails the
+  // dataset degrades and later ops fail fast — tolerated here.
+  uint64_t committed = 0;
+  for (uint64_t id = 1; id <= 4000; id++) {
+    if (ds.Upsert(MakeTweet(id, id % 30, id)).ok()) committed++;
+    if (fault.site_stats(failpoints::kConcurrentBuild).fires > 0 &&
+        id % 200 == 0) {
+      break;
+    }
+  }
+  ASSERT_GT(fault.site_stats(failpoints::kConcurrentBuild).fires, 0u)
+      << "workload never reached a concurrent merge build";
+
+  // The failure surfaces through the pipeline's error plumbing...
+  EXPECT_FALSE(ds.WaitForMaintenance().ok());
+  // ...and permanent errors never burn retry budget.
+  EXPECT_EQ(ds.maintenance_stats().retries_attempted.load(), 0u);
+
+  // Take the sticky error(s); the queue must be fully drained — a wedged
+  // round would leave PendingMergeRounds stuck above zero.
+  for (int i = 0; i < 4 && !ds.TakeBackgroundError().ok(); i++) {
+  }
+  EXPECT_EQ(ds.health(), DatasetHealth::kHealthy);
+  EXPECT_EQ(ds.maintenance()->PendingMergeRounds(), 0u);
+  EXPECT_EQ(ds.maintenance()->PendingMergeJobs(), 0u);
+  EXPECT_EQ(ds.primary()->merge_pending_jobs(), 0u);
+
+  // The failed build's links must be gone from every surviving component:
+  // a leaked link would redirect later bitmap deletes into a build that
+  // will never install.
+  for (const auto& c : ds.primary()->Components()) {
+    EXPECT_EQ(c->build_link(), nullptr);
+  }
+  for (const auto& c : ds.primary_key_index()->Components()) {
+    EXPECT_EQ(c->build_link(), nullptr);
+  }
+
+  // The pipeline re-arms end to end: ingest, maintenance, merges, reads.
+  fault.DisarmAll();
+  for (uint64_t id = 10000; id < 10400; id++) {
+    ASSERT_TRUE(ds.Upsert(MakeTweet(id, id % 30, id)).ok());
+  }
+  ASSERT_TRUE(ds.WaitForMaintenance().ok());
+  ASSERT_TRUE(ds.FlushAll().ok());
+  ASSERT_TRUE(ds.MergeAllIndexes().ok());
+  TweetRecord r;
+  EXPECT_TRUE(ds.GetById(10001, &r).ok());
+  EXPECT_GT(ds.num_records(), 0u);
+}
+
 // Explicit transactions under decoupled kLock overload: a writer holding
 // record locks must never park on merge backpressure — the §5.3 Lock-method
 // builder may be blocked on one of its locks, and waiting on the merge from
