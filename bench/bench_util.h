@@ -190,12 +190,14 @@ inline QueryFixture BuildQueryFixture(MaintenanceStrategy strategy,
                                       double update_ratio,
                                       uint64_t base_records,
                                       size_t cache_mb,
-                                      size_t record_bytes = 0) {
+                                      size_t record_bytes = 0,
+                                      size_t tuple_cache_bytes = 0) {
   QueryFixture f;
   f.env = std::make_unique<Env>(BenchEnv(cache_mb));
   DatasetOptions o;
   o.strategy = strategy;
   o.merge_repair = merge_repair;
+  o.tuple_cache_bytes = tuple_cache_bytes;
   o.mem_budget_bytes = 1 << 20;
   o.max_mergeable_bytes = 4 << 20;
   // Paper figures reproduce the serial engine; pin the maintenance path so

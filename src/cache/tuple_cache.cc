@@ -1,0 +1,370 @@
+#include "cache/tuple_cache.h"
+
+#include <algorithm>
+
+#include "fault/fault_injector.h"
+#include "format/key_codec.h"
+
+namespace auxlsm {
+
+TupleCache::TupleCache(size_t capacity_bytes, uint32_t num_spaces,
+                       FaultInjector* fault_injector)
+    : capacity_(capacity_bytes),
+      fault_injector_(fault_injector),
+      spaces_(num_spaces),
+      epochs_(num_spaces, 0) {}
+
+uint64_t TupleCache::SpaceEpoch(uint32_t space) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return space < epochs_.size() ? epochs_[space] : 0;
+}
+
+void TupleCache::BeginWrite() {
+  std::lock_guard<std::mutex> l(mu_);
+  writers_in_flight_++;
+}
+
+void TupleCache::EndWrite() {
+  std::lock_guard<std::mutex> l(mu_);
+  writers_in_flight_--;
+}
+
+bool TupleCache::WritersQuiescent(uint32_t space, uint64_t epoch) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return writers_in_flight_ == 0 && space < epochs_.size() &&
+         epochs_[space] == epoch;
+}
+
+size_t TupleCache::EntryBytes(const Entry& e) {
+  size_t b = 48;  // map node + LRU + gap metadata
+  for (const auto& t : e.tuples) b += t.pk.size() + t.value.size() + 48;
+  return b;
+}
+
+bool TupleCache::InsertFaultFired() {
+  return fault_injector_ != nullptr &&
+         !fault_injector_->Hit(failpoints::kCacheTupleInsert).ok();
+}
+
+bool TupleCache::InvalidateFaultFired() {
+  return fault_injector_ != nullptr &&
+         !fault_injector_->Hit(failpoints::kCacheTupleInvalidate).ok();
+}
+
+void TupleCache::Touch(uint32_t space, SpaceMap::iterator it) {
+  lru_.erase(it->second.lru_it);
+  lru_.emplace_front(space, it->first);
+  it->second.lru_it = lru_.begin();
+}
+
+void TupleCache::RegisterEntry(uint32_t space, uint64_t key, const Entry& e) {
+  if (space == kPointSpace) return;  // point entries are found by key == pk
+  for (const auto& t : e.tuples) {
+    auto& v = pk_map_[t.pk];
+    const auto loc = std::make_pair(space, key);
+    if (std::find(v.begin(), v.end(), loc) == v.end()) v.push_back(loc);
+  }
+}
+
+void TupleCache::UnregisterEntry(uint32_t space, uint64_t key,
+                                 const Entry& e) {
+  if (space == kPointSpace) return;
+  for (const auto& t : e.tuples) {
+    auto it = pk_map_.find(t.pk);
+    if (it == pk_map_.end()) continue;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), std::make_pair(space, key)),
+            v.end());
+    if (v.empty()) pk_map_.erase(it);
+  }
+}
+
+void TupleCache::EraseEntry(uint32_t space, SpaceMap::iterator it) {
+  UnregisterEntry(space, it->first, it->second);
+  resident_bytes_ -= std::min<uint64_t>(resident_bytes_, it->second.bytes);
+  lru_.erase(it->second.lru_it);
+  spaces_[space].erase(it);
+}
+
+void TupleCache::UpsertEntry(uint32_t space, uint64_t key,
+                             std::vector<CachedTuple> tuples, bool present,
+                             uint64_t gap_lo, uint64_t gap_hi) {
+  auto [it, fresh] = spaces_[space].try_emplace(key);
+  Entry& e = it->second;
+  if (!fresh) {
+    // Both the resident claim and the fresh one were kept true by
+    // invalidation, so their union is true.
+    gap_lo = std::min(gap_lo, e.gap_lo);
+    gap_hi = std::max(gap_hi, e.gap_hi);
+    UnregisterEntry(space, key, e);
+    resident_bytes_ -= std::min<uint64_t>(resident_bytes_, e.bytes);
+    lru_.erase(e.lru_it);
+  }
+  e.tuples = std::move(tuples);
+  e.present = present;
+  e.gap_lo = gap_lo;
+  e.gap_hi = gap_hi;
+  e.bytes = EntryBytes(e);
+  resident_bytes_ += e.bytes;
+  lru_.emplace_front(space, key);
+  e.lru_it = lru_.begin();
+  RegisterEntry(space, key, e);
+  counters_.inserts++;
+}
+
+void TupleCache::CutAt(uint32_t space, uint64_t key) {
+  auto& sp = spaces_[space];
+  auto it = sp.lower_bound(key);
+  if (it != sp.end() && it->first == key) {
+    EraseEntry(space, it++);
+    counters_.invalidations++;
+  }
+  // Cut neighbor claims spanning the written key: the gap they proved empty
+  // now potentially holds a result.
+  if (it != sp.end() && it->second.gap_lo <= key && key < UINT64_MAX) {
+    it->second.gap_lo = key + 1;
+    counters_.invalidations++;
+  }
+  if (it != sp.begin() && key > 0) {
+    auto pv = std::prev(it);
+    if (pv->second.gap_hi >= key) {
+      pv->second.gap_hi = key - 1;
+      counters_.invalidations++;
+    }
+  }
+}
+
+void TupleCache::EvictForCapacity() {
+  while (resident_bytes_ > capacity_ && !lru_.empty()) {
+    const auto [space, key] = lru_.back();
+    auto it = spaces_[space].find(key);
+    if (it == spaces_[space].end()) {  // should not happen; drop the stray
+      lru_.pop_back();
+      continue;
+    }
+    EraseEntry(space, it);
+    counters_.evictions++;
+  }
+}
+
+void TupleCache::ClearLocked() {
+  for (auto& sp : spaces_) {
+    counters_.invalidations += sp.size();
+    sp.clear();
+  }
+  lru_.clear();
+  pk_map_.clear();
+  resident_bytes_ = 0;
+  for (auto& e : epochs_) e++;
+}
+
+void TupleCache::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  ClearLocked();
+}
+
+void TupleCache::BumpEpochs() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& e : epochs_) e++;
+}
+
+// --- Point space -------------------------------------------------------------
+
+bool TupleCache::LookupPoint(uint64_t key, bool* found, std::string* value) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& sp = spaces_[kPointSpace];
+  auto it = sp.find(key);
+  if (it == sp.end()) {
+    counters_.misses++;
+    return false;
+  }
+  Touch(kPointSpace, it);
+  counters_.hits++;
+  *found = it->second.present;
+  if (it->second.present) {
+    counters_.chain_served++;
+    if (value != nullptr) *value = it->second.tuples.front().value;
+  }
+  return true;
+}
+
+void TupleCache::InsertPoint(uint64_t key, bool found, const Slice& pk,
+                             const Slice& value, uint64_t epoch) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (epochs_[kPointSpace] != epoch || writers_in_flight_ > 0) {
+    counters_.stale_drops++;
+    return;
+  }
+  if (InsertFaultFired()) return;  // degrade to a later plain miss
+  std::vector<CachedTuple> tuples;
+  if (found) tuples.push_back(CachedTuple{pk.ToString(), value.ToString()});
+  UpsertEntry(kPointSpace, key, std::move(tuples), found, key, key);
+  EvictForCapacity();
+}
+
+// --- Range spaces ------------------------------------------------------------
+
+void TupleCache::LookupRange(uint32_t space, uint64_t lo, uint64_t hi,
+                             RangeServe* out) {
+  out->tuples.clear();
+  out->complete = false;
+  out->next = lo;
+  std::lock_guard<std::mutex> l(mu_);
+  auto& sp = spaces_[space];
+
+  uint64_t need = lo;  // first key of [lo, hi] not yet proven covered
+  auto it = sp.lower_bound(lo);
+  if (it != sp.begin()) {
+    // An entry below lo can prove a prefix (or all) of [lo, hi] empty via
+    // its right-side claim.
+    auto pv = std::prev(it);
+    if (pv->second.gap_hi >= hi) {
+      Touch(space, pv);
+      counters_.hits++;
+      out->complete = true;
+      return;
+    }
+    if (pv->second.gap_hi >= need) need = pv->second.gap_hi + 1;
+  }
+
+  bool complete = false;
+  while (it != sp.end()) {
+    Entry& e = it->second;
+    if (e.gap_lo > need) break;  // unproven hole [need, gap_lo): chain ends
+    if (it->first > hi) {
+      // The entry lies past the range but its left claim [gap_lo, key)
+      // covers the tail [need, hi].
+      complete = true;
+      break;
+    }
+    Touch(space, it);
+    for (const auto& t : e.tuples) out->tuples.push_back(t);
+    counters_.chain_served += e.tuples.size();
+    if (e.gap_hi >= hi) {
+      complete = true;
+      break;
+    }
+    need = e.gap_hi + 1;  // gap_hi >= key, so this also moves past the key
+    ++it;
+  }
+  if (need > hi) complete = true;
+
+  out->complete = complete;
+  out->next = need;
+  if (complete) {
+    counters_.hits++;
+  } else {
+    counters_.misses++;
+  }
+}
+
+void TupleCache::InsertRange(uint32_t space, uint64_t lo, uint64_t hi,
+                             std::vector<KeyGroup> groups, uint64_t epoch) {
+  if (lo > hi) return;  // empty interval proves nothing about any key
+  std::lock_guard<std::mutex> l(mu_);
+  if (epochs_[space] != epoch || writers_in_flight_ > 0) {
+    counters_.stale_drops++;
+    return;
+  }
+  if (InsertFaultFired()) return;  // degrade to a later plain miss
+  auto& sp = spaces_[space];
+
+  // The fresh result is authoritative for [lo, hi]: drop resident entries
+  // it does not confirm (unreachable when invalidation holds, but cheap).
+  {
+    auto it = sp.lower_bound(lo);
+    size_t gi = 0;
+    while (it != sp.end() && it->first <= hi) {
+      while (gi < groups.size() && groups[gi].key < it->first) gi++;
+      if (gi < groups.size() && groups[gi].key == it->first) {
+        ++it;
+      } else {
+        EraseEntry(space, it++);
+      }
+    }
+  }
+  // Clamp external neighbor claims that would contradict fresh result keys.
+  if (!groups.empty()) {
+    auto at = sp.lower_bound(lo);
+    if (at != sp.begin() && groups.front().key > 0) {
+      auto pv = std::prev(at);
+      if (pv->second.gap_hi >= groups.front().key) {
+        pv->second.gap_hi = groups.front().key - 1;
+      }
+    }
+    auto above = sp.upper_bound(hi);
+    if (above != sp.end() && groups.back().key < UINT64_MAX &&
+        above->second.gap_lo <= groups.back().key) {
+      above->second.gap_lo = groups.back().key + 1;
+    }
+  }
+
+  if (groups.empty()) {
+    // Proven emptiness needs an anchor: a tuple-less boundary entry at lo
+    // claiming the whole interval.
+    UpsertEntry(space, lo, {}, false, lo, hi);
+  } else {
+    for (size_t i = 0; i < groups.size(); i++) {
+      const uint64_t glo = i == 0 ? lo : groups[i - 1].key + 1;
+      const uint64_t ghi =
+          i + 1 == groups.size() ? hi : groups[i + 1].key - 1;
+      UpsertEntry(space, groups[i].key, std::move(groups[i].tuples), true,
+                  glo, ghi);
+    }
+  }
+  EvictForCapacity();
+}
+
+// --- Invalidation ------------------------------------------------------------
+
+void TupleCache::InvalidateKey(uint32_t space, uint64_t key) {
+  std::lock_guard<std::mutex> l(mu_);
+  epochs_[space]++;
+  if (InvalidateFaultFired()) {
+    ClearLocked();  // a failed precise cut degrades to misses, never stale
+    return;
+  }
+  CutAt(space, key);
+}
+
+void TupleCache::InvalidatePk(const Slice& pk) {
+  std::lock_guard<std::mutex> l(mu_);
+  // The written record's *old* secondary keys are unknown to the writer, so
+  // every range space's in-flight inserts must be fenced.
+  for (auto& e : epochs_) e++;
+  if (InvalidateFaultFired()) {
+    ClearLocked();
+    return;
+  }
+  if (pk.size() != sizeof(uint64_t)) {
+    ClearLocked();  // unknown pk encoding: be safe, drop everything
+    return;
+  }
+  const uint64_t id = DecodeU64(pk);
+  auto& points = spaces_[kPointSpace];
+  auto pit = points.find(id);
+  if (pit != points.end()) {
+    EraseEntry(kPointSpace, pit);
+    counters_.invalidations++;
+  }
+  auto rit = pk_map_.find(pk.ToString());
+  if (rit != pk_map_.end()) {
+    // EraseEntry edits pk_map_; walk a copy.
+    const auto locations = rit->second;
+    for (const auto& [space, key] : locations) {
+      auto it = spaces_[space].find(key);
+      if (it == spaces_[space].end()) continue;
+      EraseEntry(space, it);
+      counters_.invalidations++;
+    }
+  }
+}
+
+TupleCacheStats TupleCache::stats() const {
+  std::lock_guard<std::mutex> l(mu_);
+  TupleCacheStats s = counters_;
+  s.resident_bytes = resident_bytes_;
+  return s;
+}
+
+}  // namespace auxlsm

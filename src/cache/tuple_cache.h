@@ -1,0 +1,232 @@
+// Interval tuple cache: validated result tuples served above the LSM (PR 7).
+//
+// The page-level BufferCache removes repeat *modeled I/O*, but a hot read
+// still pays the full tree descent — memtable search, per-component probes,
+// candidate validation — every time. The TupleCache sits above the LSM and
+// stores the *final, validated* result tuples of point lookups, secondary
+// range queries, and user-range scans, so a repeat (or overlapping) read is
+// served with no descent, no validation, and no modeled I/O at all. The
+// design follows tarantool's vy_cache: entries are keyed by their position
+// in an interval space and carry **chain links** — proven-empty gap
+// metadata — so a later query can walk adjacent entries and distinguish
+// "this gap provably holds no results" from "this gap is merely uncached".
+//
+// Spaces. Entries live in per-dataset *spaces*, each an ordered map over a
+// uint64 key domain:
+//   - space 0 (kPointSpace): primary point lookups, key = primary id. An
+//     entry holds the record, or is a *proven-absent* marker (a NotFound
+//     outcome is itself cacheable knowledge).
+//   - space 1 + i: secondary index i (8-byte keys only), key = the decoded
+//     secondary key. An entry holds every validated record whose secondary
+//     key equals the entry key (pk-ascending). User-range scans of the
+//     primary index share the "user_id" index's space — both produce the
+//     same validated result set in primary-key order.
+//
+// Chain links. Each entry additionally claims a proven-empty interval
+// around its key: no result keys exist in [gap_lo, key) or (key, gap_hi].
+// A completed range query [lo, hi] that produced keys k1 < ... < kn links
+// the run — k1.gap_lo = lo, ki.gap_lo = k(i-1)+1, ki.gap_hi = k(i+1)-1,
+// kn.gap_hi = hi — and an *empty* result is recorded as a tuple-less
+// boundary entry at lo claiming [lo, hi]. A later LookupRange walks the
+// chain from lo: as long as each step's gap claim abuts the previous
+// coverage, its tuples are served; the first unproven hole ends the served
+// prefix and the caller falls through to the real executors for the
+// remainder. Claims are only ever cut (never widened) by invalidation, so
+// every claim stays true independently of its neighbors — eviction of one
+// entry breaks the chain but falsifies nothing.
+//
+// Invalidation (precise, write-path):
+//   - InvalidateKey(space, k): the result set at key k changed (a new
+//     record's secondary key, an insert's id). Drops the entry at k and
+//     cuts neighbor claims spanning k.
+//   - InvalidatePk(pk): a write to primary key pk. Drops the point entry
+//     and — via an exact pk -> (space, key) reverse map maintained per
+//     cached tuple — every range entry holding a tuple for pk. This is what
+//     makes lazy-strategy upserts/deletes safe: the *old* secondary key of
+//     the written record is unknown to the writer, but any cached tuple for
+//     the pk is registered and found.
+//   - Mutable-bitmap supersession (direct bitmap Set on disk components,
+//     install-time fixups, recovery bitmap redo) funnels through the same
+//     two calls: it only ever changes outcomes for the written pk.
+//
+// Consistency with concurrent readers. Writers invalidate *after* their
+// memtable effects are visible, while holding the dataset's shared ingest
+// latch; the cache has its own leaf mutex. A reader that captured its
+// snapshot before a concurrent write could insert a stale result after the
+// write's invalidation ran — so every invalidation bumps the space's
+// *epoch*, readers capture the epoch before capturing their snapshot, and
+// Insert*() rejects a mismatched epoch (counted as stale_drops). The epoch
+// alone leaves one hole: a write's effect becomes visible *before* its
+// cut runs, so a reader could snapshot pre-effect yet insert post-cut with
+// its captured epoch still current. Writers therefore fence the whole span:
+// BeginWrite() before the first memtable effect, EndWrite() after the last
+// cut, and Insert*() also rejects while any writer is in flight
+// (WritersQuiescent covers the serve-prefix + tree-snapshot composition the
+// executors build for partial range serves). Component turnover (flush
+// install, merge install) preserves logical content, so installed entries
+// stay valid; the dataset still bumps every epoch on install (LsmTree
+// install hook) so no in-flight insert can straddle a structural change.
+// Transaction aborts re-run invalidation after their undo closures restore
+// old values.
+//
+// Capacity is bounded by bytes with global LRU eviction across spaces.
+// Fault injection: failpoints::kCacheTupleInsert drops the insert (a later
+// plain miss); failpoints::kCacheTupleInvalidate falls back to clearing the
+// whole cache — a failed *precise* invalidation must degrade to misses,
+// never to a stale read.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace auxlsm {
+
+class FaultInjector;
+
+/// Counter snapshot (TupleCache::stats()).
+struct TupleCacheStats {
+  uint64_t hits = 0;            ///< consults served completely from cache
+  uint64_t chain_served = 0;    ///< tuples delivered via chain walks / points
+  uint64_t misses = 0;          ///< consults that fell through (incl. partial)
+  uint64_t invalidations = 0;   ///< entries dropped / claims cut by writes
+  uint64_t evictions = 0;       ///< entries dropped by LRU pressure
+  uint64_t inserts = 0;         ///< entries admitted
+  uint64_t stale_drops = 0;     ///< inserts rejected by the epoch guard
+  uint64_t resident_bytes = 0;  ///< current accounted bytes
+};
+
+/// One cached result tuple: the record's encoded primary key and its
+/// serialized value, exactly as the executors would have emitted it.
+struct CachedTuple {
+  std::string pk;
+  std::string value;
+};
+
+class TupleCache {
+ public:
+  static constexpr uint32_t kPointSpace = 0;
+
+  /// `num_spaces` = 1 (point space) + number of secondary indexes. The
+  /// injector may be null and must outlive the cache.
+  TupleCache(size_t capacity_bytes, uint32_t num_spaces,
+             FaultInjector* fault_injector = nullptr);
+
+  size_t capacity_bytes() const { return capacity_; }
+
+  /// Epoch of a space; capture *before* capturing the read snapshot and
+  /// pass to the matching Insert*() call.
+  uint64_t SpaceEpoch(uint32_t space) const;
+
+  /// Write fence: a writer is "in flight" from just before its first
+  /// memtable effect until just after its last invalidation cut. Inserts
+  /// are rejected while any writer is in flight (the effect may already be
+  /// visible to a reader whose cut has not landed yet).
+  void BeginWrite();
+  void EndWrite();
+
+  /// True when `epoch` is still current for `space` AND no writer is in
+  /// flight — i.e. nothing could have changed between the caller's chain
+  /// serve and now. Used to keep a served prefix coherent with a tree
+  /// snapshot captured slightly later.
+  bool WritersQuiescent(uint32_t space, uint64_t epoch) const;
+
+  // --- Point space -----------------------------------------------------------
+  /// Probes the point space. Returns true on a cache hit; then *found tells
+  /// whether the key exists (false = proven absent) and *value receives the
+  /// serialized record when it does.
+  bool LookupPoint(uint64_t key, bool* found, std::string* value);
+
+  /// Records a validated point outcome (found = false caches the absence).
+  void InsertPoint(uint64_t key, bool found, const Slice& pk,
+                   const Slice& value, uint64_t epoch);
+
+  // --- Range spaces ----------------------------------------------------------
+  struct RangeServe {
+    std::vector<CachedTuple> tuples;  ///< key-major, pk-ascending per key
+    /// First key of [lo, hi] not proven covered; the caller's executors own
+    /// [next, hi]. Meaningful only when !complete.
+    uint64_t next = 0;
+    bool complete = false;  ///< the chain covered all of [lo, hi]
+  };
+  /// Walks the chain from lo, serving tuples until the first unproven gap.
+  void LookupRange(uint32_t space, uint64_t lo, uint64_t hi, RangeServe* out);
+
+  struct KeyGroup {
+    uint64_t key = 0;
+    std::vector<CachedTuple> tuples;  ///< pk-ascending
+  };
+  /// Records a completed, validated range result: `groups` (ascending keys
+  /// within [lo, hi]) are ALL result keys of [lo, hi]; an empty vector
+  /// records proven emptiness. Rejected when the space epoch moved past
+  /// `epoch` since the caller captured its snapshot.
+  void InsertRange(uint32_t space, uint64_t lo, uint64_t hi,
+                   std::vector<KeyGroup> groups, uint64_t epoch);
+
+  // --- Invalidation ----------------------------------------------------------
+  void InvalidateKey(uint32_t space, uint64_t key);
+  void InvalidatePk(const Slice& pk);
+  /// Drops everything (the kCacheTupleInvalidate degradation path, also
+  /// used directly by tests).
+  void Clear();
+  /// Bumps every space epoch without dropping entries: installed component
+  /// turnover preserves logical content but must fence in-flight inserts.
+  void BumpEpochs();
+
+  TupleCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::vector<CachedTuple> tuples;
+    bool present = true;  ///< point space: false = proven absent
+    uint64_t gap_lo = 0, gap_hi = 0;
+    size_t bytes = 0;
+    std::list<std::pair<uint32_t, uint64_t>>::iterator lru_it;
+  };
+  using SpaceMap = std::map<uint64_t, Entry>;
+
+  static size_t EntryBytes(const Entry& e);
+
+  /// True when the insert should be dropped (injected fault).
+  bool InsertFaultFired();
+  /// True when precise invalidation should degrade to a full clear.
+  bool InvalidateFaultFired();
+
+  void Touch(uint32_t space, SpaceMap::iterator it);
+  /// Registers/unregisters an entry's tuples in the pk reverse map.
+  void RegisterEntry(uint32_t space, uint64_t key, const Entry& e);
+  void UnregisterEntry(uint32_t space, uint64_t key, const Entry& e);
+  /// Removes an entry outright (bookkeeping included).
+  void EraseEntry(uint32_t space, SpaceMap::iterator it);
+  /// Upserts one entry; claims are unioned on overwrite (both remain true).
+  void UpsertEntry(uint32_t space, uint64_t key, std::vector<CachedTuple> tuples,
+                   bool present, uint64_t gap_lo, uint64_t gap_hi);
+  /// Drops the entry at `key` (if any) and cuts neighbor claims spanning it.
+  void CutAt(uint32_t space, uint64_t key);
+  void EvictForCapacity();
+  void ClearLocked();
+
+  const size_t capacity_;
+  FaultInjector* const fault_injector_;
+
+  mutable std::mutex mu_;
+  std::vector<SpaceMap> spaces_;
+  std::vector<uint64_t> epochs_;
+  /// Most-recent first; (space, key) of every resident entry.
+  std::list<std::pair<uint32_t, uint64_t>> lru_;
+  /// Encoded pk -> every range-space entry holding a tuple for it.
+  std::unordered_map<std::string, std::vector<std::pair<uint32_t, uint64_t>>>
+      pk_map_;
+  uint64_t resident_bytes_ = 0;
+  uint32_t writers_in_flight_ = 0;
+  TupleCacheStats counters_;
+};
+
+}  // namespace auxlsm

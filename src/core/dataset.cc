@@ -103,6 +103,19 @@ Dataset::Dataset(Env* env, DatasetOptions options)
     secondary_catalog_.emplace(def.name, secondaries_.size());
     secondaries_.push_back(std::move(idx));
   }
+  if (options_.tuple_cache_bytes > 0) {
+    tuple_cache_ = std::make_unique<TupleCache>(
+        options_.tuple_cache_bytes,
+        static_cast<uint32_t>(1 + secondaries_.size()),
+        options_.fault_injector);
+    // Component turnover (flush installs, merges, repair) preserves logical
+    // content, but an in-flight reader insert must not straddle it: fence
+    // every space's epoch whenever any tree's disk-component list changes.
+    TupleCache* cache = tuple_cache_.get();
+    for (LsmTree* t : AllTrees()) {
+      t->set_install_hook([cache]() { cache->BumpEpochs(); });
+    }
+  }
   MaintenanceOptions mopts;
   mopts.threads = options_.maintenance_threads;
   mopts.partition_min_bytes = options_.merge_partition_min_bytes == 0
@@ -580,7 +593,12 @@ Status Dataset::FixupFlushedBitmap() {
                                     pending.begin() + i, pending.end());
       return st.WithContext("bitmap fixup");
     }
-    if (!entry.antimatter && entry.ts < ts) front->bitmap()->Set(ordinal);
+    if (!entry.antimatter && entry.ts < ts) {
+      front->bitmap()->Set(ordinal);
+      // The bit flip changed the visible outcome for this pk outside the
+      // write path's own invalidation window; cut the cache again.
+      if (tuple_cache_) tuple_cache_->InvalidatePk(key);
+    }
   }
   return Status::OK();
 }

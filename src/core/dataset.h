@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/tuple_cache.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/stat_counter.h"
@@ -172,6 +173,15 @@ struct DatasetOptions {
   /// (modeled clock when the Env has one; also a real sleep bound for the
   /// background thread so a fault storm cannot spin a core).
   uint64_t retry_backoff_us = 50;
+
+  // --- Interval tuple cache (PR 7) ------------------------------------------
+  /// Byte budget of the validated-tuple cache (cache/tuple_cache.h) that
+  /// serves hot point lookups and chain-linked range/secondary queries above
+  /// the LSM trees. 0 (default) disables the cache entirely — no cache
+  /// object is created, every read site reduces to a null-pointer branch,
+  /// and all results, counters, and modeled I/O are bit-for-bit the
+  /// pre-cache behavior (the CI bench DIGEST lines pin this).
+  size_t tuple_cache_bytes = 0;
 };
 
 /// Dataset health for the robustness state machine (PR 6): once maintenance
@@ -374,6 +384,20 @@ class Dataset {
   const IngestStats& ingest_stats() const { return stats_; }
   uint64_t num_records() const;
 
+  /// The interval tuple cache; null when tuple_cache_bytes == 0. Read sites
+  /// gate on the pointer, so the disabled configuration stays bit-for-bit
+  /// legacy.
+  TupleCache* tuple_cache() { return tuple_cache_.get(); }
+  /// Snapshot of the cache's counters (all-zero when disabled).
+  TupleCacheStats tuple_cache_stats() const {
+    return tuple_cache_ ? tuple_cache_->stats() : TupleCacheStats{};
+  }
+  /// The cache space serving secondary index i's range queries (space 0 is
+  /// the primary point-lookup space).
+  static uint32_t TupleCacheSpaceOf(size_t secondary_index_pos) {
+    return static_cast<uint32_t>(1 + secondary_index_pos);
+  }
+
   /// The maintenance engine; null on the fully serial path. Non-null does
   /// NOT imply a parallel pool: with merge_queue_depth > 0 (and
   /// writer_threads > 1) the scheduler is kept alive even at
@@ -431,6 +455,13 @@ class Dataset {
                           Transaction* txn, bool is_delete);
   Status InsertIntoAll(const TweetRecord& record, Timestamp ts,
                        Transaction* txn);
+  /// Cuts every tuple-cache entry the write could have stale-served: the
+  /// record's primary key (which fences all range spaces — the *old*
+  /// secondary keys are unknown under the lazy strategies) plus, for
+  /// non-deletes, the new secondary key positions. Called under the shared
+  /// ingest latch AFTER the memtable effects are visible; no-op when the
+  /// cache is disabled.
+  void InvalidateTupleCache(const TweetRecord& record, LogRecordType op);
   /// `in_explicit_txn` = the calling thread holds an open explicit
   /// transaction (and with it record locks): it must never park on
   /// maintenance backpressure, because the merge it would wait for may
@@ -545,6 +576,7 @@ class Dataset {
   /// if options carry duplicate names). Immutable after construction.
   std::unordered_map<std::string, size_t> secondary_catalog_;
   std::unique_ptr<MaintenanceScheduler> maintenance_;
+  std::unique_ptr<TupleCache> tuple_cache_;  // null when disabled
 
   RwLatch ingest_mu_;
   IngestStats stats_;

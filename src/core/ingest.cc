@@ -339,6 +339,29 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   const Timestamp ts = clock_.Tick();
   bool update_bit = false;
 
+  // Tuple-cache write-through: cut entries the op could stale-serve *after*
+  // the memtable effects are visible (below). An abort restores old values
+  // after that cut ran, so register a re-cut FIRST — undo closures run in
+  // reverse order, making it the last thing a rollback does.
+  if (tuple_cache_ && undo_txn != nullptr) {
+    undo_txn->PushUndo(
+        [this, record, op]() { InvalidateTupleCache(record, op); });
+  }
+
+  // Write fence: in flight from before the first memtable effect until
+  // after the cut below. The effect can be visible to a reader before the
+  // cut runs; the fence keeps that reader's (pre-effect) snapshot out of
+  // the cache even though its captured epoch is still current.
+  struct CacheWriteFence {
+    explicit CacheWriteFence(TupleCache* c) : cache(c) {
+      if (cache != nullptr) cache->BeginWrite();
+    }
+    ~CacheWriteFence() {
+      if (cache != nullptr) cache->EndWrite();
+    }
+    TupleCache* cache;
+  } cache_fence(tuple_cache_.get());
+
   if (op == LogRecordType::kInsert) {
     // Key-uniqueness check through the primary key index when available
     // (§3.1's optimization), else the primary index.
@@ -381,6 +404,10 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
       stats_.upserts++;
     }
   }
+
+  // The write's memtable effects are visible; invalidate under the shared
+  // ingest latch so the cut cannot be reordered past a seal.
+  InvalidateTupleCache(record, op);
 
   if (log_to_wal && options_.enable_wal) {
     LogRecord r;
@@ -452,23 +479,32 @@ Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
 Status Dataset::ReplayOp(const LogRecord& r, const TweetRecord& record) {
   clock_.AdvanceTo(r.ts);
   bool update_bit = false;
+  Status st;
   if (r.type == LogRecordType::kInsert) {
     // Inserts passed their uniqueness check originally; redo blindly.
-    return InsertIntoAll(record, r.ts, nullptr);
-  }
-  const bool is_delete = r.type == LogRecordType::kDelete;
-  switch (options_.strategy) {
-    case MaintenanceStrategy::kEager:
-      return EagerUpsert(record, r.ts, nullptr, is_delete);
-    case MaintenanceStrategy::kValidation:
-      return ValidationUpsert(record, r.ts, nullptr, is_delete);
-    case MaintenanceStrategy::kMutableBitmap:
-      return MutableBitmapUpsert(record, r.ts, nullptr, is_delete,
+    st = InsertIntoAll(record, r.ts, nullptr);
+  } else {
+    const bool is_delete = r.type == LogRecordType::kDelete;
+    switch (options_.strategy) {
+      case MaintenanceStrategy::kEager:
+        st = EagerUpsert(record, r.ts, nullptr, is_delete);
+        break;
+      case MaintenanceStrategy::kValidation:
+        st = ValidationUpsert(record, r.ts, nullptr, is_delete);
+        break;
+      case MaintenanceStrategy::kMutableBitmap:
+        st = MutableBitmapUpsert(record, r.ts, nullptr, is_delete,
                                  &update_bit);
-    case MaintenanceStrategy::kDeletedKeyBtree:
-      return DeletedKeyUpsert(record, r.ts, nullptr, is_delete);
+        break;
+      case MaintenanceStrategy::kDeletedKeyBtree:
+        st = DeletedKeyUpsert(record, r.ts, nullptr, is_delete);
+        break;
+    }
   }
-  return Status::OK();
+  // Defensive: recovery normally precedes reads, but a cache created before
+  // replay must not serve pre-replay outcomes.
+  if (st.ok()) InvalidateTupleCache(record, r.type);
+  return st;
 }
 
 Status Dataset::ReplayBitmap(const LogRecord& r) {
@@ -494,9 +530,26 @@ Status Dataset::ReplayBitmap(const LogRecord& r) {
           "bitmap redo for '" + r.key + "' targets component without bitmap");
     }
     c->bitmap()->Set(ordinal);
+    if (tuple_cache_) tuple_cache_->InvalidatePk(r.key);
     return Status::OK();
   }
   return Status::OK();
+}
+
+void Dataset::InvalidateTupleCache(const TweetRecord& record,
+                                   LogRecordType op) {
+  if (!tuple_cache_) return;
+  // The pk cut also fences every range space (epoch bump) and drops any
+  // cached tuple for this pk wherever its *old* secondary keys placed it.
+  tuple_cache_->InvalidatePk(record.primary_key());
+  if (op == LogRecordType::kDelete) return;  // old positions covered above
+  // The record's *new* secondary keys gain a result; cut those positions.
+  for (size_t i = 0; i < secondaries_.size(); i++) {
+    const auto& def = secondaries_[i]->def;
+    if (def.sk_width != sizeof(uint64_t)) continue;
+    tuple_cache_->InvalidateKey(TupleCacheSpaceOf(i),
+                                DecodeU64(def.extract(record)));
+  }
 }
 
 }  // namespace auxlsm

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "btree/btree_cursor.h"
+#include "cache/tuple_cache.h"
 #include "common/hash.h"
+#include "format/key_codec.h"
 
 namespace auxlsm {
 
@@ -174,6 +176,34 @@ Status BulkPointLookup(const LsmTree& tree,
                        PointLookupStats* stats) {
   return BulkPointLookup(LsmReadView::Capture(tree), requests, options, out,
                          stats);
+}
+
+Status CachedPrimaryGet(TupleCache* cache, const LsmTree& tree, uint64_t id,
+                        const GetOptions& opts, bool* found,
+                        std::string* value, bool* from_cache) {
+  *from_cache = false;
+  if (cache != nullptr && cache->LookupPoint(id, found, value)) {
+    *from_cache = true;
+    return Status::OK();
+  }
+  // Epoch before the lookup: a write racing this read invalidates (bumping
+  // the epoch) only after its memtable effects are visible, so an outcome
+  // read after an unchanged epoch capture is safe to admit.
+  const uint64_t epoch =
+      cache != nullptr ? cache->SpaceEpoch(TupleCache::kPointSpace) : 0;
+  const std::string pk = EncodeU64(id);
+  OwnedEntry e;
+  Status st = tree.Get(pk, &e, opts);
+  if (st.IsNotFound()) {
+    *found = false;
+    if (cache != nullptr) cache->InsertPoint(id, false, pk, Slice(), epoch);
+    return Status::OK();
+  }
+  AUXLSM_RETURN_NOT_OK(st);
+  *found = true;
+  *value = std::move(e.value);
+  if (cache != nullptr) cache->InsertPoint(id, true, pk, *value, epoch);
+  return Status::OK();
 }
 
 }  // namespace auxlsm

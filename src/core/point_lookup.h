@@ -105,4 +105,17 @@ Status BulkPointLookup(const LsmTree& tree,
                        std::vector<FetchedEntry>* out,
                        PointLookupStats* stats = nullptr);
 
+class TupleCache;
+
+/// Tuple-cache-aware reconciling point lookup against the primary index
+/// (cache/tuple_cache.h, PR 7). Probes the cache's point space first — a hit
+/// serves the record (or its proven absence) with no tree descent. On a miss
+/// the cache epoch is captured *before* the tree lookup, the reconciling
+/// Get runs, and the validated outcome (value or NotFound) is admitted.
+/// `cache` may be null: the call is then exactly tree.Get. Returns OK with
+/// *found = false for a missing key (NotFound is folded, unlike tree.Get).
+Status CachedPrimaryGet(TupleCache* cache, const LsmTree& tree, uint64_t id,
+                        const GetOptions& opts, bool* found,
+                        std::string* value, bool* from_cache);
+
 }  // namespace auxlsm

@@ -9,9 +9,12 @@
 // as soon as k rows are out, so the secondary scan, the validation lookups,
 // and the record fetches all terminate early.
 #include <algorithm>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/tuple_cache.h"
 #include "core/dataset.h"
 #include "core/point_lookup.h"
 #include "format/key_codec.h"
@@ -48,6 +51,7 @@ class SecondaryScanStream {
     mo.lower_bound = lo_;
     mo.upper_bound = hi_;
     cursor_ = std::make_unique<MergeCursor>(comps_, mo);
+    mi_ = 0;  // support re-Open (cache prefix discarded after a raced write)
     return cursor_->Init();
   }
 
@@ -174,8 +178,86 @@ class SecondaryQueryExecutor final : public QueryExecutor {
 
     uint32_t readahead = query_.read_options().readahead_pages;
     if (readahead == 0) readahead = dataset_->options_.scan_readahead_pages;
-    const uint64_t lo = query_.has_range() ? query_.range_lo() : 0;
+    uint64_t lo = query_.has_range() ? query_.range_lo() : 0;
     const uint64_t hi = query_.has_range() ? query_.range_hi() : UINT64_MAX;
+    range_lo_ = lo;
+    range_hi_ = hi;
+
+    // Tuple-cache consult (PR 7). Eligibility is the set of shapes whose
+    // cache-served result is provably bit-identical to the legacy pipeline:
+    //   - unlimited, row-producing (Limit changes chunk sizing and with it
+    //     the row set; count-only/index-only project differently);
+    //   - no TimeRange predicate (cached tuples are post-validation,
+    //     pre-time-filter would need re-filtering — keep it simple);
+    //   - final order is primary-key-ascending (sort_results_by_pk). Any
+    //     unsorted emission order — batched *or* naive — leaks where the
+    //     records physically live (memtable hits surface before component
+    //     hits), which a cache serve cannot reproduce;
+    //   - the effective validation rejects stale matches (kTimestamp /
+    //     kDirect, or any method under Eager, whose index has none), so an
+    //     emitted record's current secondary key equals its matched key and
+    //     the populate below groups correctly.
+    cache_ = dataset_->tuple_cache();
+    cache_eligible_ =
+        cache_ != nullptr && query_.limit() == 0 && !query_.count_only() &&
+        !opts_.index_only && !query_.has_time_range() &&
+        index_->def.sk_width == sizeof(uint64_t) &&
+        opts_.sort_results_by_pk &&
+        (validation_ != SecondaryQueryOptions::Validation::kNone ||
+         dataset_->options_.strategy == MaintenanceStrategy::kEager);
+    if (cache_eligible_) {
+      space_ = 0;
+      for (size_t i = 0; i < dataset_->secondaries_.size(); i++) {
+        if (dataset_->secondaries_[i].get() == index_) {
+          space_ = Dataset::TupleCacheSpaceOf(i);
+          break;
+        }
+      }
+      if (space_ == 0) cache_eligible_ = false;  // not in the catalog
+    }
+    if (cache_eligible_) {
+      // Epoch before any snapshot capture: a write that races this open
+      // invalidates after its effects are visible, so an unchanged epoch
+      // proves the populate below saw the write (or the insert is dropped).
+      epoch_ = cache_->SpaceEpoch(space_);
+      TupleCache::RangeServe serve;
+      cache_->LookupRange(space_, lo, hi, &serve);
+      if (serve.complete) {
+        // Full serve: the chain covered [lo, hi] — no stream, no views, no
+        // tree descent, no modeled I/O. Legacy (eligible) order is global
+        // pk-ascending; cached tuples are key-major, so re-sort.
+        cache_hits_ = 1;
+        cache_rows_ = serve.tuples.size();
+        for (const auto& t : serve.tuples) {
+          TweetRecord rec;
+          AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(t.value, &rec));
+          buffer_.records.push_back(std::move(rec));
+        }
+        std::sort(buffer_.records.begin(), buffer_.records.end(),
+                  [](const TweetRecord& a, const TweetRecord& b) {
+                    return a.id < b.id;
+                  });
+        rows_buffered_ = buffer_.records.size();
+        cache_full_serve_ = true;
+        stream_dry_ = true;
+        exhausted_ = true;
+        return Status::OK();
+      }
+      cache_misses_ = 1;
+      if (!serve.tuples.empty()) {
+        // Partial serve: the chain covered [lo, serve.next); only the
+        // remainder walks the tree. The prefix rows are merged (and the
+        // global pk order restored) when the stream exhausts.
+        cache_rows_ = serve.tuples.size();
+        cache_pending_.reserve(serve.tuples.size());
+        for (const auto& t : serve.tuples) {
+          TweetRecord rec;
+          AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(t.value, &rec));
+          cache_pending_.push_back(std::move(rec));
+        }
+        lo = serve.next;
+      }
+    }
     AUXLSM_RETURN_NOT_OK(
         stream_.Open(*index_, EncodeU64(lo), EncodeU64(hi), readahead));
 
@@ -193,6 +275,18 @@ class SecondaryQueryExecutor final : public QueryExecutor {
       }
     }
     fetch_view_ = LsmReadView::Capture(*dataset_->primary_);
+    if (!cache_pending_.empty() && !cache_->WritersQuiescent(space_, epoch_)) {
+      // A write landed (or is still in flight) between the chain serve and
+      // the snapshot captures above: the prefix and the stream would
+      // reflect different moments (a moved record could appear in both
+      // halves, or in neither). Drop the prefix and restart the stream at
+      // the query's own bound; the populate at exhaustion is already
+      // fenced by the stale epoch / in-flight writer.
+      cache_pending_.clear();
+      cache_rows_ = 0;
+      AUXLSM_RETURN_NOT_OK(stream_.Open(*index_, EncodeU64(range_lo_),
+                                        EncodeU64(hi), readahead));
+    }
     return Status::OK();
   }
 
@@ -204,6 +298,13 @@ class SecondaryQueryExecutor final : public QueryExecutor {
       }
       if (exhausted_) break;
       AUXLSM_RETURN_NOT_OK(ProcessChunk(max_rows - page->rows()));
+      // An eligible (unlimited) query exhausts within its single chunk,
+      // before any row left the buffer: merge the cache-served prefix and
+      // record the completed result while the full row set is still here.
+      if (exhausted_ && cache_eligible_ && !cache_full_serve_ &&
+          !cache_finalized_) {
+        FinalizeCacheServe();
+      }
     }
     if (buf_pos_ >= buffer_.rows() && exhausted_) *done = true;
     return Status::OK();
@@ -214,6 +315,9 @@ class SecondaryQueryExecutor final : public QueryExecutor {
     out->validated_out = validated_out_;
     out->time_filtered = time_filtered_;
     out->candidate_chunks = chunks_;
+    out->tuple_cache_hits = cache_hits_;
+    out->tuple_cache_chain_rows = cache_rows_;
+    out->tuple_cache_misses = cache_misses_;
     // For row-producing cursors `rows` is the authoritative delivered count
     // (rows_buffered_ includes chunk headroom the Limit truncates); the
     // match count is only meaningful — and exact — on the count-only path.
@@ -408,6 +512,50 @@ class SecondaryQueryExecutor final : public QueryExecutor {
     return Status::OK();
   }
 
+  /// Runs once when an eligible query exhausts: merges the cache-served
+  /// prefix into the (still undrained) buffer, restores the global pk order,
+  /// and admits the completed, validated result of [range_lo_, range_hi_]
+  /// into the cache under the epoch captured at Open.
+  void FinalizeCacheServe() {
+    cache_finalized_ = true;
+    if (!cache_pending_.empty()) {
+      // A write whose invalidation was still in flight at Open's epoch
+      // re-check can surface the same pk in both halves; the stream's row
+      // is the newer snapshot, so it wins and the prefix copy drops.
+      std::set<uint64_t> streamed;
+      for (const auto& r : buffer_.records) streamed.insert(r.id);
+      for (auto& r : cache_pending_) {
+        if (streamed.count(r.id) == 0) {
+          buffer_.records.push_back(std::move(r));
+        }
+      }
+      cache_pending_.clear();
+      std::sort(buffer_.records.begin(), buffer_.records.end(),
+                [](const TweetRecord& a, const TweetRecord& b) {
+                  return a.id < b.id;
+                });
+      rows_buffered_ = buffer_.records.size();
+    }
+    // Group the result by its records' *current* secondary keys (equal to
+    // the matched keys for every eligible validation mode). A key outside
+    // the queried interval would poison the chain's emptiness claims; skip
+    // the populate outright if one appears (defensive — unreachable for
+    // eligible shapes).
+    std::map<uint64_t, std::vector<CachedTuple>> grouped;
+    for (const auto& rec : buffer_.records) {
+      const uint64_t key = DecodeU64(index_->def.extract(rec));
+      if (key < range_lo_ || key > range_hi_) return;
+      grouped[key].push_back(CachedTuple{EncodeU64(rec.id), rec.Serialize()});
+    }
+    std::vector<TupleCache::KeyGroup> groups;
+    groups.reserve(grouped.size());
+    for (auto& [key, tuples] : grouped) {
+      groups.push_back(TupleCache::KeyGroup{key, std::move(tuples)});
+    }
+    cache_->InsertRange(space_, range_lo_, range_hi_, std::move(groups),
+                        epoch_);
+  }
+
   void EmitKey(std::string pk) {
     if (query_.limit() != 0) emitted_pks_.insert(pk);
     rows_buffered_++;
@@ -449,6 +597,19 @@ class SecondaryQueryExecutor final : public QueryExecutor {
   uint64_t validated_out_ = 0;
   uint64_t time_filtered_ = 0;
   uint64_t chunks_ = 0;
+
+  // Tuple-cache state (PR 7); inert when cache_eligible_ is false.
+  TupleCache* cache_ = nullptr;
+  bool cache_eligible_ = false;
+  bool cache_full_serve_ = false;
+  bool cache_finalized_ = false;
+  uint32_t space_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t range_lo_ = 0, range_hi_ = UINT64_MAX;
+  std::vector<TweetRecord> cache_pending_;  ///< served prefix awaiting merge
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_rows_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 std::unique_ptr<QueryExecutor> MakeSecondaryQueryExecutor(

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "core/dataset.h"
+#include "core/point_lookup.h"
 #include "format/key_codec.h"
 #include "io/io_engine.h"
 
@@ -36,15 +37,28 @@ class PointLookupExecutor final : public QueryExecutor {
   Status Produce(size_t max_rows, QueryPage* page, bool* done) override {
     *done = true;
     if (max_rows == 0) return Status::OK();
-    OwnedEntry e;
     GetOptions opts;
     opts.use_blocked_bloom = dataset_->options().build_blocked_bloom;
-    Status st =
-        dataset_->primary()->Get(EncodeU64(query_.primary_id()), &e, opts);
-    if (st.IsNotFound()) return Status::OK();
-    AUXLSM_RETURN_NOT_OK(st);
+    // The tuple cache stores the validated pre-filter record (and proven
+    // absences); the TimeRange predicate below applies either way, so a hit
+    // is behavior-identical to the tree lookup.
+    TupleCache* cache = dataset_->tuple_cache();
+    bool found = false, from_cache = false;
+    std::string value;
+    AUXLSM_RETURN_NOT_OK(CachedPrimaryGet(cache, *dataset_->primary(),
+                                          query_.primary_id(), opts, &found,
+                                          &value, &from_cache));
+    if (cache != nullptr) {
+      if (from_cache) {
+        cache_hits_++;
+        if (found) cache_rows_++;
+      } else {
+        cache_misses_++;
+      }
+    }
+    if (!found) return Status::OK();
     TweetRecord rec;
-    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(e.value, &rec));
+    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(value, &rec));
     if (query_.has_time_range() && (rec.creation_time < query_.time_lo() ||
                                     rec.creation_time > query_.time_hi())) {
       time_filtered_++;
@@ -58,6 +72,9 @@ class PointLookupExecutor final : public QueryExecutor {
   void AccumulateStats(CursorStats* out) const override {
     out->time_filtered = time_filtered_;
     out->records_matched = matched_;
+    out->tuple_cache_hits = cache_hits_;
+    out->tuple_cache_chain_rows = cache_rows_;
+    out->tuple_cache_misses = cache_misses_;
   }
 
  private:
@@ -65,6 +82,9 @@ class PointLookupExecutor final : public QueryExecutor {
   ReadQuery query_;
   uint64_t time_filtered_ = 0;
   uint64_t matched_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_rows_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace

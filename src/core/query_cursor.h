@@ -63,6 +63,11 @@ struct CursorStats {
   uint64_t records_matched = 0;     ///< scan plans + CountOnly: matched rows
   uint64_t components_scanned = 0;
   uint64_t components_pruned = 0;
+  // Tuple-cache accounting (cache/tuple_cache.h, PR 7); all zero when the
+  // cache is disabled.
+  uint64_t tuple_cache_hits = 0;       ///< consults served fully from cache
+  uint64_t tuple_cache_chain_rows = 0; ///< rows delivered by chain walks
+  uint64_t tuple_cache_misses = 0;     ///< consults that fell through
   /// Simulated-I/O microseconds of the storage device charged while this
   /// cursor was executing (open + pulls). Exact when the cursor runs alone;
   /// concurrent actors on the same Env make it an overestimate.

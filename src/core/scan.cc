@@ -4,10 +4,13 @@
 // pages as soon as enough rows matched. The legacy one-shot entry points
 // drain an unlimited count-only cursor, visiting entries in exactly the
 // pre-cursor order — ScanResult counters are bit-identical.
+#include <algorithm>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/tuple_cache.h"
 #include "core/dataset.h"
 #include "format/key_codec.h"
 
@@ -27,6 +30,55 @@ class FilterScanExecutor final : public QueryExecutor {
     if (readahead_ == 0) readahead_ = dataset_->options_.scan_readahead_pages;
     const auto strategy = dataset_->options_.strategy;
     LsmTree* primary = dataset_->primary_.get();
+
+    // Tuple-cache consult (PR 7): an unlimited user-range scan produces
+    // exactly the records whose current user_id falls in [lo, hi], in
+    // primary-key order — the same result the "user_id" secondary query
+    // caches — so the two plans share that index's space. Only complete
+    // chains are served: the scan streams pages out incrementally, so a
+    // key-major cached prefix could not be merged back into pk order
+    // before delivery (unlike the buffering secondary executor).
+    if (TupleCache* cache = dataset_->tuple_cache();
+        cache != nullptr && query_.has_range() && !query_.has_time_range() &&
+        !query_.count_only() && query_.limit() == 0) {
+      for (size_t i = 0; i < dataset_->secondaries_.size(); i++) {
+        const auto& def = dataset_->secondaries_[i]->def;
+        if (def.name == "user_id" && def.sk_width == sizeof(uint64_t)) {
+          cache_ = cache;
+          space_ = Dataset::TupleCacheSpaceOf(i);
+          break;
+        }
+      }
+    }
+    if (cache_ != nullptr) {
+      // Epoch before any snapshot capture: a racing write invalidates after
+      // its effects are visible, so an unchanged epoch at populate time
+      // proves the scan observed the write (or the insert is dropped).
+      epoch_ = cache_->SpaceEpoch(space_);
+      TupleCache::RangeServe serve;
+      cache_->LookupRange(space_, query_.range_lo(), query_.range_hi(),
+                          &serve);
+      if (serve.complete) {
+        // Full serve: no snapshot, no merge cursor, no modeled I/O. Cached
+        // tuples are key-major; the scan's order is global pk-ascending.
+        cache_hits_ = 1;
+        cache_rows_ = serve.tuples.size();
+        served_.reserve(serve.tuples.size());
+        for (const auto& t : serve.tuples) {
+          TweetRecord rec;
+          AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(t.value, &rec));
+          served_.push_back(std::move(rec));
+        }
+        std::sort(served_.begin(), served_.end(),
+                  [](const TweetRecord& a, const TweetRecord& b) {
+                    return a.id < b.id;
+                  });
+        full_serve_ = true;
+        return Status::OK();
+      }
+      cache_misses_ = 1;
+      collect_ = true;  // populate from the completed scan below
+    }
 
     // A pure time-range query scans with range-filter pruning; any user_id
     // predicate forces the full primary scan (filters only cover time).
@@ -108,6 +160,17 @@ class FilterScanExecutor final : public QueryExecutor {
   }
 
   Status Produce(size_t max_rows, QueryPage* page, bool* done) override {
+    if (full_serve_) {
+      size_t emitted = 0;
+      while (emitted < max_rows && served_pos_ < served_.size()) {
+        records_matched_++;
+        page->records.push_back(std::move(served_[served_pos_++]));
+        emitted++;
+      }
+      if (served_pos_ >= served_.size()) done_ = true;
+      *done = done_;
+      return Status::OK();
+    }
     const uint64_t match_budget =
         query_.limit() == 0 ? UINT64_MAX : query_.limit();
     size_t emitted = 0;
@@ -124,6 +187,9 @@ class FilterScanExecutor final : public QueryExecutor {
                                           : StepReconciling(page, &produced));
       if (produced) emitted++;
     }
+    // An eligible (unlimited, row-producing) scan completes only by stream
+    // exhaustion, so the full matched set was collected: admit it.
+    if (done_ && collect_ && !populated_) PopulateCache();
     *done = done_ || records_matched_ >= match_budget;
     return Status::OK();
   }
@@ -133,6 +199,9 @@ class FilterScanExecutor final : public QueryExecutor {
     out->records_matched = records_matched_;
     out->components_scanned = components_scanned_;
     out->components_pruned = components_pruned_;
+    out->tuple_cache_hits = cache_hits_;
+    out->tuple_cache_chain_rows = cache_rows_;
+    out->tuple_cache_misses = cache_misses_;
   }
 
  private:
@@ -171,10 +240,35 @@ class FilterScanExecutor final : public QueryExecutor {
     if (!query_.count_only()) {
       TweetRecord rec;
       AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(value, &rec));
+      if (collect_) collected_.push_back(rec);
       page->records.push_back(std::move(rec));
       *produced = true;
     }
     return Status::OK();
+  }
+
+  /// Runs once when an eligible scan exhausts: admits the completed result
+  /// of [range_lo, range_hi] into the shared user_id space, grouped by each
+  /// record's current user_id (the key write-side invalidation cuts on).
+  void PopulateCache() {
+    populated_ = true;
+    std::map<uint64_t, std::vector<CachedTuple>> grouped;
+    for (const auto& rec : collected_) {
+      // Defensive: a key outside the queried interval would poison the
+      // chain's emptiness claims (unreachable — Matches() filtered on it).
+      if (rec.user_id < query_.range_lo() || rec.user_id > query_.range_hi())
+        return;
+      grouped[rec.user_id].push_back(
+          CachedTuple{EncodeU64(rec.id), rec.Serialize()});
+    }
+    std::vector<TupleCache::KeyGroup> groups;
+    groups.reserve(grouped.size());
+    for (auto& [key, tuples] : grouped) {
+      groups.push_back(TupleCache::KeyGroup{key, std::move(tuples)});
+    }
+    cache_->InsertRange(space_, query_.range_lo(), query_.range_hi(),
+                        std::move(groups), epoch_);
+    collected_.clear();
   }
 
   /// One step of the reconciling merge over (selected components, memtable
@@ -303,6 +397,20 @@ class FilterScanExecutor final : public QueryExecutor {
   uint64_t records_matched_ = 0;
   uint64_t components_scanned_ = 0;
   uint64_t components_pruned_ = 0;
+
+  // Tuple-cache state (PR 7); inert when cache_ is null.
+  TupleCache* cache_ = nullptr;
+  uint32_t space_ = 0;
+  uint64_t epoch_ = 0;
+  bool full_serve_ = false;
+  bool collect_ = false;
+  bool populated_ = false;
+  std::vector<TweetRecord> served_;   ///< cache-served rows (pk order)
+  size_t served_pos_ = 0;
+  std::vector<TweetRecord> collected_;  ///< emitted rows awaiting populate
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_rows_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 const std::vector<OwnedEntry> FilterScanExecutor::kNoMem;

@@ -9,7 +9,8 @@ namespace failpoints {
 std::vector<const char*> AllSites() {
   return {kEnvAppendPage, kEnvReadPage, kEnvDeleteFile,  kCacheMissFill,
           kIoSubmit,      kWalAppend,   kWalSync,        kFlushBuild,
-          kInstall,       kMerge,       kMergeJob,       kConcurrentBuild};
+          kInstall,       kMerge,       kMergeJob,       kConcurrentBuild,
+          kCacheTupleInsert, kCacheTupleInvalidate};
 }
 
 }  // namespace failpoints

@@ -50,6 +50,12 @@ inline constexpr const char* kInstall = "maintenance.install";
 inline constexpr const char* kMerge = "maintenance.merge";
 inline constexpr const char* kMergeJob = "maintenance.merge_job";
 inline constexpr const char* kConcurrentBuild = "maintenance.concurrent_build";
+/// Tuple-cache seams (cache/tuple_cache.h, PR 7). A fired insert fault
+/// drops the admission (the next read is a plain miss); a fired invalidate
+/// fault makes the precise cut degrade to clearing the whole cache —
+/// degraded invalidation must never leave a stale tuple servable.
+inline constexpr const char* kCacheTupleInsert = "cache.tuple_insert";
+inline constexpr const char* kCacheTupleInvalidate = "cache.tuple_invalidate";
 
 /// Every registered site, for matrix-style test iteration.
 std::vector<const char*> AllSites();

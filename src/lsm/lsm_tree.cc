@@ -279,24 +279,27 @@ Result<DiskComponentPtr> LsmTree::BuildFromSealed(
 
 Status LsmTree::InstallFlushed(const std::shared_ptr<Memtable>& sealed,
                                DiskComponentPtr component) {
-  std::lock_guard<std::mutex> ml(mem_mu_);
-  auto it = std::find(sealed_.begin(), sealed_.end(), sealed);
-  if (it == sealed_.end()) {
-    // The sealed memtable was already flushed by a competing path (e.g. an
-    // explicit FlushAll racing the background cycle); drop the duplicate
-    // build rather than installing the same entries twice.
-    component->MarkRetired();
-    return Status::OK();
-  }
-  // Publish the component before dropping the sealed memtable: a reader
-  // between the two steps sees the entry twice (reconciled by timestamp),
-  // never zero times. Lock order mem_mu_ -> components_mu_ (no other path
-  // nests them).
   {
-    std::lock_guard<std::mutex> cl(components_mu_);
-    components_.insert(components_.begin(), component);
+    std::lock_guard<std::mutex> ml(mem_mu_);
+    auto it = std::find(sealed_.begin(), sealed_.end(), sealed);
+    if (it == sealed_.end()) {
+      // The sealed memtable was already flushed by a competing path (e.g. an
+      // explicit FlushAll racing the background cycle); drop the duplicate
+      // build rather than installing the same entries twice.
+      component->MarkRetired();
+      return Status::OK();
+    }
+    // Publish the component before dropping the sealed memtable: a reader
+    // between the two steps sees the entry twice (reconciled by timestamp),
+    // never zero times. Lock order mem_mu_ -> components_mu_ (no other path
+    // nests them).
+    {
+      std::lock_guard<std::mutex> cl(components_mu_);
+      components_.insert(components_.begin(), component);
+    }
+    sealed_.erase(it);
   }
-  sealed_.erase(it);
+  if (install_hook_) install_hook_();
   return Status::OK();
 }
 
@@ -439,30 +442,35 @@ Status LsmTree::MergeFromStream(
 Status LsmTree::ReplaceComponents(
     const std::vector<DiskComponentPtr>& old_components,
     DiskComponentPtr replacement) {
-  std::lock_guard<std::mutex> l(components_mu_);
-  if (old_components.empty()) {
+  Status st = [&]() -> Status {
+    std::lock_guard<std::mutex> l(components_mu_);
+    if (old_components.empty()) {
+      if (replacement != nullptr) {
+        components_.insert(components_.begin(), std::move(replacement));
+      }
+      return Status::OK();
+    }
+    auto it = std::find(components_.begin(), components_.end(),
+                        old_components.front());
+    if (it == components_.end() ||
+        static_cast<size_t>(components_.end() - it) < old_components.size()) {
+      return Status::InvalidArgument("components no longer current");
+    }
+    for (size_t i = 0; i < old_components.size(); i++) {
+      if (*(it + i) != old_components[i]) {
+        return Status::InvalidArgument("components no longer contiguous");
+      }
+    }
+    for (const auto& c : old_components) c->MarkRetired();
+    it = components_.erase(it, it + old_components.size());
     if (replacement != nullptr) {
-      components_.insert(components_.begin(), std::move(replacement));
+      components_.insert(it, std::move(replacement));
     }
     return Status::OK();
-  }
-  auto it = std::find(components_.begin(), components_.end(),
-                      old_components.front());
-  if (it == components_.end() ||
-      static_cast<size_t>(components_.end() - it) < old_components.size()) {
-    return Status::InvalidArgument("components no longer current");
-  }
-  for (size_t i = 0; i < old_components.size(); i++) {
-    if (*(it + i) != old_components[i]) {
-      return Status::InvalidArgument("components no longer contiguous");
-    }
-  }
-  for (const auto& c : old_components) c->MarkRetired();
-  it = components_.erase(it, it + old_components.size());
-  if (replacement != nullptr) {
-    components_.insert(it, std::move(replacement));
-  }
-  return Status::OK();
+  }();
+  // Fire outside components_mu_ so the hook may take its own locks freely.
+  if (st.ok() && install_hook_) install_hook_();
+  return st;
 }
 
 uint64_t LsmTree::TotalDiskBytes() const {

@@ -242,6 +242,14 @@ class LsmTree {
                                        const DiskComponentPtr&)>;
   void set_merge_hook(MergeHook hook) { merge_hook_ = std::move(hook); }
 
+  /// Registers a hook invoked (outside the tree's locks) after any change
+  /// to the disk-component list — flush installs and merge/repair
+  /// replacements alike. The Dataset uses it to fence the tuple cache's
+  /// in-flight inserts across component turnover (PR 7). Set before
+  /// concurrent use begins; not otherwise synchronized.
+  using InstallHook = std::function<void()>;
+  void set_install_hook(InstallHook hook) { install_hook_ = std::move(hook); }
+
  private:
   std::shared_ptr<Memtable> ActiveMem() const;
 
@@ -268,6 +276,7 @@ class LsmTree {
   std::atomic<size_t> merge_pending_jobs_{0};
 
   MergeHook merge_hook_;
+  InstallHook install_hook_;
 };
 
 }  // namespace auxlsm

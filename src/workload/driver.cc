@@ -1,6 +1,9 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/hash.h"
 
 namespace auxlsm {
 
@@ -119,6 +122,30 @@ Status RunPagedReadWorkload(Dataset* ds,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return Status::OK();
+}
+
+HotKeyGenerator::HotKeyGenerator(const HotKeyOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(std::max<uint64_t>(1, options.domain), options.theta,
+            options.seed) {}
+
+uint64_t HotKeyGenerator::Scatter(uint64_t i) const {
+  // Popular ranks / hot-set ordinals land on pseudo-random but stable keys,
+  // so the hot working set is spread over the domain instead of being the
+  // prefix [0, k) (which range filters or key order could accidentally
+  // favor).
+  return Mix64(i) % std::max<uint64_t>(1, options_.domain);
+}
+
+uint64_t HotKeyGenerator::Next() {
+  if (options_.skew == HotKeyOptions::Skew::kZipf) {
+    return Scatter(zipf_.Next());
+  }
+  if (options_.hot_keys > 0 && rng_.Bernoulli(options_.hot_fraction)) {
+    return Scatter(rng_.Uniform(options_.hot_keys));
+  }
+  return rng_.Uniform(std::max<uint64_t>(1, options_.domain));
 }
 
 }  // namespace auxlsm

@@ -71,6 +71,36 @@ Status RunPagedReadWorkload(Dataset* dataset,
                             const PagedReadWorkloadOptions& options,
                             PagedReadReport* report);
 
+/// Skewed key picker for hot-read workloads (PR 7, bench/fig18_hot_reads):
+/// draws keys from [0, domain) either Zipfian (YCSB theta; popular ranks
+/// scattered across the domain so the hot keys are not clustered) or
+/// hot-set (a fixed set of `hot_keys` keys drawn with probability
+/// `hot_fraction`, uniform cold keys otherwise). Deterministic per seed.
+struct HotKeyOptions {
+  enum class Skew { kZipf, kHotSet };
+  Skew skew = Skew::kZipf;
+  uint64_t domain = 100000;
+  double theta = 0.99;        ///< kZipf skew parameter
+  double hot_fraction = 0.9;  ///< kHotSet: P(draw from the hot set)
+  uint64_t hot_keys = 100;    ///< kHotSet: hot-set size
+  uint64_t seed = 7;
+};
+
+class HotKeyGenerator {
+ public:
+  explicit HotKeyGenerator(const HotKeyOptions& options);
+
+  /// Draws the next key in [0, domain).
+  uint64_t Next();
+
+ private:
+  uint64_t Scatter(uint64_t i) const;  ///< deterministic spread over domain
+
+  HotKeyOptions options_;
+  Random rng_;
+  ZipfGenerator zipf_;
+};
+
 /// Loads `n` fresh records via upsert (dataset preparation helper).
 Status LoadRecords(Dataset* dataset, TweetGenerator* gen, uint64_t n);
 

@@ -42,6 +42,10 @@ DatasetOptions Opts(MaintenanceStrategy s, FaultInjector* fault) {
   o.fault_injector = fault;
   o.maintenance_retry_limit = 2;
   o.retry_backoff_us = 10;
+  // The matrix runs with the tuple cache on so the cache.tuple_* sites are
+  // genuinely consulted; a faulted cache must degrade to misses, never
+  // change any query outcome.
+  o.tuple_cache_bytes = 256 << 10;
   return o;
 }
 
@@ -128,11 +132,25 @@ class FaultMatrixTest : public ::testing::TestWithParam<MaintenanceStrategy> {
         } else if (dice < 0.80) {
           st = ds.Delete(id);
           if (st.ok()) model.erase(id);
-        } else if (dice < 0.90) {
+        } else if (dice < 0.88) {
           bool inserted = false;
           const TweetRecord r = MakeTweet(id, rng.Uniform(kUserSpace), ++time);
           st = ds.Insert(r, &inserted);
           if (st.ok() && inserted) model[id] = r;
+        } else if (dice < 0.94) {
+          // Reads interleaved with the faulted writes: a fired cache site
+          // must degrade to a miss — never to a stale or ghost row.
+          TweetRecord got;
+          const Status rst = ds.GetById(id, &got);
+          auto it = model.find(id);
+          if (rst.ok() && it != model.end()) {
+            EXPECT_EQ(got.user_id, it->second.user_id) << trace;
+            EXPECT_EQ(got.creation_time, it->second.creation_time) << trace;
+          } else if (rst.ok()) {
+            ADD_FAILURE() << trace << ": ghost row for id " << id;
+          } else if (rst.IsNotFound()) {
+            EXPECT_TRUE(it == model.end()) << trace << " id " << id;
+          }  // injected read errors are tolerated like any faulted op
         } else if (dice < 0.97) {
           // Maintenance calls may fail under injection; a failed flush or
           // merge never changes query-visible state.
@@ -382,6 +400,7 @@ struct RunFingerprint {
   uint64_t records = 0;
   uint64_t flushes = 0;
   uint64_t merges = 0;
+  uint64_t read_rows = 0;
   Lsn wal_tail = kInvalidLsn;
   double io_us = 0;
 };
@@ -402,6 +421,20 @@ RunFingerprint RunParityWorkload(FaultInjector* fault) {
   }
   EXPECT_TRUE(ds.FlushAll().ok());
   RunFingerprint fp;
+  // Read phase: consults (and populates) the tuple cache, so the armed run
+  // exercises the cache.tuple_* sites on both the insert and lookup sides.
+  {
+    SecondaryQueryOptions sq;
+    sq.sort_results_by_pk = true;
+    QueryResult res;
+    EXPECT_TRUE(ds.QueryUserRange(0, 5, sq, &res).ok());
+    EXPECT_TRUE(ds.QueryUserRange(0, 5, sq, &res).ok());
+    fp.read_rows = res.records.size();
+    TweetRecord got;
+    for (uint64_t id = 1; id <= 40; id++) {
+      if (ds.GetById(id, &got).ok()) fp.read_rows++;
+    }
+  }
   fp.records = ds.num_records();
   fp.flushes = ds.ingest_stats().flushes;
   fp.merges = ds.ingest_stats().merges;
@@ -422,12 +455,15 @@ TEST(FaultParityTest, ArmedInjectorThatNeverFiresChangesNothing) {
   EXPECT_EQ(armed.records, base.records);
   EXPECT_EQ(armed.flushes, base.flushes);
   EXPECT_EQ(armed.merges, base.merges);
+  EXPECT_EQ(armed.read_rows, base.read_rows);
   EXPECT_EQ(armed.wal_tail, base.wal_tail);
   EXPECT_EQ(armed.io_us, base.io_us);
   EXPECT_EQ(fault.TotalFires(), 0u);
   // The sites were genuinely consulted, not bypassed.
   EXPECT_GT(fault.site_stats(failpoints::kEnvAppendPage).hits, 0u);
   EXPECT_GT(fault.site_stats(failpoints::kWalAppend).hits, 0u);
+  EXPECT_GT(fault.site_stats(failpoints::kCacheTupleInsert).hits, 0u);
+  EXPECT_GT(fault.site_stats(failpoints::kCacheTupleInvalidate).hits, 0u);
 }
 
 }  // namespace

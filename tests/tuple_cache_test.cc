@@ -1,0 +1,554 @@
+// Interval tuple cache (PR 7): chain-link unit tests on the TupleCache
+// itself, cache-on vs cache-off parity across every maintenance strategy
+// (including precise invalidation under writes, deletes, and component
+// turnover), failpoint degradation (a fired cache fault produces misses,
+// never stale reads), and a multi-writer stress that checks per-key version
+// monotonicity while flushes and merges turn components over underneath.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cache/tuple_cache.h"
+#include "common/random.h"
+#include "core/dataset.h"
+#include "fault/fault_injector.h"
+#include "format/key_codec.h"
+
+namespace auxlsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TupleCache unit tests
+// ---------------------------------------------------------------------------
+
+CachedTuple Tuple(uint64_t pk) {
+  return CachedTuple{EncodeU64(pk), "v" + std::to_string(pk)};
+}
+
+TEST(TupleCacheUnitTest, PointHitsProvenAbsenceAndEpochGuard) {
+  TupleCache cache(1 << 20, 1);
+  bool found = true;
+  std::string value;
+  EXPECT_FALSE(cache.LookupPoint(7, &found, &value));
+
+  uint64_t epoch = cache.SpaceEpoch(TupleCache::kPointSpace);
+  cache.InsertPoint(7, true, EncodeU64(7), "rec7", epoch);
+  cache.InsertPoint(8, false, EncodeU64(8), Slice(), epoch);
+
+  ASSERT_TRUE(cache.LookupPoint(7, &found, &value));
+  EXPECT_TRUE(found);
+  EXPECT_EQ(value, "rec7");
+  ASSERT_TRUE(cache.LookupPoint(8, &found, &value));
+  EXPECT_FALSE(found);  // proven absent, no tree descent needed
+
+  // A write between epoch capture and insert rejects the insert.
+  epoch = cache.SpaceEpoch(TupleCache::kPointSpace);
+  cache.InvalidatePk(EncodeU64(9));
+  cache.InsertPoint(9, true, EncodeU64(9), "stale", epoch);
+  EXPECT_FALSE(cache.LookupPoint(9, &found, &value));
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(TupleCacheUnitTest, RangeChainServesGapsAndSubranges) {
+  TupleCache cache(1 << 20, 2);
+  const uint32_t space = 1;
+  const uint64_t epoch = cache.SpaceEpoch(space);
+  std::vector<TupleCache::KeyGroup> groups;
+  groups.push_back({12, {Tuple(100), Tuple(101)}});
+  groups.push_back({15, {Tuple(102)}});
+  cache.InsertRange(space, 10, 20, std::move(groups), epoch);
+
+  TupleCache::RangeServe serve;
+  cache.LookupRange(space, 10, 20, &serve);  // the exact original interval
+  EXPECT_TRUE(serve.complete);
+  ASSERT_EQ(serve.tuples.size(), 3u);
+  EXPECT_EQ(serve.tuples[0].pk, EncodeU64(100));
+
+  cache.LookupRange(space, 13, 14, &serve);  // an interior proven-empty gap
+  EXPECT_TRUE(serve.complete);
+  EXPECT_TRUE(serve.tuples.empty());
+
+  cache.LookupRange(space, 12, 18, &serve);  // overlapping subrange
+  EXPECT_TRUE(serve.complete);
+  EXPECT_EQ(serve.tuples.size(), 3u);
+
+  cache.LookupRange(space, 16, 20, &serve);  // tail proven empty by 15's claim
+  EXPECT_TRUE(serve.complete);
+  EXPECT_TRUE(serve.tuples.empty());
+
+  cache.LookupRange(space, 5, 20, &serve);  // [5, 10) was never proven
+  EXPECT_FALSE(serve.complete);
+  EXPECT_EQ(serve.next, 5u);
+  EXPECT_TRUE(serve.tuples.empty());
+
+  cache.LookupRange(space, 10, 25, &serve);  // chain serves a prefix
+  EXPECT_FALSE(serve.complete);
+  EXPECT_EQ(serve.tuples.size(), 3u);
+  EXPECT_EQ(serve.next, 21u);
+}
+
+TEST(TupleCacheUnitTest, EmptyResultAnchorsProvenEmptiness) {
+  TupleCache cache(1 << 20, 2);
+  cache.InsertRange(1, 30, 40, {}, cache.SpaceEpoch(1));
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 30, 40, &serve);
+  EXPECT_TRUE(serve.complete);
+  EXPECT_TRUE(serve.tuples.empty());
+  cache.LookupRange(1, 33, 39, &serve);
+  EXPECT_TRUE(serve.complete);
+  cache.LookupRange(1, 33, 41, &serve);  // past the proven interval
+  EXPECT_FALSE(serve.complete);
+}
+
+TEST(TupleCacheUnitTest, InvalidateKeyCutsTheChain) {
+  TupleCache cache(1 << 20, 2);
+  std::vector<TupleCache::KeyGroup> groups;
+  groups.push_back({12, {Tuple(100)}});
+  groups.push_back({15, {Tuple(102)}});
+  cache.InsertRange(1, 10, 20, std::move(groups), cache.SpaceEpoch(1));
+
+  cache.InvalidateKey(1, 13);  // a write created a possible result at 13
+
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 10, 20, &serve);
+  EXPECT_FALSE(serve.complete);
+  EXPECT_EQ(serve.tuples.size(), 1u);  // key 12 still serves
+  EXPECT_EQ(serve.next, 13u);          // the executors own [13, 20]
+  // The claims on either side of the cut stayed true.
+  cache.LookupRange(1, 10, 12, &serve);
+  EXPECT_TRUE(serve.complete);
+  cache.LookupRange(1, 14, 20, &serve);
+  EXPECT_TRUE(serve.complete);
+  EXPECT_EQ(serve.tuples.size(), 1u);
+}
+
+TEST(TupleCacheUnitTest, InvalidatePkDropsEveryHoldingEntry) {
+  TupleCache cache(1 << 20, 3);
+  const uint64_t e0 = cache.SpaceEpoch(0), e1 = cache.SpaceEpoch(1),
+                 e2 = cache.SpaceEpoch(2);
+  cache.InsertPoint(100, true, EncodeU64(100), "rec", e0);
+  cache.InsertRange(1, 10, 20, {{12, {Tuple(100), Tuple(101)}}}, e1);
+  cache.InsertRange(2, 50, 60, {{55, {Tuple(100)}}}, e2);
+
+  cache.InvalidatePk(EncodeU64(100));
+
+  bool found = false;
+  std::string value;
+  EXPECT_FALSE(cache.LookupPoint(100, &found, &value));
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 10, 20, &serve);
+  EXPECT_FALSE(serve.complete);  // the entry holding pk 100 is gone
+  cache.LookupRange(2, 50, 60, &serve);
+  EXPECT_FALSE(serve.complete);
+  // Every space's epoch moved: the writer cannot know the old keys.
+  EXPECT_NE(cache.SpaceEpoch(0), e0);
+  EXPECT_NE(cache.SpaceEpoch(1), e1);
+  EXPECT_NE(cache.SpaceEpoch(2), e2);
+}
+
+TEST(TupleCacheUnitTest, EvictionBoundsBytesAndOnlyBreaksChains) {
+  TupleCache cache(600, 2);  // a handful of entries at most
+  for (uint64_t k = 0; k < 40; k++) {
+    cache.InsertRange(1, k * 10, k * 10 + 9, {{k * 10 + 5, {Tuple(k)}}},
+                      cache.SpaceEpoch(1));
+  }
+  const TupleCacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.resident_bytes, 600u);
+  // Whatever survived still serves correct (possibly incomplete) results.
+  uint64_t complete = 0;
+  for (uint64_t k = 0; k < 40; k++) {
+    TupleCache::RangeServe serve;
+    cache.LookupRange(1, k * 10, k * 10 + 9, &serve);
+    if (!serve.complete) continue;
+    complete++;
+    ASSERT_EQ(serve.tuples.size(), 1u);
+    EXPECT_EQ(serve.tuples[0].pk, EncodeU64(k));
+  }
+  EXPECT_GT(complete, 0u);
+  EXPECT_LT(complete, 40u);
+  // Evicted tuples left no dangling reverse-map entries behind.
+  for (uint64_t k = 0; k < 40; k++) cache.InvalidatePk(EncodeU64(k));
+}
+
+TEST(TupleCacheUnitTest, InvertedIntervalInsertIsRejected) {
+  TupleCache cache(1 << 20, 2);
+  cache.InsertRange(1, 20, 10, {}, cache.SpaceEpoch(1));
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 10, 10, &serve);
+  EXPECT_FALSE(serve.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset integration: cache-on vs cache-off parity
+// ---------------------------------------------------------------------------
+
+EnvOptions TestEnv(FaultInjector* fault = nullptr) {
+  EnvOptions o;
+  o.page_size = 1024;
+  o.cache_pages = 1 << 14;
+  o.disk_profile = DiskProfile::Null();
+  o.fault_injector = fault;
+  return o;
+}
+
+DatasetOptions Opts(MaintenanceStrategy s, size_t tuple_cache_bytes,
+                    FaultInjector* fault = nullptr) {
+  DatasetOptions o;
+  o.strategy = s;
+  o.mem_budget_bytes = 48 << 10;
+  o.max_mergeable_bytes = 1 << 20;
+  if (s == MaintenanceStrategy::kValidation) o.merge_repair = true;
+  o.tuple_cache_bytes = tuple_cache_bytes;
+  o.fault_injector = fault;
+  return o;
+}
+
+TweetRecord MakeTweet(uint64_t id, uint64_t user, uint64_t time) {
+  TweetRecord r;
+  r.id = id;
+  r.user_id = user;
+  r.location = "CA";
+  r.creation_time = time;
+  r.message = std::string(30 + id % 20, 'm');
+  return r;
+}
+
+/// Flattened result rows of one drained cursor, order included.
+struct Rows {
+  std::vector<uint64_t> ids, users, times;
+  bool operator==(const Rows&) const = default;
+};
+
+Rows DrainQuery(Dataset* ds, const ReadQuery& q, CursorStats* stats = nullptr) {
+  Rows rows;
+  auto cursor_or = ds->NewCursor(q);
+  EXPECT_TRUE(cursor_or.ok()) << cursor_or.status().ToString();
+  if (!cursor_or.ok()) return rows;
+  auto cursor = std::move(cursor_or).value();
+  QueryPage page;
+  while (!cursor->done()) {
+    EXPECT_TRUE(cursor->Next(&page).ok());
+    for (const auto& r : page.records) {
+      rows.ids.push_back(r.id);
+      rows.users.push_back(r.user_id);
+      rows.times.push_back(r.creation_time);
+    }
+  }
+  if (stats != nullptr) *stats = cursor->stats();
+  return rows;
+}
+
+class TupleCacheParityTest
+    : public ::testing::TestWithParam<MaintenanceStrategy> {
+ protected:
+  static constexpr uint64_t kKeys = 400;
+  static constexpr uint64_t kUsers = 50;
+
+  void SetUp() override {
+    env_off_ = std::make_unique<Env>(TestEnv());
+    env_on_ = std::make_unique<Env>(TestEnv());
+    off_ = std::make_unique<Dataset>(env_off_.get(),
+                                     Opts(GetParam(), 0));
+    on_ = std::make_unique<Dataset>(env_on_.get(),
+                                    Opts(GetParam(), 4u << 20));
+  }
+
+  void UpsertBoth(const TweetRecord& r) {
+    ASSERT_TRUE(off_->Upsert(r).ok());
+    ASSERT_TRUE(on_->Upsert(r).ok());
+  }
+  void DeleteBoth(uint64_t id) {
+    ASSERT_TRUE(off_->Delete(id).ok());
+    ASSERT_TRUE(on_->Delete(id).ok());
+  }
+  void FlushBoth() {
+    ASSERT_TRUE(off_->FlushAll().ok());
+    ASSERT_TRUE(on_->FlushAll().ok());
+  }
+
+  void Load() {
+    Random rng(42);
+    for (uint64_t id = 1; id <= kKeys; id++) {
+      UpsertBoth(MakeTweet(id, rng.Uniform(kUsers), ++time_));
+    }
+    for (int i = 0; i < 120; i++) {  // obsolete versions for validation
+      const uint64_t id = 1 + rng.Uniform(kKeys);
+      UpsertBoth(MakeTweet(id, rng.Uniform(kUsers), ++time_));
+    }
+    FlushBoth();
+  }
+
+  /// Runs the full query battery on both datasets and compares every result
+  /// (rows and order).
+  void CompareAll(const std::string& phase) {
+    SCOPED_TRACE(phase + " strategy=" + StrategyName(GetParam()));
+    SecondaryQueryOptions naive;
+    naive.lookup = SecondaryQueryOptions::LookupAlgo::kNaive;
+    ReadOptions naive_ro;
+    naive_ro.secondary = naive;
+    SecondaryQueryOptions sorted;
+    sorted.sort_results_by_pk = true;
+    ReadOptions sorted_ro;
+    sorted_ro.secondary = sorted;
+
+    for (const auto& [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 9}, {5, 24}, {10, 10}, {40, 49}, {60, 80} /* empty */}) {
+      const auto q_naive =
+          Query().Secondary("user_id").Range(lo, hi).Options(naive_ro);
+      const auto q_sorted =
+          Query().Secondary("user_id").Range(lo, hi).Options(sorted_ro);
+      const auto q_scan = Query().Range(lo, hi).PageSize(64);
+      EXPECT_EQ(DrainQuery(off_.get(), q_naive), DrainQuery(on_.get(), q_naive));
+      EXPECT_EQ(DrainQuery(off_.get(), q_sorted),
+                DrainQuery(on_.get(), q_sorted));
+      EXPECT_EQ(DrainQuery(off_.get(), q_scan), DrainQuery(on_.get(), q_scan));
+    }
+    for (uint64_t id = 0; id <= kKeys + 10; id += 13) {
+      const auto q = Query().Primary(id);
+      EXPECT_EQ(DrainQuery(off_.get(), q), DrainQuery(on_.get(), q))
+          << "id " << id;
+    }
+  }
+
+  uint64_t time_ = 0;
+  std::unique_ptr<Env> env_off_, env_on_;
+  std::unique_ptr<Dataset> off_, on_;
+};
+
+TEST_P(TupleCacheParityTest, RepeatedAndOverlappingQueriesMatchLegacy) {
+  Load();
+  CompareAll("cold");
+  CompareAll("warm");  // second pass serves from the cache on `on_`
+  const TupleCacheStats s = on_->tuple_cache_stats();
+  EXPECT_GT(s.hits, 0u) << "warm pass never hit the cache";
+  EXPECT_GT(s.chain_served, 0u);
+
+  // Writes invalidate precisely: move records across ranges, delete some,
+  // insert a fresh one, then re-compare cold and warm again.
+  Random rng(99);
+  for (int i = 0; i < 60; i++) {
+    UpsertBoth(MakeTweet(1 + rng.Uniform(kKeys), rng.Uniform(kUsers), ++time_));
+  }
+  for (uint64_t id = 3; id <= 100; id += 17) DeleteBoth(id);
+  {
+    bool a = false, b = false;
+    const TweetRecord fresh = MakeTweet(kKeys + 5, 7, ++time_);
+    ASSERT_TRUE(off_->Insert(fresh, &a).ok());
+    ASSERT_TRUE(on_->Insert(fresh, &b).ok());
+    ASSERT_EQ(a, b);
+  }
+  CompareAll("after-writes");
+  FlushBoth();  // component turnover fires the install hook
+  CompareAll("after-flush");
+  CompareAll("after-flush-warm");
+}
+
+TEST_P(TupleCacheParityTest, IneligibleShapesBypassTheCache) {
+  Load();
+  CompareAll("warmup");  // populate what is populatable
+  ReadOptions sorted_ro;
+  sorted_ro.secondary.sort_results_by_pk = true;
+  const ReadQuery shapes[] = {
+      Query().Secondary("user_id").Range(0, 20).Limit(5).Options(sorted_ro),
+      Query().Secondary("user_id").Range(0, 20).CountOnly().Options(sorted_ro),
+      Query().Secondary("user_id").Range(0, 20).IndexOnly().Options(sorted_ro),
+      Query()
+          .Secondary("user_id")
+          .Range(0, 20)
+          .TimeRange(0, 50)
+          .Options(sorted_ro),
+      Query().Range(0, 20).Limit(5),
+      Query().Range(0, 20).TimeRange(0, 50),
+  };
+  for (const auto& q : shapes) {
+    CursorStats s;
+    DrainQuery(on_.get(), q, &s);
+    EXPECT_EQ(s.tuple_cache_hits + s.tuple_cache_misses, 0u)
+        << "an ineligible shape consulted the cache";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, TupleCacheParityTest,
+    ::testing::Values(MaintenanceStrategy::kEager,
+                      MaintenanceStrategy::kValidation,
+                      MaintenanceStrategy::kMutableBitmap,
+                      MaintenanceStrategy::kDeletedKeyBtree),
+    [](const ::testing::TestParamInfo<MaintenanceStrategy>& info) {
+      std::string name = StrategyName(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Failpoint degradation
+// ---------------------------------------------------------------------------
+
+TEST(TupleCacheFaultTest, FiredInsertFaultDegradesToPlainMisses) {
+  FaultInjector fault(11);
+  Env env(TestEnv(&fault));
+  Dataset ds(&env, Opts(MaintenanceStrategy::kValidation, 4u << 20, &fault));
+  uint64_t time = 0;
+  for (uint64_t id = 1; id <= 100; id++) {
+    ASSERT_TRUE(ds.Upsert(MakeTweet(id, id % 10, ++time)).ok());
+  }
+  ASSERT_TRUE(ds.FlushAll().ok());
+
+  fault.Arm(failpoints::kCacheTupleInsert,
+            FaultSpec::Error(Status::IOError("cache insert dropped"), 1.0));
+  ReadOptions ro;
+  ro.secondary.sort_results_by_pk = true;
+  const auto q = Query().Secondary("user_id").Range(2, 4).Options(ro);
+  const Rows first = DrainQuery(&ds, q);
+  EXPECT_FALSE(first.ids.empty());
+  CursorStats s;
+  const Rows second = DrainQuery(&ds, q, &s);
+  EXPECT_EQ(first, second);  // correct, just never admitted
+  EXPECT_EQ(s.tuple_cache_hits, 0u);
+  EXPECT_EQ(s.tuple_cache_misses, 1u);
+  EXPECT_EQ(ds.tuple_cache_stats().inserts, 0u);
+  EXPECT_GT(fault.site_stats(failpoints::kCacheTupleInsert).fires, 0u);
+}
+
+TEST(TupleCacheFaultTest, FiredInvalidateFaultNeverServesStale) {
+  FaultInjector fault(12);
+  Env env(TestEnv(&fault));
+  Dataset ds(&env, Opts(MaintenanceStrategy::kEager, 4u << 20, &fault));
+  uint64_t time = 0;
+  for (uint64_t id = 1; id <= 100; id++) {
+    ASSERT_TRUE(ds.Upsert(MakeTweet(id, id % 10, ++time)).ok());
+  }
+  ASSERT_TRUE(ds.FlushAll().ok());
+
+  ReadOptions ro;
+  ro.secondary.sort_results_by_pk = true;
+  const auto q = Query().Secondary("user_id").Range(3, 3).Options(ro);
+  const Rows warm = DrainQuery(&ds, q);  // twice: resident afterwards
+  ASSERT_EQ(warm, DrainQuery(&ds, q));
+  ASSERT_FALSE(warm.ids.empty());
+
+  // A degraded (fired) precise invalidation must fall back to dropping
+  // everything — the moved record may never appear in its old range.
+  fault.Arm(failpoints::kCacheTupleInvalidate,
+            FaultSpec::Error(Status::IOError("cut lost"), 1.0));
+  const uint64_t moved = warm.ids.front();
+  ASSERT_TRUE(ds.Upsert(MakeTweet(moved, 9, ++time)).ok());
+  fault.DisarmAll();
+
+  const Rows after = DrainQuery(&ds, q);
+  for (uint64_t id : after.ids) EXPECT_NE(id, moved);
+  Rows point = DrainQuery(&ds, Query().Primary(moved));
+  ASSERT_EQ(point.users.size(), 1u);
+  EXPECT_EQ(point.users[0], 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (TSan target)
+// ---------------------------------------------------------------------------
+
+// Writers own disjoint key strides and publish strictly increasing
+// creation_times; point readers assert per-key monotonicity (a stale cache
+// serve would step a key's observed version backwards), range readers assert
+// well-formed pk-sorted pages — all while small memory budgets force flush
+// and merge turnover (install-hook epoch fences) underneath.
+TEST(TupleCacheStressTest, HotReadsStayFreshUnderConcurrentWrites) {
+  for (MaintenanceStrategy strategy :
+       {MaintenanceStrategy::kEager, MaintenanceStrategy::kValidation,
+        MaintenanceStrategy::kMutableBitmap,
+        MaintenanceStrategy::kDeletedKeyBtree}) {
+    SCOPED_TRACE(StrategyName(strategy));
+    constexpr uint64_t kStressKeys = 256;
+    constexpr int kWriters = 3;
+    Env env(TestEnv());
+    DatasetOptions o = Opts(strategy, 2u << 20);
+    o.mem_budget_bytes = 32 << 10;  // frequent turnover
+    o.writer_threads = kWriters;
+    Dataset ds(&env, o);
+
+    std::atomic<uint64_t> clock{0};
+    for (uint64_t id = 1; id <= kStressKeys; id++) {
+      ASSERT_TRUE(ds.Upsert(MakeTweet(id, id % 16, ++clock)).ok());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; w++) {
+      threads.emplace_back([&, w]() {
+        Random rng(100 + w);
+        for (int i = 0; i < 1500 && !failed.load(); i++) {
+          // Stride-disjoint ownership keeps per-key times monotonic.
+          const uint64_t id = 1 + w + kWriters * rng.Uniform(kStressKeys / kWriters);
+          if (!ds.Upsert(MakeTweet(id, rng.Uniform(16), ++clock)).ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (int r = 0; r < 2; r++) {
+      threads.emplace_back([&, r]() {
+        Random rng(200 + r);
+        std::map<uint64_t, uint64_t> last_seen;
+        TweetRecord got;
+        while (!stop.load() && !failed.load()) {
+          const uint64_t id = 1 + rng.Uniform(kStressKeys);
+          if (!ds.GetById(id, &got).ok()) continue;
+          auto [it, fresh] = last_seen.try_emplace(id, got.creation_time);
+          if (!fresh) {
+            if (got.creation_time < it->second) {
+              ADD_FAILURE() << "stale read: key " << id << " went from "
+                            << it->second << " back to " << got.creation_time;
+              failed.store(true);
+            }
+            it->second = std::max(it->second, got.creation_time);
+          }
+        }
+      });
+    }
+    threads.emplace_back([&]() {
+      Random rng(300);
+      ReadOptions ro;
+      ro.secondary.sort_results_by_pk = true;
+      while (!stop.load() && !failed.load()) {
+        const uint64_t lo = rng.Uniform(12);
+        auto cursor_or = ds.NewCursor(
+            Query().Secondary("user_id").Range(lo, lo + 3).Options(ro));
+        if (!cursor_or.ok()) continue;
+        auto cursor = std::move(cursor_or).value();
+        QueryPage page;
+        uint64_t prev = 0;
+        while (!cursor->done()) {
+          if (!cursor->Next(&page).ok()) break;
+          for (const auto& rec : page.records) {
+            if (prev != 0 && rec.id <= prev) {
+              ADD_FAILURE() << "range rows out of order or duplicated";
+              failed.store(true);
+            }
+            prev = rec.id;
+          }
+        }
+      }
+    });
+    for (int w = 0; w < kWriters; w++) threads[w].join();
+    stop.store(true);
+    for (size_t t = kWriters; t < threads.size(); t++) threads[t].join();
+    ASSERT_FALSE(failed.load());
+    ASSERT_TRUE(ds.FlushAll().ok());
+
+    // The cache genuinely participated.
+    const TupleCacheStats s = ds.tuple_cache_stats();
+    EXPECT_GT(s.hits + s.misses, 0u);
+    EXPECT_GT(s.invalidations + s.stale_drops, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace auxlsm
