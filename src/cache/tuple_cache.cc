@@ -119,17 +119,25 @@ void TupleCache::CutAt(uint32_t space, uint64_t key) {
     EraseEntry(space, it++);
     counters_.invalidations++;
   }
-  // Cut neighbor claims spanning the written key: the gap they proved empty
-  // now potentially holds a result.
-  if (it != sp.end() && it->second.gap_lo <= key && key < UINT64_MAX) {
-    it->second.gap_lo = key + 1;
-    counters_.invalidations++;
+  // Cut every claim spanning the written key: the gap it proved empty now
+  // potentially holds a result. InsertRange keeps claims from containing
+  // another entry's key, so only the immediate neighbors can span `key` and
+  // each walk takes at most one step — but walking (instead of a single
+  // neighbor cut) also repairs any wider overlap defensively rather than
+  // leaving a stale claim resident.
+  if (key < UINT64_MAX) {
+    for (auto rt = it; rt != sp.end() && rt->second.gap_lo <= key; ++rt) {
+      rt->second.gap_lo = key + 1;
+      counters_.invalidations++;
+    }
   }
-  if (it != sp.begin() && key > 0) {
-    auto pv = std::prev(it);
-    if (pv->second.gap_hi >= key) {
+  if (key > 0) {
+    for (auto lt = it; lt != sp.begin();) {
+      auto pv = std::prev(lt);
+      if (pv->second.gap_hi < key) break;
       pv->second.gap_hi = key - 1;
       counters_.invalidations++;
+      lt = pv;
     }
   }
 }
@@ -233,7 +241,9 @@ void TupleCache::LookupRange(uint32_t space, uint64_t lo, uint64_t hi,
     if (e.gap_lo > need) break;  // unproven hole [need, gap_lo): chain ends
     if (it->first > hi) {
       // The entry lies past the range but its left claim [gap_lo, key)
-      // covers the tail [need, hi].
+      // covers the tail [need, hi]. Touch it: the serve depends on this
+      // entry staying resident just as much as on the served ones.
+      Touch(space, it);
       complete = true;
       break;
     }
@@ -283,19 +293,26 @@ void TupleCache::InsertRange(uint32_t space, uint64_t lo, uint64_t hi,
       }
     }
   }
-  // Clamp external neighbor claims that would contradict fresh result keys.
-  if (!groups.empty()) {
+  // Clamp external neighbor claims so no resident claim contains a key this
+  // insert creates (the empty-groups case creates the anchor at lo). This
+  // maintains the global invariant that no entry's claim contains another
+  // entry's key — which is what makes CutAt's neighbor cuts exhaustive: a
+  // claim spanning a written key from two entries away would survive the
+  // cut and keep falsely proving the written position empty.
+  const uint64_t first_key = groups.empty() ? lo : groups.front().key;
+  const uint64_t last_key = groups.empty() ? lo : groups.back().key;
+  {
     auto at = sp.lower_bound(lo);
-    if (at != sp.begin() && groups.front().key > 0) {
+    if (at != sp.begin() && first_key > 0) {
       auto pv = std::prev(at);
-      if (pv->second.gap_hi >= groups.front().key) {
-        pv->second.gap_hi = groups.front().key - 1;
+      if (pv->second.gap_hi >= first_key) {
+        pv->second.gap_hi = first_key - 1;
       }
     }
     auto above = sp.upper_bound(hi);
-    if (above != sp.end() && groups.back().key < UINT64_MAX &&
-        above->second.gap_lo <= groups.back().key) {
-      above->second.gap_lo = groups.back().key + 1;
+    if (above != sp.end() && last_key < UINT64_MAX &&
+        above->second.gap_lo <= last_key) {
+      above->second.gap_lo = last_key + 1;
     }
   }
 

@@ -33,7 +33,13 @@
 // prefix and the caller falls through to the real executors for the
 // remainder. Claims are only ever cut (never widened) by invalidation, so
 // every claim stays true independently of its neighbors — eviction of one
-// entry breaks the chain but falsifies nothing.
+// entry breaks the chain but falsifies nothing. Insertion additionally
+// maintains the invariant that no entry's claim contains another entry's
+// *key* (adjacent claims may still share the open gap between their keys):
+// InsertRange clamps the external neighbors of the keys it creates,
+// including the tuple-less anchor of an empty result. The invariant is what
+// makes precise invalidation exhaustive — a written key can only be spanned
+// by the claims of its immediate neighbors, which CutAt cuts.
 //
 // Invalidation (precise, write-path):
 //   - InvalidateKey(space, k): the result set at key k changed (a new
@@ -66,8 +72,11 @@
 // install, merge install) preserves logical content, so installed entries
 // stay valid; the dataset still bumps every epoch on install (LsmTree
 // install hook) so no in-flight insert can straddle a structural change.
-// Transaction aborts re-run invalidation after their undo closures restore
-// old values.
+// Transaction aborts restore old values whose cache positions (the record's
+// *old* secondary keys) are unknown in general, so no precise re-cut is
+// possible: rollback runs its undo closures inside the same BeginWrite /
+// EndWrite fence as the forward path and then drops the whole cache
+// (Clear bumps every epoch), degrading to misses, never a stale serve.
 //
 // Capacity is bounded by bytes with global LRU eviction across spaces.
 // Fault injection: failpoints::kCacheTupleInsert drops the insert (a later

@@ -339,13 +339,22 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   const Timestamp ts = clock_.Tick();
   bool update_bit = false;
 
-  // Tuple-cache write-through: cut entries the op could stale-serve *after*
-  // the memtable effects are visible (below). An abort restores old values
-  // after that cut ran, so register a re-cut FIRST — undo closures run in
-  // reverse order, making it the last thing a rollback does.
+  // Tuple-cache rollback handling. An abort restores old values whose cache
+  // positions — the record's *old* secondary keys — are unknown here in
+  // general (lazy strategies never read the old record), and a proven-empty
+  // claim a concurrent reader cached over such a position between the
+  // forward write and the rollback would survive any pk-precise re-cut. So
+  // rollback degrades to dropping the whole cache, and its memtable restores
+  // run inside the same write fence as the forward path: BeginWrite before
+  // the first undo closure, Clear (which bumps every epoch) + EndWrite after
+  // the last. Installing per op is idempotent.
   if (tuple_cache_ && undo_txn != nullptr) {
-    undo_txn->PushUndo(
-        [this, record, op]() { InvalidateTupleCache(record, op); });
+    TupleCache* cache = tuple_cache_.get();
+    undo_txn->SetRollbackFence([cache]() { cache->BeginWrite(); },
+                               [cache]() {
+                                 cache->Clear();
+                                 cache->EndWrite();
+                               });
   }
 
   // Write fence: in flight from before the first memtable effect until

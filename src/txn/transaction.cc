@@ -19,6 +19,19 @@ void Transaction::NoteClosed() {
   }
 }
 
+void Transaction::Rollback() {
+  // Inverse operations in reverse order (§2.2), bracketed by the rollback
+  // fence when one is installed: the restores are memtable effects visible
+  // to readers before any cache invalidation runs, so they need the same
+  // write fencing as the forward path.
+  if (rollback_begin_) rollback_begin_();
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    (*it)();
+  }
+  undo_.clear();
+  if (rollback_end_) rollback_end_();
+}
+
 Status Transaction::Commit() {
   if (state_ != State::kActive) {
     return Status::InvalidArgument("transaction not active");
@@ -34,10 +47,7 @@ Status Transaction::Commit() {
     // transaction can never be durable, so roll its effects back and fail
     // the commit — leaving the effects in place would let a later flush
     // persist work the recovered log knows nothing about.
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-      (*it)();
-    }
-    undo_.clear();
+    Rollback();
     state_ = State::kAborted;
     NoteClosed();
     ReleaseLocks();
@@ -54,11 +64,7 @@ Status Transaction::Abort() {
   if (state_ != State::kActive) {
     return Status::InvalidArgument("transaction not active");
   }
-  // Inverse operations in reverse order (§2.2).
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-    (*it)();
-  }
-  undo_.clear();
+  Rollback();
   LogRecord abort;
   abort.type = LogRecordType::kAbort;
   Log(std::move(abort));

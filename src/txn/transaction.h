@@ -43,12 +43,25 @@ class Transaction {
     undo_.push_back(std::move(inverse));
   }
 
+  /// Installs a fence around rollback: `begin` runs before the first undo
+  /// closure and `end` after the last, on every rollback path (Abort and the
+  /// commit-record-drop rollback in Commit). The dataset uses this to keep
+  /// the undo closures' memtable restores inside the tuple cache's write
+  /// fence — the restores are memtable effects visible before any cache cut,
+  /// exactly like the forward path's. Idempotent to reinstall per operation.
+  void SetRollbackFence(std::function<void()> begin,
+                        std::function<void()> end) {
+    rollback_begin_ = std::move(begin);
+    rollback_end_ = std::move(end);
+  }
+
   Status Commit();
   Status Abort();
 
  private:
   void ReleaseLocks() { locks_->UnlockAll(id_); }
   void NoteClosed();
+  void Rollback();
 
   const TxnId id_;
   LockManager* const locks_;
@@ -56,6 +69,7 @@ class Transaction {
   TransactionManager* const mgr_;
   State state_ = State::kActive;
   std::vector<std::function<void()>> undo_;
+  std::function<void()> rollback_begin_, rollback_end_;
 };
 
 class TransactionManager {

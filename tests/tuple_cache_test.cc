@@ -175,6 +175,46 @@ TEST(TupleCacheUnitTest, EvictionBoundsBytesAndOnlyBreaksChains) {
   for (uint64_t k = 0; k < 40; k++) cache.InvalidatePk(EncodeU64(k));
 }
 
+TEST(TupleCacheUnitTest, OverlappingEmptyClaimsNeverGoStale) {
+  TupleCache cache(1 << 20, 2);
+  // Entry 10 claims (10, 40] empty.
+  cache.InsertRange(1, 10, 40, {{10, {Tuple(1)}}}, cache.SpaceEpoch(1));
+  // An empty result over [20, 60] anchors at 20. Its claim overlaps entry
+  // 10's; insertion must clamp entry 10 so no two claims span a later
+  // written key non-adjacently.
+  cache.InsertRange(1, 20, 60, {}, cache.SpaceEpoch(1));
+  // A write lands at 30 — inside both former claims. Cutting only the
+  // anchor would leave entry 10 falsely proving (10, 40] empty.
+  cache.InvalidateKey(1, 30);
+
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 15, 35, &serve);
+  EXPECT_FALSE(serve.complete);  // 30 may now hold a result
+  EXPECT_LE(serve.next, 30u);    // the executors must own the written key
+  cache.LookupRange(1, 25, 35, &serve);
+  EXPECT_FALSE(serve.complete);
+  EXPECT_LE(serve.next, 30u);
+}
+
+TEST(TupleCacheUnitTest, EmptyAnchorClampsTheRightNeighborClaim) {
+  TupleCache cache(1 << 20, 2);
+  // Entry 50 claims [15, 50) empty from the left.
+  cache.InsertRange(1, 15, 90, {{50, {Tuple(1)}}}, cache.SpaceEpoch(1));
+  // An empty anchor at 20 lands inside that claim; insertion must clamp
+  // entry 50's gap_lo past the anchor key, or a later cut below the anchor
+  // could stop at the anchor and leave entry 50 claiming the written key.
+  cache.InsertRange(1, 20, 22, {}, cache.SpaceEpoch(1));
+  cache.InvalidateKey(1, 17);
+
+  TupleCache::RangeServe serve;
+  cache.LookupRange(1, 16, 18, &serve);
+  EXPECT_FALSE(serve.complete);
+  // The surviving claims stayed true: [20, 22] is still proven empty.
+  cache.LookupRange(1, 20, 22, &serve);
+  EXPECT_TRUE(serve.complete);
+  EXPECT_TRUE(serve.tuples.empty());
+}
+
 TEST(TupleCacheUnitTest, InvertedIntervalInsertIsRejected) {
   TupleCache cache(1 << 20, 2);
   cache.InsertRange(1, 20, 10, {}, cache.SpaceEpoch(1));
@@ -448,6 +488,46 @@ TEST(TupleCacheFaultTest, FiredInvalidateFaultNeverServesStale) {
   Rows point = DrainQuery(&ds, Query().Primary(moved));
   ASSERT_EQ(point.users.size(), 1u);
   EXPECT_EQ(point.users[0], 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction aborts
+// ---------------------------------------------------------------------------
+
+// An abort restores the old record, whose *old* secondary position a
+// concurrent reader may have cached as proven-empty between the forward
+// write and the rollback (it truly was empty at that moment). No pk-precise
+// cut can find that claim — it holds no tuple for the pk — so rollback must
+// drop the cache wholesale, inside the write fence.
+TEST(TupleCacheAbortTest, AbortNeverLeavesOldPositionProvenEmpty) {
+  for (MaintenanceStrategy strategy :
+       {MaintenanceStrategy::kEager, MaintenanceStrategy::kValidation,
+        MaintenanceStrategy::kMutableBitmap,
+        MaintenanceStrategy::kDeletedKeyBtree}) {
+    SCOPED_TRACE(StrategyName(strategy));
+    Env env(TestEnv());
+    Dataset ds(&env, Opts(strategy, 4u << 20));
+    uint64_t time = 0;
+    ASSERT_TRUE(ds.Upsert(MakeTweet(1, /*user=*/5, ++time)).ok());
+
+    ReadOptions ro;
+    ro.secondary.sort_results_by_pk = true;
+    const auto q5 = Query().Secondary("user_id").Range(5, 5).Options(ro);
+
+    auto txn = ds.Begin();
+    // The forward write moves pk 1 from user 5 to user 9.
+    ASSERT_TRUE(ds.UpsertTxn(MakeTweet(1, /*user=*/9, ++time), txn.get()).ok());
+    // A reader caches "user 5 is empty" while the transaction is open.
+    const Rows mid = DrainQuery(&ds, q5);
+    EXPECT_TRUE(mid.ids.empty());
+    ASSERT_TRUE(txn->Abort().ok());
+
+    // The undo restored pk 1 at user 5; the cached emptiness must be gone.
+    const Rows after = DrainQuery(&ds, q5);
+    ASSERT_EQ(after.ids.size(), 1u);
+    EXPECT_EQ(after.ids[0], 1u);
+    EXPECT_EQ(after.users[0], 5u);
+  }
 }
 
 // ---------------------------------------------------------------------------
