@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/driver.h"
 #include "workload/tweet_gen.h"
 
@@ -121,16 +123,38 @@ inline EnvOptions BenchEnv(size_t cache_mb, bool ssd = false,
 /// Parses the shared bench flags: --tiny shrinks op counts for the CI smoke
 /// job; --queues=N sets the multi-queue sections' device queue count (the
 /// serial baseline sections always run queues=1 regardless, which is what
-/// the smoke job's DIGEST parity check relies on).
+/// the smoke job's DIGEST parity check relies on). --metrics-json=PATH arms
+/// the obs::MetricsRegistry on the instrumented sections and writes a
+/// machine-readable BENCH_<fig>.json snapshot (BenchReport below);
+/// --trace-json=PATH arms the span tracer on the traced section and exports
+/// Chrome trace-event JSON. Both are off by default, and arming them must
+/// not change a single DIGEST line (the armed-but-quiet contract CI checks).
 struct BenchFlags {
   bool tiny = false;
   uint32_t queues = 4;
   /// Run the fault-injection diagnostic sections at full size (they are
   /// always on for --tiny smoke runs).
   bool faults = false;
+  /// Destination for the machine-readable metrics report; empty = disabled.
+  std::string metrics_json;
+  /// Destination for the Chrome trace-event export; empty = disabled.
+  std::string trace_json;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags f;
+    auto value = [&](const std::string& a, const char* name, int* i,
+                     std::string* out) {
+      const std::string eq = std::string(name) + "=";
+      if (a.rfind(eq, 0) == 0) {
+        *out = a.substr(eq.size());
+        return true;
+      }
+      if (a == name && *i + 1 < argc) {
+        *out = argv[++*i];
+        return true;
+      }
+      return false;
+    };
     for (int i = 1; i < argc; i++) {
       const std::string a = argv[i];
       if (a == "--tiny") {
@@ -139,11 +163,89 @@ struct BenchFlags {
         f.faults = true;
       } else if (a.rfind("--queues=", 0) == 0) {
         f.queues = uint32_t(std::max(1, std::atoi(a.c_str() + 9)));
+      } else if (value(a, "--metrics-json", &i, &f.metrics_json) ||
+                 value(a, "--trace-json", &i, &f.trace_json)) {
+        // handled by value()
       }
     }
     return f;
   }
 };
+
+/// Machine-readable bench output (PR 8): per-section modeled rows/costs plus
+/// one obs::MetricsSnapshot, serialized as stable JSON. CI's bench-smoke job
+/// produces one BENCH_<fig>.json per figure and asserts the latency
+/// histogram percentiles are present, so downstream tooling can track the
+/// modeled-performance trajectory across PRs without scraping stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string fig) : fig_(std::move(fig)) {}
+
+  void AddSection(const std::string& name, uint64_t rows, double sim_us,
+                  double crit_us) {
+    sections_.push_back(Section{name, rows, sim_us, crit_us});
+  }
+  void SetSnapshot(obs::MetricsSnapshot snapshot) {
+    snapshot_ = std::move(snapshot);
+    have_snapshot_ = true;
+  }
+
+  /// Writes {"fig":...,"sections":[...],"snapshot":{...}} to `path`.
+  /// Returns false (after perror) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::string out = "{\"fig\":\"" + fig_ + "\",\"sections\":[";
+    char buf[256];
+    for (size_t i = 0; i < sections_.size(); i++) {
+      const Section& s = sections_[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"rows\":%llu,\"sim_us\":%.3f,"
+                    "\"crit_us\":%.3f}",
+                    i == 0 ? "" : ",", s.name.c_str(),
+                    (unsigned long long)s.rows, s.sim_us, s.crit_us);
+      out += buf;
+    }
+    out += "],\"snapshot\":";
+    out += have_snapshot_ ? snapshot_.ToJson() : std::string("{}");
+    out += "}\n";
+    std::FILE* fp = std::fopen(path.c_str(), "w");
+    if (fp == nullptr) {
+      std::perror(("BenchReport: " + path).c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(out.data(), 1, out.size(), fp) == out.size();
+    std::fclose(fp);
+    if (ok) std::printf("metrics-json: wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    uint64_t rows;
+    double sim_us;
+    double crit_us;
+  };
+  std::string fig_;
+  std::vector<Section> sections_;
+  obs::MetricsSnapshot snapshot_;
+  bool have_snapshot_ = false;
+};
+
+/// Writes a drained tracer's events as Chrome trace-event JSON (load in
+/// Perfetto / chrome://tracing). Returns false when the file can't open.
+inline bool WriteChromeTrace(obs::Tracer* tracer, const std::string& path) {
+  if (tracer == nullptr) return false;
+  const std::string json = obs::Tracer::ToChromeJson(tracer->Drain());
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (fp == nullptr) {
+    std::perror(("WriteChromeTrace: " + path).c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), fp) == json.size();
+  std::fclose(fp);
+  if (ok) std::printf("trace-json: wrote %s\n", path.c_str());
+  return ok;
+}
 
 /// Deterministic modeled-I/O digest line for the CI smoke job: covers only
 /// serial-path sections (maintenance_threads=1, writers=1, queues=1), whose

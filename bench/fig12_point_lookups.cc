@@ -15,6 +15,11 @@ namespace {
 uint64_t g_records = 60000;  // --tiny shrinks this
 constexpr uint64_t kUserDomain = 100000;
 
+/// Non-null when --metrics-json armed the registry (see fig13). The DIGEST
+/// lines here are CI parity anchors, so arming must not move them.
+auxlsm::obs::MetricsRegistry* g_metrics = nullptr;
+auxlsm::bench::BenchReport* g_report = nullptr;
+
 struct Fixture {
   std::unique_ptr<Env> env;
   std::unique_ptr<Dataset> ds;
@@ -23,9 +28,12 @@ struct Fixture {
 Fixture BuildDataset(bool sequential_ids, uint32_t io_queues = 1,
                      size_t cache_shards = 1) {
   Fixture f;
-  f.env = std::make_unique<Env>(
-      BenchEnv(/*cache_mb=*/8, /*ssd=*/false, cache_shards, io_queues));
+  EnvOptions eo =
+      BenchEnv(/*cache_mb=*/8, /*ssd=*/false, cache_shards, io_queues);
+  eo.metrics = g_metrics;
+  f.env = std::make_unique<Env>(eo);
   DatasetOptions o;
+  o.metrics = g_metrics;
   // Paper figures reproduce the serial engine; pin the maintenance path
   // so modeled I/O stays deterministic on multi-core hosts.
   o.maintenance_threads = 1;
@@ -218,6 +226,10 @@ void Fig12Digest(Fixture& f) {
                 (unsigned long long)res.candidates,
                 (unsigned long long)res.validated_out,
                 (unsigned long long)results);
+    if (g_report != nullptr) {
+      g_report->AddSection(p.name, results, io.simulated_us,
+                           sw.CriticalPathSeconds() * 1e6);
+    }
   }
   // Scan wrappers: pin the ScanResult counters too.
   {
@@ -329,6 +341,12 @@ void Fig12fMultiReader(const BenchFlags& flags) {
 int main(int argc, char** argv) {
   using namespace auxlsm::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  auxlsm::obs::MetricsRegistry metrics;
+  BenchReport report("fig12");
+  if (!flags.metrics_json.empty()) {
+    g_metrics = &metrics;
+    g_report = &report;
+  }
   if (flags.tiny) g_records = 12000;
   PrintNote("scaled to " + std::to_string(g_records / 1000) +
             "K records; times = CPU + simulated HDD I/O");
@@ -344,5 +362,9 @@ int main(int argc, char** argv) {
   Fig12dSorting(f);
   Fig12eLimit(f);
   Fig12fMultiReader(flags);
+  if (g_metrics != nullptr) {
+    report.SetSnapshot(g_metrics->Snapshot());
+    if (!report.WriteTo(flags.metrics_json)) return 1;
+  }
   return 0;
 }

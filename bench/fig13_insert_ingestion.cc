@@ -26,6 +26,12 @@ namespace {
 
 uint64_t g_ops = 40000;
 
+/// Non-null when --metrics-json armed the registry: every case attaches it
+/// (EnvOptions::metrics + DatasetOptions::metrics), so the written snapshot
+/// accumulates over the whole bench run. Arming must not move a DIGEST —
+/// CI's metrics-smoke step diffs the DIGEST lines against an unarmed run.
+auxlsm::obs::MetricsRegistry* g_metrics = nullptr;
+
 struct CaseResult {
   double total_s = 0;
   double wall_s = 0;
@@ -37,14 +43,17 @@ CaseResult RunCase(bool ssd, bool pk_index, double dup_ratio, size_t threads,
                    uint32_t queues, bool print = true) {
   // Cache deliberately small relative to the primary index so uniqueness
   // checks against full records miss, while the small pk index stays cached.
-  Env env(BenchEnv(/*cache_mb=*/4, ssd, /*cache_shards=*/threads > 1 ? 8 : 1,
-                   queues));
+  EnvOptions eo = BenchEnv(/*cache_mb=*/4, ssd,
+                           /*cache_shards=*/threads > 1 ? 8 : 1, queues);
+  eo.metrics = g_metrics;
+  Env env(eo);
   DatasetOptions o;
   o.strategy = MaintenanceStrategy::kEager;
   o.enable_primary_key_index = pk_index;
   o.mem_budget_bytes = 1 << 20;
   o.max_mergeable_bytes = 8 << 20;
   o.maintenance_threads = threads;
+  o.metrics = g_metrics;
   Dataset ds(&env, o);
   TweetGenerator gen;
   InsertWorkloadOptions w;
@@ -75,13 +84,16 @@ CaseResult RunCase(bool ssd, bool pk_index, double dup_ratio, size_t threads,
 /// pipeline (Fig 23f) exists to bound. Deterministic (writers=1, mt=1,
 /// queues=1), so the tiny run's DIGEST lines are CI parity anchors.
 LatencyPercentiles RunLatencyCase(bool pk_index, uint64_t ops) {
-  Env env(BenchEnv(/*cache_mb=*/4));
+  EnvOptions eo = BenchEnv(/*cache_mb=*/4);
+  eo.metrics = g_metrics;
+  Env env(eo);
   DatasetOptions o;
   o.strategy = MaintenanceStrategy::kEager;
   o.enable_primary_key_index = pk_index;
   o.mem_budget_bytes = 1 << 20;
   o.max_mergeable_bytes = 8 << 20;
   o.maintenance_threads = 1;
+  o.metrics = g_metrics;
   Dataset ds(&env, o);
   TweetGenerator gen;
   std::vector<double> lat;
@@ -124,12 +136,15 @@ void RunFaultCase(double rate, uint64_t ops) {
   }
   TweetGenerator gen;
   uint64_t surfaced = 0;
+  const MaintenanceStats ms0 = ds.maintenance_stats();
   Stopwatch sw(&env, ds.wal());
   for (uint64_t i = 0; i < ops; i++) {
     if (!ds.Insert(gen.Next()).ok()) surfaced++;
   }
   const double total_s = sw.Seconds();
-  const MaintenanceStats& ms = ds.maintenance_stats();
+  // Interval delta via MaintenanceStats::operator- — only retries charged to
+  // the measured loop, not to dataset construction.
+  const MaintenanceStats ms = ds.maintenance_stats() - ms0;
   char extra[160];
   std::snprintf(extra, sizeof(extra),
                 "fires=%llu retries=%llu ok_retries=%llu abandoned=%llu "
@@ -154,6 +169,9 @@ int main(int argc, char** argv) {
   using namespace auxlsm::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
   if (flags.tiny) g_ops = 4000;
+  auxlsm::obs::MetricsRegistry metrics;
+  if (!flags.metrics_json.empty()) g_metrics = &metrics;
+  BenchReport report("fig13");
 
   PrintHeader("Fig13", "insert ingestion: primary key index & duplicates");
   PrintNote("40K inserts; uniqueness check via pk index vs primary index");
@@ -161,9 +179,12 @@ int main(int argc, char** argv) {
     for (double dup : {0.0, 0.5}) {
       const CaseResult a = RunCase(ssd, /*pk_index=*/true, dup, 1, 1);
       const CaseResult b = RunCase(ssd, /*pk_index=*/false, dup, 1, 1);
+      const std::string x = std::string(ssd ? "ssd" : "hdd") + "-" +
+                            std::to_string(int(dup * 100)) + "dup";
+      report.AddSection("fig13-pk-" + x, g_ops, a.sim_s * 1e6, a.crit_s * 1e6);
+      report.AddSection("fig13-nopk-" + x, g_ops, b.sim_s * 1e6,
+                        b.crit_s * 1e6);
       if (flags.tiny) {
-        const std::string x = std::string(ssd ? "ssd" : "hdd") + "-" +
-                              std::to_string(int(dup * 100)) + "dup";
         PrintDigest("fig13-pk-" + x, a.sim_s * 1e6, a.crit_s * 1e6);
         PrintDigest("fig13-nopk-" + x, b.sim_s * 1e6, b.crit_s * 1e6);
       }
@@ -241,6 +262,14 @@ int main(int argc, char** argv) {
     for (double rate : rates) {
       RunFaultCase(rate, g_ops);
     }
+  }
+
+  // Machine-readable report: per-section modeled costs plus the registry
+  // snapshot (ingest.op_modeled_ns / op_wall_ns histograms, io.* request
+  // counters) accumulated across every case above.
+  if (g_metrics != nullptr) {
+    report.SetSnapshot(g_metrics->Snapshot());
+    if (!report.WriteTo(flags.metrics_json)) return 1;
   }
   return 0;
 }

@@ -21,6 +21,11 @@ uint64_t g_point_queries = 4000;
 uint64_t g_range_queries = 200;
 constexpr uint64_t kRangeWidth = kUserDomain / 250;  // 400 user ids
 
+/// Non-null when --metrics-json armed the registry (see fig13). The DIGEST
+/// lines here are CI parity anchors, so arming must not move them.
+auxlsm::obs::MetricsRegistry* g_metrics = nullptr;
+auxlsm::bench::BenchReport* g_report = nullptr;
+
 struct Fixture {
   std::unique_ptr<Env> env;
   std::unique_ptr<Dataset> ds;
@@ -35,8 +40,11 @@ Fixture Build(MaintenanceStrategy strategy, size_t tuple_cache_bytes) {
   // page footprint: a hot *page* set that fits would serve cache-off repeats
   // for free and hide the tuple cache's modeled-I/O win (the paper's cache:
   // data ratios make the same choice).
-  f.env = std::make_unique<Env>(BenchEnv(/*cache_mb=*/1));
+  EnvOptions eo = BenchEnv(/*cache_mb=*/1);
+  eo.metrics = g_metrics;
+  f.env = std::make_unique<Env>(eo);
   DatasetOptions o;
+  o.metrics = g_metrics;
   o.strategy = strategy;
   o.maintenance_threads = 1;  // serial engine: deterministic modeled I/O
   o.mem_budget_bytes = 1 << 20;
@@ -172,18 +180,37 @@ void RunStrategy(MaintenanceStrategy strategy) {
   Fixture on = Build(strategy, kTupleCacheBytes);
   const SectionResult on_zipf = RunPointSection(on, zipf);
   const SectionResult on_hot = RunPointSection(on, hotset);
+  // Per-section cache activity via TupleCacheStats::operator- — the range
+  // section's inserts/evictions, isolated from the point sections before it.
+  const TupleCacheStats pre_range = on.ds->tuple_cache_stats();
   const SectionResult on_range = RunRangeSection(on, 7);
+  const TupleCacheStats range_cs = on.ds->tuple_cache_stats() - pre_range;
   PrintSection("cache-on", "point-zipf", on_zipf);
   PrintSection("cache-on", "point-hotset", on_hot);
   PrintSection("cache-on", "range-paged", on_range);
 
   const TupleCacheStats cs = on.ds->tuple_cache_stats();
   std::printf("cache: inserts=%llu invalidations=%llu evictions=%llu "
-              "resident_mb=%.1f\n",
+              "resident_mb=%.1f (range section: inserts=%llu "
+              "evictions=%llu)\n",
               (unsigned long long)cs.inserts,
               (unsigned long long)cs.invalidations,
               (unsigned long long)cs.evictions,
-              double(cs.resident_bytes) / double(1u << 20));
+              double(cs.resident_bytes) / double(1u << 20),
+              (unsigned long long)range_cs.inserts,
+              (unsigned long long)range_cs.evictions);
+
+  if (g_report != nullptr) {
+    g_report->AddSection(std::string("fig18-off-") + name,
+                         off_zipf.rows + off_hot.rows + off_range.rows,
+                         off_zipf.sim_us + off_hot.sim_us + off_range.sim_us,
+                         off_zipf.crit_us + off_hot.crit_us +
+                             off_range.crit_us);
+    g_report->AddSection(std::string("fig18-on-") + name,
+                         on_zipf.rows + on_hot.rows + on_range.rows,
+                         on_zipf.sim_us + on_hot.sim_us + on_range.sim_us,
+                         on_zipf.crit_us + on_hot.crit_us + on_range.crit_us);
+  }
 
   struct Pair {
     const char* section;
@@ -212,6 +239,12 @@ int main(int argc, char** argv) {
   using namespace auxlsm;
   using namespace auxlsm::bench;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  auxlsm::obs::MetricsRegistry metrics;
+  BenchReport report("fig18");
+  if (!flags.metrics_json.empty()) {
+    g_metrics = &metrics;
+    g_report = &report;
+  }
   if (flags.tiny) {
     g_records = 12000;
     g_point_queries = 1200;
@@ -225,6 +258,10 @@ int main(int argc, char** argv) {
         MaintenanceStrategy::kMutableBitmap,
         MaintenanceStrategy::kDeletedKeyBtree}) {
     RunStrategy(s);
+  }
+  if (g_metrics != nullptr) {
+    report.SetSnapshot(g_metrics->Snapshot());
+    if (!report.WriteTo(flags.metrics_json)) return 1;
   }
   return 0;
 }

@@ -20,6 +20,10 @@ namespace auxlsm {
 namespace bench {
 namespace {
 
+/// Non-null when --metrics-json armed the registry (see fig13): the
+/// multi-writer sections attach it, and arming must not move a DIGEST line.
+auxlsm::obs::MetricsRegistry* g_metrics = nullptr;
+
 struct CaseConfig {
   double update_ratio = 0.5;
   uint64_t records_per_component = 15000;
@@ -105,9 +109,12 @@ struct MultiWriterResult {
 
 MultiWriterResult RunMultiWriterIngest(int writers, BuildCcMethod method,
                                        uint64_t total_records,
-                                       uint32_t queues = 1) {
-  Env env(BenchEnv(/*cache_mb=*/64, /*ssd=*/false,
-                   /*cache_shards=*/writers == 1 ? 1 : 8, queues));
+                                       uint32_t queues = 1,
+                                       const std::string& trace_path = "") {
+  EnvOptions eo = BenchEnv(/*cache_mb=*/64, /*ssd=*/false,
+                           /*cache_shards=*/writers == 1 ? 1 : 8, queues);
+  eo.metrics = g_metrics;
+  Env env(eo);
   DatasetOptions o;
   o.strategy = MaintenanceStrategy::kMutableBitmap;
   o.build_cc = method;
@@ -117,8 +124,19 @@ MultiWriterResult RunMultiWriterIngest(int writers, BuildCcMethod method,
   o.maintenance_threads = writers == 1 ? 1 : 0;
   o.mem_budget_bytes = 2u << 20;
   o.log_queues = queues;
+  o.metrics = g_metrics;
+  // --trace-json: arm the span tracer on this run; spans are drained and
+  // exported as Chrome trace-event JSON after maintenance settles. The
+  // budget is shrunk so even the tiny run exercises several maintenance
+  // cycles — the trace exists to show their shape (this is a dedicated
+  // diagnostic section, not a DIGEST anchor).
+  if (!trace_path.empty()) {
+    o.trace_buffer_bytes = 4u << 20;
+    o.mem_budget_bytes = 256u << 10;
+  }
   Dataset ds(&env, o);
 
+  const WalStats wal0 = ds.wal()->wal_stats();
   Stopwatch sw(&env, ds.wal());
   std::vector<std::thread> threads;
   const uint64_t per_writer = total_records / uint64_t(writers);
@@ -147,10 +165,13 @@ MultiWriterResult RunMultiWriterIngest(int writers, BuildCcMethod method,
   res.wall_s = sw.WallSeconds();
   res.sim_s = sw.IoSeconds();
   res.crit_s = sw.CriticalPathSeconds();
-  const WalStats ws = ds.wal()->wal_stats();
+  // Interval delta via WalStats::operator- — robust even if a future warm-up
+  // phase commits before the measured loop.
+  const WalStats ws = ds.wal()->wal_stats() - wal0;
   res.avg_commit_lat_us =
       ws.commits > 0 ? ws.commit_latency_us_total / double(ws.commits) : 0;
   if (ds.num_records() != per_writer * uint64_t(writers)) std::abort();
+  if (!trace_path.empty()) WriteChromeTrace(ds.tracer(), trace_path);
   return res;
 }
 
@@ -161,8 +182,11 @@ MultiWriterResult RunMultiWriterIngest(int writers, BuildCcMethod method,
 /// maintenance_threads=1, queues=1 — on one queue crit == sim), so the tiny
 /// run's percentile DIGEST lines anchor the CI parity check across --queues.
 LatencyPercentiles RunSerialOverloadModeled(uint64_t records) {
-  Env env(BenchEnv(/*cache_mb=*/16));
+  EnvOptions eo = BenchEnv(/*cache_mb=*/16);
+  eo.metrics = g_metrics;
+  Env env(eo);
   DatasetOptions o;
+  o.metrics = g_metrics;
   o.strategy = MaintenanceStrategy::kMutableBitmap;
   o.maintenance_threads = 1;
   o.mem_budget_bytes = 256 << 10;  // frequent inline flush + merge spikes
@@ -259,6 +283,9 @@ int main(int argc, char** argv) {
   using namespace auxlsm::bench;
   using auxlsm::BuildCcMethod;
   const BenchFlags flags = BenchFlags::Parse(argc, argv);
+  auxlsm::obs::MetricsRegistry metrics;
+  if (!flags.metrics_json.empty()) g_metrics = &metrics;
+  BenchReport report("fig23");
   const BuildCcMethod methods[] = {BuildCcMethod::kNone,
                                    BuildCcMethod::kSideFile,
                                    BuildCcMethod::kLock};
@@ -316,12 +343,26 @@ int main(int argc, char** argv) {
                     "wall_s avg_commit_lat_us=%.1f", r.avg_commit_lat_us);
       PrintRow(MethodName(m), "w=" + std::to_string(writers), r.wall_s,
                extra);
-      if (flags.tiny && writers == 1 && m == BuildCcMethod::kNone) {
+      if (writers == 1 && m == BuildCcMethod::kNone) {
+        report.AddSection("fig23d-serial-w1", scaling_records, r.sim_s * 1e6,
+                          r.crit_s * 1e6);
         // Serial legacy path: modeled I/O is deterministic — the smoke
         // job's parity anchor.
-        PrintDigest("fig23d-serial-w1", r.sim_s * 1e6, r.crit_s * 1e6);
+        if (flags.tiny) {
+          PrintDigest("fig23d-serial-w1", r.sim_s * 1e6, r.crit_s * 1e6);
+        }
       }
     }
+  }
+
+  // --trace-json: one dedicated multi-writer run with the span tracer armed.
+  // The exported Chrome trace shows the full maintenance cycle (seal →
+  // per-tree flush_build(...) → install → merge), WAL group-commit syncs,
+  // and per-queue IoEngine charges, each stamped with wall AND modeled time.
+  if (!flags.trace_json.empty()) {
+    PrintHeader("Fig23-trace", "traced multi-writer run (writers=4, Lock)");
+    RunMultiWriterIngest(/*writers=*/4, BuildCcMethod::kLock, scaling_records,
+                         /*queues=*/1, flags.trace_json);
   }
 
   // Multi-queue device: writers (and the group-commit syncs they lead) are
@@ -383,6 +424,11 @@ int main(int argc, char** argv) {
     PrintDigest("fig23f-serial-lat-p50", p.p50, p.p50);
     PrintDigest("fig23f-serial-lat-p99", p.p99, p.p99);
     PrintDigest("fig23f-serial-lat-max", p.max, p.max);
+  }
+
+  if (g_metrics != nullptr) {
+    report.SetSnapshot(g_metrics->Snapshot());
+    if (!report.WriteTo(flags.metrics_json)) return 1;
   }
   return 0;
 }

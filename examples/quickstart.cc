@@ -1,6 +1,7 @@
 // Quickstart: create a dataset, ingest a few tweets, then read it back
 // through the unified query API — a point read, a secondary-index cursor,
-// a paginated top-k read, and a time-range scan.
+// a paginated top-k read, and a time-range scan — and finish with the
+// one-call observability dump (Dataset::DebugString).
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -105,5 +106,10 @@ int main() {
   std::printf("simulated I/O: %llu pages read (%llu random), %.2f ms\n",
               (unsigned long long)io.pages_read,
               (unsigned long long)io.random_reads, io.simulated_us / 1000.0);
+
+  // Live metrics: every subsystem's counters and backlog gauges in one call
+  // (see README "Observability" for the metric glossary). Always available —
+  // the registry/tracer options only add latency histograms and trace spans.
+  std::printf("\n%s", dataset.DebugString().c_str());
   return 0;
 }

@@ -110,6 +110,21 @@ struct TupleCacheStats {
   uint64_t inserts = 0;         ///< entries admitted
   uint64_t stale_drops = 0;     ///< inserts rejected by the epoch guard
   uint64_t resident_bytes = 0;  ///< current accounted bytes
+
+  /// Interval delta (same ergonomics as IoStats::operator-): counters
+  /// subtract; resident_bytes is a level gauge, so the minuend's current
+  /// value is kept as-is.
+  TupleCacheStats operator-(const TupleCacheStats& o) const {
+    TupleCacheStats d = *this;
+    d.hits -= o.hits;
+    d.chain_served -= o.chain_served;
+    d.misses -= o.misses;
+    d.invalidations -= o.invalidations;
+    d.evictions -= o.evictions;
+    d.inserts -= o.inserts;
+    d.stale_drops -= o.stale_drops;
+    return d;
+  }
 };
 
 /// One cached result tuple: the record's encoded primary key and its

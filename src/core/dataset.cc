@@ -140,6 +140,33 @@ Dataset::Dataset(Env* env, DatasetOptions options)
   if (options_.fault_injector != nullptr) {
     wal_.set_fault_injector(options_.fault_injector);
   }
+  // Observability (PR 8). Storage-engine metrics are wired by the Env itself
+  // (EnvOptions::metrics); the dataset adds its own histograms, the WAL's
+  // commit-latency histogram, and the log device's io.log metrics.
+  if (options_.metrics != nullptr) {
+    hist_ingest_modeled_ = options_.metrics->histogram("ingest.op_modeled_ns");
+    hist_ingest_wall_ = options_.metrics->histogram("ingest.op_wall_ns");
+    hist_cycle_wall_ = options_.metrics->histogram("maintenance.cycle_wall_ns");
+    hist_flush_build_wall_ =
+        options_.metrics->histogram("maintenance.flush_build_wall_ns");
+    hist_merge_job_wall_ =
+        options_.metrics->histogram("maintenance.merge_job_wall_ns");
+    ctr_cursor_open_ = options_.metrics->counter("query.cursors_opened");
+    ctr_cursor_pull_ = options_.metrics->counter("query.pages_pulled");
+    wal_.set_metrics(options_.metrics);
+    wal_.io()->set_metrics(options_.metrics, "io.log");
+  }
+  if (options_.trace_buffer_bytes > 0) {
+    tracer_ = std::make_unique<obs::Tracer>(options_.trace_buffer_bytes);
+    // Modeled stamps come from the recording thread's bound storage queue —
+    // the clock the DIGEST critical path is made of.
+    IoEngine* const storage_io = env_->io();
+    tracer_->set_modeled_clock(
+        [storage_io]() { return storage_io->BoundQueueClock(); });
+    wal_.set_tracer(tracer_.get());
+    wal_.io()->set_tracer(tracer_.get());
+    env_->io()->set_tracer(tracer_.get());  // detached in ~Dataset
+  }
 }
 
 bool Dataset::engine_parallel() const {
@@ -149,6 +176,8 @@ bool Dataset::engine_parallel() const {
 Dataset::~Dataset() {
   // Background maintenance touches the trees and the WAL; join it first.
   WaitForMaintenance();
+  // The tracer dies with the dataset but the Env outlives it: detach.
+  if (tracer_ != nullptr) env_->io()->set_tracer(nullptr);
 }
 
 std::vector<LsmTree*> Dataset::AllTrees() {
@@ -244,6 +273,15 @@ Status Dataset::RunWithRetry(const std::string& what,
     }
     attempt++;
     mstats_.retries_attempted++;
+    if (tracer_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.SetName(("retry:" + what).c_str());
+      ev.cat = "maintenance";
+      ev.instant = true;
+      ev.wall_ts_us = tracer_->WallNowUs();
+      ev.modeled_ts_us = tracer_->ModeledNowUs();
+      tracer_->Record(ev);
+    }
     // Exponential backoff: charged to the modeled clock (so retry storms
     // show up in simulated time) and bounded-slept for real (so the
     // background thread cannot spin a core under a fault storm).
@@ -268,6 +306,7 @@ void Dataset::MarkDegraded(const Status& cause) {
 void Dataset::MarkDegraded() {
   if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
     mstats_.degraded_transitions++;
+    if (tracer_ != nullptr) tracer_->Instant("dataset.degraded", "health");
   }
 }
 
@@ -352,11 +391,14 @@ Status Dataset::MaintainAsync(bool in_explicit_txn) {
 }
 
 Status Dataset::MaintenanceCycle() {
+  obs::TraceSpan cycle_span(tracer_.get(), "maintenance.cycle", "maintenance");
+  const auto cycle_wall0 = std::chrono::steady_clock::now();
   // Phase 1 — seal: a brief exclusive section swaps every tree's memtable;
   // writers resume into fresh ones while the sealed set is built.
   std::vector<std::pair<LsmTree*, std::shared_ptr<Memtable>>> sealed;
   Lsn flush_lsn = kInvalidLsn;
   {
+    obs::TraceSpan seal_span(tracer_.get(), "seal", "maintenance");
     std::unique_lock<RwLatch> latch(ingest_mu_);
     if (MemComponentBytes() < options_.mem_budget_bytes) {
       return Status::OK();  // another path already resolved the overrun
@@ -386,8 +428,14 @@ Status Dataset::MaintenanceCycle() {
   FaultInjector* const fault = options_.fault_injector;
   std::vector<DiskComponentPtr> built(sealed.size());
   auto build_one = [&](size_t i) -> Status {
-    return RunWithRetry(
-        "flush(" + sealed[i].first->options().name + ")", [&, i]() -> Status {
+    const std::string& tree = sealed[i].first->options().name;
+    obs::TraceSpan build_span(tracer_.get(),
+                              ("flush_build(" + tree + ")").c_str(),
+                              "maintenance",
+                              int32_t(env_->io()->BoundQueue()));
+    const auto wall0 = std::chrono::steady_clock::now();
+    const Status s = RunWithRetry(
+        "flush(" + tree + ")", [&, i]() -> Status {
           if (fault != nullptr) {
             AUXLSM_RETURN_NOT_OK(
                 fault->Hit(failpoints::kFlushBuild, env_->io()));
@@ -396,6 +444,13 @@ Status Dataset::MaintenanceCycle() {
               built[i], sealed[i].first->BuildFromSealed(sealed[i].second));
           return Status::OK();
         });
+    if (hist_flush_build_wall_ != nullptr) {
+      hist_flush_build_wall_->Record(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall0)
+              .count()));
+    }
+    return s;
   };
   if (engine_parallel()) {
     std::vector<std::function<Status()>> tasks;
@@ -419,6 +474,7 @@ Status Dataset::MaintenanceCycle() {
   // all-or-nothing (no tree installed), never a partial install that would
   // break the positional alignment.
   {
+    obs::TraceSpan install_span(tracer_.get(), "install", "maintenance");
     std::unique_lock<RwLatch> latch(ingest_mu_);
     if (fault != nullptr) {
       AUXLSM_RETURN_NOT_OK(RunWithRetry("install", [&]() -> Status {
@@ -450,6 +506,14 @@ Status Dataset::MaintenanceCycle() {
   // against concurrent ingestion. Decoupled mode hands the work to the
   // per-tree merge queues instead, so this cycle — and with it the *next*
   // seal/install — never waits on a merge backlog.
+  auto record_cycle_wall = [&]() {
+    if (hist_cycle_wall_ != nullptr) {
+      hist_cycle_wall_->Record(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - cycle_wall0)
+              .count()));
+    }
+  };
   if (merge_queues_enabled()) {
     // Every cycle enqueues its round unconditionally: a tree whose earlier
     // jobs already retired would otherwise never see this cycle's installs
@@ -459,9 +523,16 @@ Status Dataset::MaintenanceCycle() {
     // at-most-writer_threads threads parked between that wait and the CAS
     // can add one stale round — ≤ depth + writer_threads rounds total.
     EnqueueMergeWork();
+    record_cycle_wall();
     return Status::OK();
   }
-  return RunMerges();
+  Status s;
+  {
+    obs::TraceSpan merge_span(tracer_.get(), "merge", "maintenance");
+    s = RunMerges();
+  }
+  record_cycle_wall();
+  return s;
 }
 
 void Dataset::EnqueueMergeWork() {
@@ -486,13 +557,25 @@ void Dataset::EnqueueMergeWork() {
           // decoupled scheduling PR deferred. EndQueuedMerge runs no matter
           // what — a failed job must never leave the accounting wedged.
           FaultInjector* const fault = options_.fault_injector;
-          const Status s = RunWithRetry(what, [&]() -> Status {
-            if (fault != nullptr) {
-              AUXLSM_RETURN_NOT_OK(
-                  fault->Hit(failpoints::kMergeJob, env_->io()));
+          Status s;
+          {
+            obs::TraceSpan job_span(tracer_.get(), what.c_str(), "merge",
+                                    int32_t(env_->io()->BoundQueue()));
+            const auto wall0 = std::chrono::steady_clock::now();
+            s = RunWithRetry(what, [&]() -> Status {
+              if (fault != nullptr) {
+                AUXLSM_RETURN_NOT_OK(
+                    fault->Hit(failpoints::kMergeJob, env_->io()));
+              }
+              return work();
+            });
+            if (hist_merge_job_wall_ != nullptr) {
+              hist_merge_job_wall_->Record(uint64_t(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count()));
             }
-            return work();
-          });
+          }
           accounting_tree->EndQueuedMerge();
           // Flag-only degrade: the scheduler keeps the sticky error itself
           // (storing a copy in bg_status_ would double-report it).
@@ -622,20 +705,23 @@ Status Dataset::FlushAllLocked() {
     uint32_t slot;
   };
   std::vector<PendingFlush> sealed;
-  uint32_t slot = 0;
-  auto collect = [&](LsmTree* t) {
-    const uint32_t my_slot = slot++;
-    if (t == nullptr) return;
-    t->SealMemtable();
-    for (auto& m : t->PendingSealed()) {
-      sealed.push_back(PendingFlush{t, m, my_slot});
+  {
+    obs::TraceSpan seal_span(tracer_.get(), "seal", "maintenance");
+    uint32_t slot = 0;
+    auto collect = [&](LsmTree* t) {
+      const uint32_t my_slot = slot++;
+      if (t == nullptr) return;
+      t->SealMemtable();
+      for (auto& m : t->PendingSealed()) {
+        sealed.push_back(PendingFlush{t, m, my_slot});
+      }
+    };
+    collect(primary_.get());
+    collect(pk_index_.get());
+    for (auto& s : secondaries_) {
+      collect(s->tree.get());
+      collect(s->deleted_keys.get());
     }
-  };
-  collect(primary_.get());
-  collect(pk_index_.get());
-  for (auto& s : secondaries_) {
-    collect(s->tree.get());
-    collect(s->deleted_keys.get());
   }
 
   // Phase 2 — build all components, then install all (phase 3): a build
@@ -645,8 +731,14 @@ Status Dataset::FlushAllLocked() {
   // and bitmap sharing rely on. Builds run under the transient-retry policy.
   std::vector<DiskComponentPtr> built(sealed.size());
   auto build_one = [&](size_t i) -> Status {
-    return RunWithRetry(
-        "flush(" + sealed[i].tree->options().name + ")", [&, i]() -> Status {
+    const std::string& tree = sealed[i].tree->options().name;
+    obs::TraceSpan build_span(tracer_.get(),
+                              ("flush_build(" + tree + ")").c_str(),
+                              "maintenance",
+                              int32_t(env_->io()->BoundQueue()));
+    const auto wall0 = std::chrono::steady_clock::now();
+    const Status s = RunWithRetry(
+        "flush(" + tree + ")", [&, i]() -> Status {
           if (fault != nullptr) {
             AUXLSM_RETURN_NOT_OK(
                 fault->Hit(failpoints::kFlushBuild, env_->io()));
@@ -656,6 +748,13 @@ Status Dataset::FlushAllLocked() {
                                       sealed[i].mem));
           return Status::OK();
         });
+    if (hist_flush_build_wall_ != nullptr) {
+      hist_flush_build_wall_->Record(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall0)
+              .count()));
+    }
+    return s;
   };
   if (engine_parallel()) {
     // All indexes flush together (shared budget); their builds write to
@@ -677,6 +776,7 @@ Status Dataset::FlushAllLocked() {
 
   // Phase 3 — install everything. The install failpoint is consulted once,
   // before any tree installs (all-or-nothing, as in MaintenanceCycle).
+  obs::TraceSpan install_span(tracer_.get(), "install", "maintenance");
   if (fault != nullptr && !sealed.empty()) {
     AUXLSM_RETURN_NOT_OK(RunWithRetry("install", [&]() -> Status {
       return fault->Hit(failpoints::kInstall, env_->io());

@@ -38,6 +38,8 @@
 #include "core/read_query.h"
 #include "format/record.h"
 #include "lsm/lsm_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "txn/recovery.h"
 #include "txn/transaction.h"
 
@@ -182,6 +184,24 @@ struct DatasetOptions {
   /// and all results, counters, and modeled I/O are bit-for-bit the
   /// pre-cache behavior (the CI bench DIGEST lines pin this).
   size_t tuple_cache_bytes = 0;
+
+  // --- Observability (PR 8) -------------------------------------------------
+  /// Metrics registry (obs/metrics.h). When set, the dataset registers its
+  /// latency histograms (ingest.op_modeled_ns, ingest.op_wall_ns,
+  /// maintenance.*_wall_ns, wal.commit_modeled_ns, io.log.*) and
+  /// MetricsSnapshot() folds the registry's metrics into its view. Hand the
+  /// SAME registry to EnvOptions::metrics so the storage engine's io.storage
+  /// metrics land in one place. Null (default) disables recording — one
+  /// branch per site, no modeled-time or DIGEST change (armed-but-quiet,
+  /// like the fault injector). Must outlive the Dataset.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-thread trace ring-buffer size (obs/trace.h). 0 (default) = no
+  /// tracer. > 0 creates a Dataset-owned Tracer recording RAII spans for
+  /// ingest ops, maintenance cycle steps (seal/flush_build/install/merge),
+  /// merge-queue jobs, retries, WAL group-commit syncs, and per-queue
+  /// IoEngine charges — each stamped with wall AND modeled time. Drain via
+  /// tracer() and export with obs::Tracer::ToChromeJson (Perfetto).
+  size_t trace_buffer_bytes = 0;
 };
 
 /// Dataset health for the robustness state machine (PR 6): once maintenance
@@ -199,6 +219,18 @@ struct MaintenanceStats {
   StatCounter retries_succeeded;    ///< steps that succeeded on a retry
   StatCounter rounds_abandoned;     ///< steps given up (budget/permanent)
   StatCounter degraded_transitions; ///< kHealthy -> kDegraded edges
+
+  /// Interval delta (same ergonomics as IoStats::operator-).
+  MaintenanceStats operator-(const MaintenanceStats& o) const {
+    MaintenanceStats d;
+    d.transient_failures = transient_failures.load() - o.transient_failures.load();
+    d.retries_attempted = retries_attempted.load() - o.retries_attempted.load();
+    d.retries_succeeded = retries_succeeded.load() - o.retries_succeeded.load();
+    d.rounds_abandoned = rounds_abandoned.load() - o.rounds_abandoned.load();
+    d.degraded_transitions =
+        degraded_transitions.load() - o.degraded_transitions.load();
+    return d;
+  }
 };
 
 /// Counters are relaxed atomics: they are bumped from concurrent writers
@@ -398,6 +430,21 @@ class Dataset {
     return static_cast<uint32_t>(1 + secondary_index_pos);
   }
 
+  // --- Observability (PR 8, core/metrics_snapshot.cc) -----------------------
+  /// One unified point-in-time view: every subsystem's stats struct
+  /// (ingest, maintenance, WAL, storage + log I/O, page cache, tuple
+  /// cache), the live backlog gauges (per-tree merge_pending_jobs and
+  /// sealed memtables, maintenance pool queue depth, pending merge
+  /// rounds/jobs, WAL batch occupancy), and — when DatasetOptions::metrics
+  /// is attached — the registry's counters and latency histograms. Always
+  /// available (pull-based; costs nothing until called).
+  obs::MetricsSnapshot MetricsSnapshot();
+  /// Human-readable dump of MetricsSnapshot() (the quickstart's one-call
+  /// "show me what happened").
+  std::string DebugString();
+  /// The dataset-owned tracer; null unless trace_buffer_bytes > 0.
+  obs::Tracer* tracer() const { return tracer_.get(); }
+
   /// The maintenance engine; null on the fully serial path. Non-null does
   /// NOT imply a parallel pool: with merge_queue_depth > 0 (and
   /// writer_threads > 1) the scheduler is kept alive even at
@@ -417,6 +464,7 @@ class Dataset {
  private:
   friend class SecondaryQueryExecutor;
   friend class FilterScanExecutor;
+  friend class QueryCursor;  // cursor open/pull observability counters
   friend Status RunMergeRepair(Dataset* dataset, SecondaryIndex* index,
                                const std::vector<DiskComponentPtr>& picked);
   friend Status RunStandaloneRepair(Dataset* dataset, SecondaryIndex* index);
@@ -577,6 +625,19 @@ class Dataset {
   std::unordered_map<std::string, size_t> secondary_catalog_;
   std::unique_ptr<MaintenanceScheduler> maintenance_;
   std::unique_ptr<TupleCache> tuple_cache_;  // null when disabled
+
+  // Observability (PR 8). The tracer is dataset-owned and detached from the
+  // engines in the destructor; histogram pointers are cached at construction
+  // (null when no registry) so hot paths record with one branch + one
+  // relaxed RMW.
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Histogram* hist_ingest_modeled_ = nullptr;  ///< ingest.op_modeled_ns
+  obs::Histogram* hist_ingest_wall_ = nullptr;     ///< ingest.op_wall_ns
+  obs::Histogram* hist_cycle_wall_ = nullptr;      ///< maintenance.cycle_wall_ns
+  obs::Histogram* hist_flush_build_wall_ = nullptr;  ///< maintenance.flush_build_wall_ns
+  obs::Histogram* hist_merge_job_wall_ = nullptr;  ///< maintenance.merge_job_wall_ns
+  StatCounter* ctr_cursor_open_ = nullptr;         ///< query.cursors_opened
+  StatCounter* ctr_cursor_pull_ = nullptr;         ///< query.pages_pulled
 
   RwLatch ingest_mu_;
   IngestStats stats_;

@@ -1,4 +1,7 @@
 // Ingestion paths for the four maintenance strategies (§3.1, §4.2, §5.2).
+#include <chrono>
+#include <cmath>
+
 #include "core/dataset.h"
 #include "core/mutable_bitmap_build.h"
 #include "format/key_codec.h"
@@ -319,6 +322,35 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   // re-arms the pipeline.
   if (degraded_.load(std::memory_order_acquire)) return DegradedError();
 
+  // Observability: per-op latency histograms (modeled = storage + log device
+  // work this op charged; wall = host time) and an optional trace span. Both
+  // reduce to null-pointer branches when unarmed; neither charges modeled
+  // time itself.
+  obs::TraceSpan op_span(tracer_.get(), "ingest.op", "ingest");
+  struct OpLatencyGuard {
+    Dataset* ds = nullptr;
+    double modeled0 = 0;
+    std::chrono::steady_clock::time_point wall0;
+    explicit OpLatencyGuard(Dataset* d) {
+      if (d->hist_ingest_modeled_ == nullptr) return;
+      ds = d;
+      modeled0 =
+          d->env_->stats().simulated_us + d->wal_.stats().simulated_us;
+      wall0 = std::chrono::steady_clock::now();
+    }
+    ~OpLatencyGuard() {
+      if (ds == nullptr) return;
+      const double modeled1 =
+          ds->env_->stats().simulated_us + ds->wal_.stats().simulated_us;
+      ds->hist_ingest_modeled_->Record(
+          uint64_t(std::llround((modeled1 - modeled0) * 1000.0)));
+      ds->hist_ingest_wall_->Record(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall0)
+              .count()));
+    }
+  } op_latency(this);
+
   std::shared_lock<RwLatch> ingest_lock(ingest_mu_);
 
   std::unique_ptr<Transaction> auto_txn;
@@ -472,8 +504,21 @@ Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
   if (options_.strict_no_steal && txns_.active_transactions() > 0) {
     return Status::OK();
   }
+  // Serial inline cycle: same span structure as MaintenanceCycle so serial
+  // traces show the same seal -> flush_build -> install -> merge shape.
+  obs::TraceSpan cycle_span(tracer_.get(), "maintenance.cycle", "maintenance");
+  const auto cycle_wall0 = std::chrono::steady_clock::now();
   Status s = FlushAllLocked();
-  if (s.ok()) s = RunMerges();
+  if (s.ok()) {
+    obs::TraceSpan merge_span(tracer_.get(), "merge", "maintenance");
+    s = RunMerges();
+  }
+  if (hist_cycle_wall_ != nullptr) {
+    hist_cycle_wall_->Record(uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - cycle_wall0)
+            .count()));
+  }
   if (!s.ok()) {
     // Serial inline maintenance failed past its retry budget. The op that
     // tripped the budget check already committed (its WAL records are

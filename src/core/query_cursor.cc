@@ -115,6 +115,9 @@ Status QueryCursor::Charged(const std::function<Status()>& fn) {
 Status QueryCursor::Next(QueryPage* page) {
   page->clear();
   if (done_) return Status::OK();
+  obs::TraceSpan pull_span(dataset_->tracer(), "query.pull", "query",
+                           query_.read_options().io_queue);
+  if (dataset_->ctr_cursor_pull_ != nullptr) ++*dataset_->ctr_cursor_pull_;
   const size_t want =
       size_t(std::min<uint64_t>(query_.page_size(), remaining_));
   bool exec_done = false;
@@ -186,6 +189,9 @@ Result<std::unique_ptr<QueryCursor>> Dataset::NewCursor(
       new QueryCursor(this, query, std::move(exec)));
   // The snapshot capture itself may read pages (cursor seeks); charge it to
   // the cursor's queue like every later pull.
+  obs::TraceSpan open_span(tracer(), "query.open", "query",
+                           query.read_options().io_queue);
+  if (ctr_cursor_open_ != nullptr) ++*ctr_cursor_open_;
   QueryExecutor* e = cursor->executor_.get();
   AUXLSM_RETURN_NOT_OK(cursor->Charged([e] { return e->Open(); }));
   return cursor;

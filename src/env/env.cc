@@ -21,6 +21,9 @@ Env::Env(EnvOptions options)
     io_.set_fault_injector(options_.fault_injector);
     cache_.set_fault_injector(options_.fault_injector);
   }
+  if (options_.metrics != nullptr) {
+    io_.set_metrics(options_.metrics, "io.storage");
+  }
 }
 
 Status Env::DeleteFile(uint32_t file_id) {

@@ -41,6 +41,13 @@ struct EnvOptions {
   /// injector must outlive the Env.
   FaultInjector* fault_injector = nullptr;
 
+  /// Metrics registry (obs/metrics.h) attached to the storage I/O engine
+  /// under the "io.storage" metric prefix. Null (default) disables metric
+  /// recording with the same armed-but-quiet contract as the fault
+  /// injector: attaching a registry never changes modeled time or DIGEST
+  /// output. The registry must outlive the Env.
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// The device the engine is built from.
   DeviceProfile ResolvedDevice() const {
     return device_profile.has_value()

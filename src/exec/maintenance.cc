@@ -174,6 +174,11 @@ ThreadPool* MaintenanceScheduler::pool() {
   return pool_.get();
 }
 
+size_t MaintenanceScheduler::PoolQueueDepth() {
+  std::lock_guard<std::mutex> l(pool_mu_);
+  return pool_ == nullptr ? 0 : pool_->QueueDepth();
+}
+
 size_t MaintenanceScheduler::partitions() const {
   return options_.merge_partitions == 0 ? threads_
                                         : options_.merge_partitions;

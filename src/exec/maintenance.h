@@ -111,6 +111,9 @@ class MaintenanceScheduler {
   bool parallel() const { return threads_ > 1; }
   /// The worker pool; created on first call, null when not parallel().
   ThreadPool* pool();
+  /// Live queue depth of the worker pool WITHOUT creating it (0 when the
+  /// pool was never spawned) — the exec.pool_queue_depth gauge.
+  size_t PoolQueueDepth();
 
   /// Runs every task (on the pool when parallel, else inline) and returns
   /// the first non-OK status. All tasks run to completion either way.

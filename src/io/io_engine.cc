@@ -1,8 +1,11 @@
 #include "io/io_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auxlsm {
 
@@ -45,11 +48,56 @@ IoTicket IoEngine::Submit(const IoRequest& req) {
     t.complete_us = queues_[t.queue]->stats().simulated_us;
     return t;
   }
+  const bool observed = req_hist_ != nullptr || tracer_ != nullptr;
+  double before_us = 0;
+  if (observed) before_us = queues_[t.queue]->stats().simulated_us;
   DiskModel& model = *queues_[t.queue];
   t.complete_us = req.op == IoRequest::Op::kRead
                       ? model.ChargeRead(req.file_id, req.page_no)
                       : model.ChargeWrite(req.n_pages);
+  if (observed) ObserveSubmit(req, t, before_us);
   return t;
+}
+
+void IoEngine::set_metrics(obs::MetricsRegistry* metrics,
+                           const std::string& prefix) {
+  if (metrics == nullptr) {
+    req_counter_ = nullptr;
+    queue_req_counters_.clear();
+    req_hist_ = nullptr;
+    return;
+  }
+  req_counter_ = metrics->counter(prefix + ".requests");
+  queue_req_counters_.clear();
+  for (uint32_t i = 0; i < num_queues(); ++i) {
+    queue_req_counters_.push_back(
+        metrics->counter(prefix + ".q" + std::to_string(i) + ".requests"));
+  }
+  req_hist_ = metrics->histogram(prefix + ".request_modeled_ns");
+}
+
+void IoEngine::ObserveSubmit(const IoRequest& req, const IoTicket& t,
+                             double before_us) {
+  const double cost_us = t.complete_us - before_us;
+  if (req_counter_ != nullptr) {
+    ++*req_counter_;
+    ++*queue_req_counters_[t.queue];
+    req_hist_->Record(uint64_t(std::llround(cost_us * 1000.0)));
+  }
+  if (tracer_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.SetName(req.op == IoRequest::Op::kRead ? "io.read" : "io.write");
+    ev.cat = "io";
+    ev.queue = int32_t(t.queue);
+    ev.wall_ts_us = tracer_->WallNowUs();
+    ev.modeled_ts_us = before_us;
+    ev.modeled_dur_us = cost_us;
+    tracer_->Record(ev);
+  }
+}
+
+double IoEngine::BoundQueueClock() const {
+  return queues_[BoundQueue()]->stats().simulated_us;
 }
 
 double IoEngine::ChargeDelay(double us) {

@@ -31,15 +31,23 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/stat_counter.h"
 #include "env/disk_model.h"
 #include "io/device_profile.h"
 
 namespace auxlsm {
 
 class FaultInjector;
+
+namespace obs {
+class MetricsRegistry;
+class Histogram;
+class Tracer;
+}  // namespace obs
 
 /// One simulated device request. Reads address a (file, page) pair so the
 /// queue's head can classify them sequential vs. random; writes are
@@ -113,6 +121,20 @@ class IoEngine {
   /// FaultInjector::HitCharge).
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
+  /// Observability hooks (obs/metrics.h, obs/trace.h). Attach before the
+  /// engine sees concurrent traffic; the registry/tracer must outlive the
+  /// engine (or be detached with null first). `prefix` namespaces the
+  /// metric names — "io.storage" and "io.log" for the two engines of a
+  /// Dataset — registering `<prefix>.requests`, `<prefix>.q<i>.requests`
+  /// per queue, and the `<prefix>.request_modeled_ns` cost histogram.
+  /// Recording never charges modeled time (armed-but-quiet contract).
+  void set_metrics(obs::MetricsRegistry* metrics, const std::string& prefix);
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// The calling thread's bound queue clock (simulated_us) — the modeled
+  /// timeline trace spans stamp.
+  double BoundQueueClock() const;
+
   /// Forgets head positions resting on file_id, on every queue. Called when
   /// a retired component's file is deleted (merge and repair paths) so no
   /// queue keeps a stale head on a dead file.
@@ -149,9 +171,18 @@ class IoEngine {
   /// kAnyQueue takes the thread binding; out-of-range ids wrap.
   uint32_t ResolveQueue(int32_t requested) const;
 
+  /// Slow path of Submit's observability tail: counts the request and
+  /// records its modeled cost into the histogram / trace ring.
+  void ObserveSubmit(const IoRequest& req, const IoTicket& ticket,
+                     double before_us);
+
   DeviceProfile profile_;
   std::vector<std::unique_ptr<DiskModel>> queues_;
   FaultInjector* fault_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  StatCounter* req_counter_ = nullptr;            ///< <prefix>.requests
+  std::vector<StatCounter*> queue_req_counters_;  ///< <prefix>.q<i>.requests
+  obs::Histogram* req_hist_ = nullptr;            ///< <prefix>.request_modeled_ns
 };
 
 /// RAII thread->queue binding. While alive, the constructing thread's

@@ -1,0 +1,326 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace auxlsm {
+namespace obs {
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  uint64_t counts[kNumBuckets];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  // Nearest-rank percentiles over bucket upper bounds.
+  const struct {
+    double q;
+    uint64_t* out;
+  } wanted[] = {{0.50, &s.p50}, {0.90, &s.p90}, {0.99, &s.p99}};
+  for (const auto& w : wanted) {
+    uint64_t rank = uint64_t(std::ceil(w.q * double(s.count)));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        uint64_t v = BucketUpper(i);
+        *w.out = v < s.max ? v : s.max;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(const std::string& name,
+                               std::function<double()> fn) {
+  std::lock_guard<std::mutex> l(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& kv : counters_) s.values[kv.first] = double(kv.second->load());
+  for (const auto& kv : gauges_) s.values[kv.first] = kv.second();
+  for (const auto& kv : histograms_) s.histograms[kv.first] = kv.second->Snapshot();
+  return s;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& kv : other.values) values[kv.first] = kv.second;
+  for (const auto& kv : other.histograms) histograms[kv.first] = kv.second;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Stable scalar formatting: integers print without a fraction so counter
+// values round-trip exactly; everything else uses %.6g.
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0");
+  }
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+// --- Minimal JSON reader -----------------------------------------------------
+// Handles exactly the subset ToJson() (and the Chrome trace exporter) emit:
+// objects, arrays, strings with the escapes above, numbers, true/false/null.
+struct JsonReader {
+  const char* p;
+  const char* end;
+
+  explicit JsonReader(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
+
+  void SkipWs() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return p < end && *p == c;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (p + 1 >= end) return false;
+        ++p;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (p + 4 >= end) return false;
+            unsigned v = 0;
+            std::sscanf(p + 1, "%4x", &v);
+            out->push_back(char(v & 0xff));
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    return Consume('"');
+  }
+  bool ParseNumber(double* out) {
+    SkipWs();
+    char* q = nullptr;
+    *out = std::strtod(p, &q);
+    if (q == p) return false;
+    p = q;
+    return true;
+  }
+  // Skips any value (used for unknown keys).
+  bool SkipValue() {
+    SkipWs();
+    if (p >= end) return false;
+    if (*p == '"') {
+      std::string s;
+      return ParseString(&s);
+    }
+    if (*p == '{' || *p == '[') {
+      const char open = *p;
+      const char close = open == '{' ? '}' : ']';
+      ++p;
+      SkipWs();
+      if (Consume(close)) return true;
+      while (true) {
+        if (open == '{') {
+          std::string k;
+          if (!ParseString(&k) || !Consume(':')) return false;
+        }
+        if (!SkipValue()) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (std::strncmp(p, "true", 4) == 0) { p += 4; return true; }
+    if (std::strncmp(p, "false", 5) == 0) { p += 5; return true; }
+    if (std::strncmp(p, "null", 4) == 0) { p += 4; return true; }
+    double d;
+    return ParseNumber(&d);
+  }
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"values\":{";
+  bool first = true;
+  for (const auto& kv : values) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, kv.first);
+    out.push_back(':');
+    AppendJsonNumber(&out, kv.second);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& kv : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, kv.first);
+    const HistogramSnapshot& h = kv.second;
+    out += ":{\"count\":";
+    AppendU64(&out, h.count);
+    out += ",\"sum\":";
+    AppendU64(&out, h.sum);
+    out += ",\"max\":";
+    AppendU64(&out, h.max);
+    out += ",\"p50\":";
+    AppendU64(&out, h.p50);
+    out += ",\"p90\":";
+    AppendU64(&out, h.p90);
+    out += ",\"p99\":";
+    AppendU64(&out, h.p99);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsSnapshot::FromJson(const std::string& json, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  JsonReader r(json);
+  if (!r.Consume('{')) return false;
+  if (r.Consume('}')) return true;
+  do {
+    std::string section;
+    if (!r.ParseString(&section) || !r.Consume(':')) return false;
+    if (!r.Consume('{')) return false;
+    if (r.Consume('}')) continue;
+    do {
+      std::string name;
+      if (!r.ParseString(&name) || !r.Consume(':')) return false;
+      if (section == "values") {
+        double v;
+        if (!r.ParseNumber(&v)) return false;
+        out->values[name] = v;
+      } else if (section == "histograms") {
+        if (!r.Consume('{')) return false;
+        HistogramSnapshot h;
+        if (!r.Consume('}')) {
+          do {
+            std::string field;
+            double v;
+            if (!r.ParseString(&field) || !r.Consume(':') || !r.ParseNumber(&v)) {
+              return false;
+            }
+            const uint64_t u = uint64_t(v);
+            if (field == "count") h.count = u;
+            else if (field == "sum") h.sum = u;
+            else if (field == "max") h.max = u;
+            else if (field == "p50") h.p50 = u;
+            else if (field == "p90") h.p90 = u;
+            else if (field == "p99") h.p99 = u;
+          } while (r.Consume(','));
+          if (!r.Consume('}')) return false;
+        }
+        out->histograms[name] = h;
+      } else {
+        if (!r.SkipValue()) return false;
+      }
+    } while (r.Consume(','));
+    if (!r.Consume('}')) return false;
+  } while (r.Consume(','));
+  return r.Consume('}');
+}
+
+std::string MetricsSnapshot::DebugString() const {
+  size_t width = 0;
+  for (const auto& kv : values) width = std::max(width, kv.first.size());
+  for (const auto& kv : histograms) width = std::max(width, kv.first.size());
+  std::ostringstream os;
+  for (const auto& kv : values) {
+    os << "  " << kv.first << std::string(width - kv.first.size() + 2, ' ');
+    char buf[40];
+    if (kv.second == std::floor(kv.second) && std::fabs(kv.second) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", kv.second);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.3f", kv.second);
+    }
+    os << buf << "\n";
+  }
+  for (const auto& kv : histograms) {
+    const HistogramSnapshot& h = kv.second;
+    os << "  " << kv.first << std::string(width - kv.first.size() + 2, ' ')
+       << "count=" << h.count << " mean=" << std::fixed;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.1f", h.mean());
+    os << buf << " p50=" << h.p50 << " p90=" << h.p90 << " p99=" << h.p99
+       << " max=" << h.max << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace auxlsm

@@ -1,0 +1,164 @@
+// Unified observability: process-wide metrics registry (PR 8).
+//
+// The system grew seven per-subsystem stats structs (IngestStats,
+// MaintenanceStats, WalStats, IoStats, BufferCacheStats, TupleCacheStats,
+// FaultSiteStats) with no single place to ask production questions: what is
+// p99 ingest latency, which merge queue is backlogged, is the cache earning
+// its bytes? This header provides the shared vocabulary:
+//
+//   - Counter: a relaxed-atomic monotone count (StatCounter re-exported).
+//   - Histogram: log-bucketed latency histogram. Recording is one relaxed
+//     fetch_add on a bucket plus count/sum updates and a CAS max — lock-free
+//     and wait-free on the hot path, safe from any thread. Readout computes
+//     nearest-rank p50/p90/p99 from bucket upper bounds, so percentiles are
+//     deterministic and overestimate by at most one bucket width (<= 25%
+//     relative; exact below kExactLimit).
+//   - MetricsRegistry: name -> metric, get-or-create under a mutex at
+//     registration time only; callers cache the returned pointer and record
+//     through it without further synchronization. Gauges are registered as
+//     callbacks and evaluated at Snapshot() time (pull model, zero hot-path
+//     cost).
+//   - MetricsSnapshot: a point-in-time map of scalar values and histogram
+//     summaries with a stable (sorted-key) JSON serialization. This is also
+//     the type Dataset::MetricsSnapshot() returns after folding every
+//     existing stats struct and live backlog gauge into one view.
+//
+// Armed-but-quiet contract (same as the fault injector's): a wired-up but
+// idle registry must not change a single DIGEST line. Recording never
+// charges modeled time and never takes a lock, and every instrumentation
+// site is a single branch on a cached pointer when the registry is absent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stat_counter.h"
+
+namespace auxlsm {
+namespace obs {
+
+using Counter = StatCounter;
+
+/// Summary of a Histogram at one point in time. Percentiles are bucket
+/// upper bounds (deterministic, slight overestimate); `max` is exact.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+
+  double mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+};
+
+/// Log-bucketed histogram over uint64 values (by convention: nanoseconds,
+/// metric names carry a `_ns` suffix). Values below kExactLimit land in
+/// exact unit buckets; above, buckets are power-of-two octaves split into
+/// 4 linear sub-buckets (<= 25% relative width). Recording is relaxed-atomic
+/// and lock-free; Snapshot() reads relaxed too and is meant for quiescent or
+/// approximate readout, which is all a monitoring poll needs.
+class Histogram {
+ public:
+  static constexpr uint64_t kExactLimit = 8;  // values < 8 are exact
+  static constexpr size_t kNumBuckets = 252;  // covers full uint64 range
+
+  Histogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Bucket index of a value (exposed for tests).
+  static size_t BucketOf(uint64_t v) {
+    if (v < kExactLimit) return size_t(v);
+    // Highest set bit o >= 3; 2 following bits pick the sub-bucket.
+    int o = 63;
+    while (!(v >> o & 1)) --o;
+    const uint64_t sub = (v >> (o - 2)) & 3;
+    const size_t idx = size_t(o - 3) * 4 + size_t(sub) + kExactLimit;
+    return idx < kNumBuckets ? idx : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of a bucket — the representative value used for
+  /// percentile readout (exposed for tests).
+  static uint64_t BucketUpper(size_t idx) {
+    if (idx < kExactLimit) return uint64_t(idx);
+    const size_t k = idx - kExactLimit;
+    const int o = int(k / 4) + 3;
+    const uint64_t sub = k % 4;
+    const uint64_t lower = (4 + sub) << (o - 2);
+    return lower + ((uint64_t(1) << (o - 2)) - 1);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets];
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time view: scalar values (counters + gauges) and histogram
+/// summaries, both sorted by name. ToJson() is stable (map ordering, fixed
+/// number formatting) so snapshots diff cleanly across runs.
+struct MetricsSnapshot {
+  std::map<std::string, double> values;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Set(const std::string& name, double v) { values[name] = v; }
+
+  /// Merges `other` into this snapshot (other wins on name collision).
+  void Merge(const MetricsSnapshot& other);
+
+  std::string ToJson() const;
+  /// Parses a string produced by ToJson(). Returns false on malformed
+  /// input. Round-trips exactly for the grammar ToJson() emits.
+  static bool FromJson(const std::string& json, MetricsSnapshot* out);
+
+  /// Human-readable multi-line dump (name-aligned, histograms on one line).
+  std::string DebugString() const;
+};
+
+/// Named metric registry. Registration (counter()/histogram()/SetGauge())
+/// takes a mutex; returned pointers are stable for the registry's lifetime,
+/// so hot paths cache them once and record lock-free thereafter. The
+/// registry is plumbed by raw pointer (EnvOptions::metrics,
+/// DatasetOptions::metrics) like FaultInjector: the caller owns it and it
+/// must outlive every component it is attached to.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+  /// Registers (or replaces) a gauge callback, evaluated at Snapshot time.
+  void SetGauge(const std::string& name, std::function<double()> fn);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<double()>> gauges_;
+};
+
+}  // namespace obs
+}  // namespace auxlsm

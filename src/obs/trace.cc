@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace auxlsm {
+namespace obs {
+
+namespace {
+
+// Monotonic per-Tracer instance ids make the thread-local buffer cache safe
+// against a Tracer being destroyed and another allocated at the same
+// address: ids are never reused, so a stale cache entry can never
+// false-match a new tracer.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+struct TlsEntry {
+  uint64_t tracer_id;
+  void* buf;
+};
+
+thread_local std::vector<TlsEntry> tls_bufs;
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t buffer_bytes)
+    : capacity_events_(std::max<size_t>(16, buffer_bytes / sizeof(TraceEvent))),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(SteadyNowNs()) {}
+
+Tracer::~Tracer() = default;
+
+double Tracer::WallNowUs() const {
+  return double(SteadyNowNs() - epoch_ns_) / 1000.0;
+}
+
+Tracer::ThreadBuf* Tracer::GetThreadBuf() {
+  for (const TlsEntry& e : tls_bufs) {
+    if (e.tracer_id == tracer_id_) return static_cast<ThreadBuf*>(e.buf);
+  }
+  auto buf = std::unique_ptr<ThreadBuf>(new ThreadBuf());
+  buf->ring.resize(capacity_events_);
+  ThreadBuf* raw = buf.get();
+  {
+    std::lock_guard<std::mutex> l(reg_mu_);
+    raw->tid = next_tid_++;
+    bufs_.push_back(std::move(buf));
+  }
+  tls_bufs.push_back({tracer_id_, raw});
+  return raw;
+}
+
+void Tracer::Record(TraceEvent ev) {
+  ThreadBuf* b = GetThreadBuf();
+  ev.tid = b->tid;
+  std::lock_guard<std::mutex> l(b->mu);
+  if (b->wrapped) dropped_.fetch_add(1, std::memory_order_relaxed);
+  b->ring[b->next] = ev;
+  b->next = (b->next + 1) % capacity_events_;
+  if (b->next == 0) b->wrapped = true;
+}
+
+void Tracer::Instant(const char* name, const char* cat, int32_t queue) {
+  TraceEvent ev;
+  ev.SetName(name);
+  ev.cat = cat;
+  ev.queue = queue;
+  ev.instant = true;
+  ev.wall_ts_us = WallNowUs();
+  ev.modeled_ts_us = ModeledNowUs();
+  Record(ev);
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> l(reg_mu_);
+  for (auto& bp : bufs_) {
+    ThreadBuf* b = bp.get();
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (b->wrapped) {
+      // Oldest-first: [next, end) then [0, next).
+      out.insert(out.end(), b->ring.begin() + long(b->next), b->ring.end());
+    }
+    out.insert(out.end(), b->ring.begin(), b->ring.begin() + long(b->next));
+    b->next = 0;
+    b->wrapped = false;
+  }
+  return out;
+}
+
+std::string Tracer::ToChromeJson(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const auto& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->wall_ts_us < b->wall_ts_us;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  for (const TraceEvent* e : sorted) {
+    if (!first) out.push_back(',');
+    first = false;
+    if (e->instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                    "\"args\":{\"modeled_ts_us\":%.3f,\"queue\":%d}}",
+                    e->name, e->cat, e->tid, e->wall_ts_us, e->modeled_ts_us,
+                    int(e->queue));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"args\":{\"modeled_ts_us\":%.3f,\"modeled_dur_us\":%.3f,"
+                    "\"queue\":%d}}",
+                    e->name, e->cat, e->tid, e->wall_ts_us, e->wall_dur_us,
+                    e->modeled_ts_us, e->modeled_dur_us, int(e->queue));
+    }
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace auxlsm

@@ -1,9 +1,12 @@
 #include "txn/wal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auxlsm {
 
@@ -15,6 +18,28 @@ void Wal::set_group_commit(bool on) {
 void Wal::set_fault_injector(FaultInjector* fault) {
   std::lock_guard<std::mutex> l(mu_);
   fault_ = fault;
+}
+
+void Wal::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> l(mu_);
+  commit_hist_ =
+      metrics == nullptr ? nullptr : metrics->histogram("wal.commit_modeled_ns");
+}
+
+void Wal::set_tracer(obs::Tracer* tracer) {
+  std::lock_guard<std::mutex> l(mu_);
+  tracer_ = tracer;
+}
+
+Wal::Backlog Wal::backlog() const {
+  std::lock_guard<std::mutex> l(mu_);
+  Backlog b;
+  b.commit_waiters = commit_waiters_;
+  const Lsn tail = next_lsn_ - 1;
+  b.unsynced_records = tail > durable_lsn_ ? tail - durable_lsn_ : 0;
+  b.tail_bytes = bytes_since_page_;
+  b.sync_in_progress = sync_in_progress_;
+  return b;
 }
 
 Lsn Wal::AppendLocked(LogRecord record) {
@@ -56,6 +81,7 @@ Lsn Wal::AppendCommit(LogRecord record) {
   // The commit's modeled latency runs from here (log-device virtual time at
   // append) to its batch's sync completion.
   const double enter_us = io_.critical_path_us();
+  ++commit_waiters_;
   bool led = false;
   while (durable_lsn_ < lsn) {
     if (sync_in_progress_) {
@@ -84,9 +110,22 @@ Lsn Wal::AppendCommit(LogRecord record) {
       // the fire is visible in the injector's stats and commit latency.
       if (fault_ == nullptr ||
           !fault_->HitCharge(failpoints::kWalSync, &io_)) {
+        const double sync_wall0 = tracer_ != nullptr ? tracer_->WallNowUs() : 0;
+        const double sync_modeled0 = io_.critical_path_us();
         io_.Submit(IoRequest::Write(1));
         durable_point_us_ =
             std::max(durable_point_us_, io_.critical_path_us());
+        if (tracer_ != nullptr) {
+          obs::TraceEvent ev;
+          ev.SetName("wal.sync");
+          ev.cat = "wal";
+          ev.queue = int32_t(io_.BoundQueue());
+          ev.wall_ts_us = sync_wall0;
+          ev.wall_dur_us = tracer_->WallNowUs() - sync_wall0;
+          ev.modeled_ts_us = sync_modeled0;
+          ev.modeled_dur_us = durable_point_us_ - sync_modeled0;
+          tracer_->Record(ev);
+        }
       }
       tail_dirty_ = false;
     }
@@ -103,6 +142,10 @@ Lsn Wal::AppendCommit(LogRecord record) {
   wstats_.commit_latency_us_total += latency_us;
   wstats_.commit_latency_us_max =
       std::max(wstats_.commit_latency_us_max, latency_us);
+  --commit_waiters_;
+  if (commit_hist_ != nullptr) {
+    commit_hist_->Record(uint64_t(std::llround(latency_us * 1000.0)));
+  }
   return lsn;
 }
 

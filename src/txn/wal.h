@@ -36,6 +36,12 @@ namespace auxlsm {
 
 class FaultInjector;
 
+namespace obs {
+class MetricsRegistry;
+class Histogram;
+class Tracer;
+}  // namespace obs
+
 struct WalStats {
   uint64_t records = 0;          ///< log records appended
   uint64_t commits = 0;          ///< AppendCommit calls
@@ -46,6 +52,19 @@ struct WalStats {
   /// over commits. Average = commit_latency_us_total / commits.
   double commit_latency_us_total = 0;
   double commit_latency_us_max = 0;
+
+  /// Interval delta (same ergonomics as IoStats::operator-): counters and
+  /// the latency total subtract; commit_latency_us_max is a cumulative
+  /// high-water mark, so the minuend's value is kept as-is.
+  WalStats operator-(const WalStats& o) const {
+    WalStats d = *this;
+    d.records -= o.records;
+    d.commits -= o.commits;
+    d.syncs -= o.syncs;
+    d.batched_commits -= o.batched_commits;
+    d.commit_latency_us_total -= o.commit_latency_us_total;
+    return d;
+  }
 };
 
 class Wal {
@@ -87,6 +106,23 @@ class Wal {
   /// Truncates records with lsn <= up_to (checkpointing).
   void TruncateUpTo(Lsn up_to);
 
+  /// Observability hooks (obs/). The registry adds the
+  /// "wal.commit_modeled_ns" latency histogram; the tracer records one
+  /// "wal.sync" span per modeled group-commit flush, stamped with the log
+  /// device's virtual clock. Both null by default — armed-but-quiet, no
+  /// modeled-time change. Attach before concurrent commit traffic.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Live group-commit backlog (the WAL batch-occupancy gauges).
+  struct Backlog {
+    uint64_t commit_waiters = 0;    ///< committers inside AppendCommit
+    uint64_t unsynced_records = 0;  ///< appended past the durable LSN
+    uint64_t tail_bytes = 0;        ///< partial tail page not yet streamed
+    bool sync_in_progress = false;  ///< a leader's commit window is open
+  };
+  Backlog backlog() const;
+
   /// The log device's engine (bind committer threads to queues here).
   IoEngine* io() { return &io_; }
 
@@ -106,9 +142,13 @@ class Wal {
   Lsn next_lsn_ = 1;
   std::vector<LogRecord> records_;
 
+  obs::Histogram* commit_hist_ = nullptr;  ///< wal.commit_modeled_ns
+  obs::Tracer* tracer_ = nullptr;
+
   bool group_commit_ = false;
   bool sync_in_progress_ = false;  ///< a leader's commit window is open
   bool tail_dirty_ = false;        ///< appended bytes not yet synced
+  uint64_t commit_waiters_ = 0;    ///< committers inside AppendCommit
   Lsn durable_lsn_ = 0;
   /// Log-device critical path as of the last completed sync; batched
   /// commits read it to compute their modeled latency.
