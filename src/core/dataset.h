@@ -442,6 +442,14 @@ class Dataset {
   /// Human-readable dump of MetricsSnapshot() (the quickstart's one-call
   /// "show me what happened").
   std::string DebugString();
+  /// Registers an external metrics source folded into every MetricsSnapshot()
+  /// (before the registry merge) — how layers built *on top* of the dataset
+  /// (the request server's service-side backlog gauges) land in the one
+  /// unified view without the dataset knowing about them. Returns a handle
+  /// for RemoveMetricsSource; the callback must stay valid until removed,
+  /// and must not call back into MetricsSnapshot().
+  uint64_t AddMetricsSource(std::function<void(obs::MetricsSnapshot*)> fn);
+  void RemoveMetricsSource(uint64_t id);
   /// The dataset-owned tracer; null unless trace_buffer_bytes > 0.
   obs::Tracer* tracer() const { return tracer_.get(); }
 
@@ -663,6 +671,12 @@ class Dataset {
   // maintenance errors; read lock-free by every ingest op.
   std::atomic<bool> degraded_{false};
   MaintenanceStats mstats_;
+
+  // External metrics sources (PR 9): folded into MetricsSnapshot().
+  std::mutex metrics_sources_mu_;
+  uint64_t next_metrics_source_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void(obs::MetricsSnapshot*)>>>
+      metrics_sources_;
 };
 
 // repair.cc — exposed for tests and benchmarks.

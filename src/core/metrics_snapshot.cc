@@ -115,11 +115,40 @@ obs::MetricsSnapshot Dataset::MetricsSnapshot() {
     s.Set("trace.dropped_events", double(tracer_->dropped()));
   }
 
+  // External sources (PR 9: the request server's service-side backlog).
+  // Copied out under the lock, invoked outside it — a source may take its
+  // own locks, and holding ours across that invites ordering cycles.
+  std::vector<std::function<void(obs::MetricsSnapshot*)>> sources;
+  {
+    std::lock_guard<std::mutex> l(metrics_sources_mu_);
+    sources.reserve(metrics_sources_.size());
+    for (const auto& [id, fn] : metrics_sources_) sources.push_back(fn);
+  }
+  for (const auto& fn : sources) fn(&s);
+
   // Registry metrics (latency histograms, io.* request counters, query.*
   // counters) land on top; the registry may carry metrics from other
   // components sharing it, which is the point of one registry per process.
   if (options_.metrics != nullptr) s.Merge(options_.metrics->Snapshot());
   return s;
+}
+
+uint64_t Dataset::AddMetricsSource(
+    std::function<void(obs::MetricsSnapshot*)> fn) {
+  std::lock_guard<std::mutex> l(metrics_sources_mu_);
+  const uint64_t id = next_metrics_source_id_++;
+  metrics_sources_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Dataset::RemoveMetricsSource(uint64_t id) {
+  std::lock_guard<std::mutex> l(metrics_sources_mu_);
+  for (auto it = metrics_sources_.begin(); it != metrics_sources_.end(); ++it) {
+    if (it->first == id) {
+      metrics_sources_.erase(it);
+      return;
+    }
+  }
 }
 
 std::string Dataset::DebugString() {

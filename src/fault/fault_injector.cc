@@ -10,7 +10,8 @@ std::vector<const char*> AllSites() {
   return {kEnvAppendPage, kEnvReadPage, kEnvDeleteFile,  kCacheMissFill,
           kIoSubmit,      kWalAppend,   kWalSync,        kFlushBuild,
           kInstall,       kMerge,       kMergeJob,       kConcurrentBuild,
-          kCacheTupleInsert, kCacheTupleInvalidate};
+          kCacheTupleInsert, kCacheTupleInvalidate,
+          kServerDecodeFrame, kServerDispatch};
 }
 
 }  // namespace failpoints

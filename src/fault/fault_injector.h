@@ -56,6 +56,14 @@ inline constexpr const char* kConcurrentBuild = "maintenance.concurrent_build";
 /// degraded invalidation must never leave a stale tuple servable.
 inline constexpr const char* kCacheTupleInsert = "cache.tuple_insert";
 inline constexpr const char* kCacheTupleInvalidate = "cache.tuple_invalidate";
+/// Service-layer seams (server/, PR 9). A fired decode fault drops the
+/// frame before dispatch (the client sees a per-request error response,
+/// retryable when the injected Status is); a fired dispatch fault fails
+/// the request before any dataset effect. Neither can leave partial
+/// state — the fault matrix's error-atomicity contract extends to the
+/// wire: a request answered with an error has no surviving effect.
+inline constexpr const char* kServerDecodeFrame = "server.decode_frame";
+inline constexpr const char* kServerDispatch = "server.dispatch";
 
 /// Every registered site, for matrix-style test iteration.
 std::vector<const char*> AllSites();

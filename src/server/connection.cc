@@ -1,0 +1,159 @@
+#include "server/connection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/coding.h"
+#include "fault/fault_injector.h"
+
+namespace auxlsm {
+namespace server {
+
+void ClientConnection::Send(const std::string& bytes) {
+  std::lock_guard<std::mutex> l(in_mu_);
+  inbox_ += bytes;
+}
+
+std::vector<Response> ClientConnection::Receive() {
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> l(out_mu_);
+    bytes.swap(outbox_);
+  }
+  std::vector<Response> out;
+  Slice in(bytes);
+  while (!in.empty()) {
+    Slice body;
+    size_t consumed = 0;
+    std::string error;
+    const FrameResult fr =
+        DecodeFrame(in, kDefaultMaxFrameBytes, &body, &consumed, &error);
+    if (fr == FrameResult::kNeedMore) {
+      // Torn response tail: push the residue back for the next Receive.
+      std::lock_guard<std::mutex> l(out_mu_);
+      outbox_.insert(0, in.data(), in.size());
+      break;
+    }
+    if (fr == FrameResult::kBad) {
+      // The server encodes every response itself; a damaged frame here is a
+      // bug, not a workload condition.
+      std::fprintf(stderr, "ClientConnection::Receive: %s\n", error.c_str());
+      std::abort();
+    }
+    Response r;
+    const Status st = Response::DecodeBody(body, &r);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ClientConnection::Receive: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    out.push_back(std::move(r));
+    in.remove_prefix(consumed);
+  }
+  return out;
+}
+
+size_t ClientConnection::pending_requests() const {
+  std::lock_guard<std::mutex> l(pending_mu_);
+  return pending_.size();
+}
+
+size_t ClientConnection::DecodeInbound(
+    size_t max_frame_bytes, FaultInjector* fault,
+    std::vector<Response>* decode_failures) {
+  {
+    std::lock_guard<std::mutex> l(in_mu_);
+    decode_buf_ += inbox_;
+    inbox_.clear();
+  }
+  size_t decoded = 0;
+  Slice in(decode_buf_);
+  while (!in.empty()) {
+    Slice body;
+    size_t consumed = 0;
+    std::string error;
+    const FrameResult fr =
+        DecodeFrame(in, max_frame_bytes, &body, &consumed, &error);
+    if (fr == FrameResult::kNeedMore) break;
+    in.remove_prefix(consumed);
+    if (fr == FrameResult::kBad) {
+      stats_.decode_errors++;
+      Response err;
+      err.code = ResponseCode::kBadRequest;
+      err.message = "decode: " + error;
+      decode_failures->push_back(std::move(err));
+      continue;
+    }
+    Request req;
+    Status st = Request::DecodeBody(body, &req);
+    if (st.ok() && fault != nullptr) {
+      // server.decode_frame failpoint: a fired decode fault models a frame
+      // damaged past recovery — the request is dropped before dispatch and
+      // the client sees a per-request error (retryable for transient
+      // injections), never a partial dataset effect.
+      const Status fst = fault->Hit(failpoints::kServerDecodeFrame);
+      if (!fst.ok()) {
+        stats_.decode_errors++;
+        Response err;
+        err.request_id = req.request_id;
+        err.code = fst.retryable() ? ResponseCode::kRetryable
+                                   : ResponseCode::kBadRequest;
+        err.message = "decode: " + fst.ToString();
+        decode_failures->push_back(std::move(err));
+        continue;
+      }
+    }
+    if (!st.ok()) {
+      // The frame passed its CRC but the body grammar is wrong (or the
+      // decode failpoint fired upstream): a per-request error, never a
+      // dataset touch. The request id is the first field, so it is
+      // recoverable whenever at least the header decoded.
+      stats_.decode_errors++;
+      Response err;
+      err.code = ResponseCode::kBadRequest;
+      err.message = "decode: " + st.ToString();
+      if (body.size() >= 8) err.request_id = DecodeFixed64(body.data());
+      decode_failures->push_back(std::move(err));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> l(pending_mu_);
+      pending_.push_back(std::move(req));
+    }
+    decoded++;
+  }
+  decode_buf_.erase(0, decode_buf_.size() - in.size());
+  stats_.requests_decoded += decoded;
+  return decoded;
+}
+
+std::vector<Request> ClientConnection::TakeBatch(size_t max_batch) {
+  std::vector<Request> batch;
+  std::lock_guard<std::mutex> l(pending_mu_);
+  const size_t n = std::min(max_batch, pending_.size());
+  batch.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  if (!batch.empty()) {
+    stats_.batches++;
+    stats_.batched_requests += batch.size();
+    if (batch.size() > stats_.max_batch.load()) {
+      stats_.max_batch = uint64_t(batch.size());
+    }
+  }
+  return batch;
+}
+
+void ClientConnection::Write(const Response& response) {
+  const std::string frame = response.EncodeFrame();
+  std::lock_guard<std::mutex> l(out_mu_);
+  outbox_ += frame;
+  stats_.responses_sent++;
+}
+
+}  // namespace server
+}  // namespace auxlsm

@@ -1,0 +1,256 @@
+#include "server/dispatcher.h"
+
+#include <utility>
+
+#include "core/dataset.h"
+#include "fault/fault_injector.h"
+
+namespace auxlsm {
+namespace server {
+
+namespace {
+
+Response OkResponse(const Request& req) {
+  Response r;
+  r.request_id = req.request_id;
+  r.code = ResponseCode::kOk;
+  return r;
+}
+
+Response ErrorResponse(const Request& req, ResponseCode code,
+                       std::string message) {
+  Response r;
+  r.request_id = req.request_id;
+  r.code = code;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(Dataset* dataset, FaultInjector* fault,
+                       size_t max_cursors_per_connection)
+    : ds_(dataset),
+      fault_(fault),
+      max_cursors_per_conn_(max_cursors_per_connection) {}
+
+Dispatcher::~Dispatcher() = default;
+
+Response Dispatcher::MapWriteError(const Request& req, const Status& st) {
+  if (ds_->health() == DatasetHealth::kDegraded) {
+    // Satellite 2: degraded mode is a maintenance condition, not a request
+    // problem. Take every sticky background error class (flush-cycle, then
+    // merge-queue) to re-arm the pipeline and tell the client to retry —
+    // never close the connection. The loop is bounded: each take clears one
+    // class and degradation lifts once all are clear.
+    std::string first;
+    for (int i = 0; i < 4 && ds_->health() == DatasetHealth::kDegraded; i++) {
+      const Status bg = ds_->TakeBackgroundError();
+      if (first.empty() && !bg.ok()) first = bg.ToString();
+      if (bg.ok()) break;
+    }
+    if (first.empty()) first = st.ToString();
+    return ErrorResponse(req, ResponseCode::kRetryable, "degraded: " + first);
+  }
+  return ErrorResponse(
+      req, st.retryable() ? ResponseCode::kRetryable : ResponseCode::kError,
+      st.ToString());
+}
+
+Response Dispatcher::Execute(const Request& req, uint64_t conn_id) {
+  if (fault_ != nullptr) {
+    // server.dispatch failpoint: fails the request before any dataset
+    // effect — the error-atomicity contract on the wire.
+    const Status fst = fault_->Hit(failpoints::kServerDispatch);
+    if (!fst.ok()) {
+      return ErrorResponse(req,
+                           fst.retryable() ? ResponseCode::kRetryable
+                                           : ResponseCode::kError,
+                           "dispatch: " + fst.ToString());
+    }
+  }
+  switch (req.type) {
+    case RequestType::kInsert: {
+      bool inserted = false;
+      const Status st = ds_->Insert(req.record, &inserted);
+      if (!st.ok()) return MapWriteError(req, st);
+      Response r = OkResponse(req);
+      r.count = inserted ? 1 : 0;  // duplicate key = OK with count 0
+      return r;
+    }
+    case RequestType::kUpsert: {
+      const Status st = ds_->Upsert(req.record);
+      if (!st.ok()) return MapWriteError(req, st);
+      Response r = OkResponse(req);
+      r.count = 1;
+      return r;
+    }
+    case RequestType::kDelete: {
+      const Status st = ds_->Delete(req.id);
+      if (!st.ok()) return MapWriteError(req, st);
+      Response r = OkResponse(req);
+      r.count = 1;
+      return r;
+    }
+    case RequestType::kGet: {
+      TweetRecord rec;
+      const Status st = ds_->GetById(req.id, &rec);
+      if (st.IsNotFound()) {
+        return ErrorResponse(req, ResponseCode::kNotFound, "");
+      }
+      if (!st.ok()) {
+        return ErrorResponse(req,
+                             st.retryable() ? ResponseCode::kRetryable
+                                            : ResponseCode::kError,
+                             st.ToString());
+      }
+      Response r = OkResponse(req);
+      r.count = 1;
+      r.records.push_back(std::move(rec));
+      return r;
+    }
+    case RequestType::kQuery:
+      return ExecuteQuery(req, conn_id);
+    case RequestType::kScan: {
+      auto cursor = ds_->NewCursor(
+          Query().TimeRange(req.time_lo, req.time_hi).CountOnly());
+      if (!cursor.ok()) {
+        return ErrorResponse(req, ResponseCode::kBadRequest,
+                             cursor.status().ToString());
+      }
+      QueryResult drained;
+      const Status st = (*cursor)->Drain(&drained);
+      if (!st.ok()) {
+        return ErrorResponse(req,
+                             st.retryable() ? ResponseCode::kRetryable
+                                            : ResponseCode::kError,
+                             st.ToString());
+      }
+      Response r = OkResponse(req);
+      r.count = (*cursor)->stats().records_matched;
+      r.done = true;
+      return r;
+    }
+    case RequestType::kCursorNext:
+      return ExecuteCursorNext(req, conn_id);
+    case RequestType::kCursorClose:
+      return ExecuteCursorClose(req, conn_id);
+  }
+  return ErrorResponse(req, ResponseCode::kBadRequest, "unknown request type");
+}
+
+Response Dispatcher::ExecuteQuery(const Request& req, uint64_t conn_id) {
+  ReadQuery q;
+  if (req.index_name.empty()) {
+    q.Secondary();
+  } else {
+    q.Secondary(req.index_name);
+  }
+  q.Range(req.range_lo, req.range_hi);
+  if (req.limit > 0) q.Limit(req.limit);
+  if (req.page_size > 0) q.PageSize(req.page_size);
+  auto cursor = ds_->NewCursor(q);
+  if (!cursor.ok()) {
+    // Planner rejections (unknown index name, contradictory description)
+    // are the client's fault, not the dataset's.
+    return ErrorResponse(req, ResponseCode::kBadRequest,
+                         cursor.status().ToString());
+  }
+  QueryPage page;
+  const Status st = (*cursor)->Next(&page);
+  if (!st.ok()) {
+    return ErrorResponse(req,
+                         st.retryable() ? ResponseCode::kRetryable
+                                        : ResponseCode::kError,
+                         st.ToString());
+  }
+  Response r = OkResponse(req);
+  r.records = std::move(page.records);
+  r.count = r.records.size();
+  if ((*cursor)->done()) {
+    r.done = true;
+    return r;
+  }
+  // More pages remain: park the cursor and hand the client a continuation
+  // id. The snapshot stays pinned until kCursorClose or the last page.
+  std::lock_guard<std::mutex> l(mu_);
+  size_t& open = cursors_per_conn_[conn_id];
+  if (open >= max_cursors_per_conn_) {
+    return ErrorResponse(req, ResponseCode::kError,
+                         "cursor budget exhausted for connection");
+  }
+  open++;
+  const uint64_t id = next_cursor_id_++;
+  cursors_[id] = OpenCursor{std::move(*cursor), conn_id};
+  r.cursor_id = id;
+  r.done = false;
+  return r;
+}
+
+Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
+  QueryCursor* cursor = nullptr;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = cursors_.find(req.cursor_id);
+    if (it == cursors_.end() || it->second.conn_id != conn_id) {
+      // Unknown or foreign cursor ids look identical to the client: cursor
+      // ids are per-server capabilities, not probeable global names.
+      return ErrorResponse(req, ResponseCode::kBadRequest, "unknown cursor");
+    }
+    cursor = it->second.cursor.get();
+  }
+  // Safe without the lock: requests of one connection never run
+  // concurrently, and only the owning connection reaches this cursor.
+  QueryPage page;
+  const Status st = cursor->Next(&page);
+  if (!st.ok()) {
+    return ErrorResponse(req,
+                         st.retryable() ? ResponseCode::kRetryable
+                                        : ResponseCode::kError,
+                         st.ToString());
+  }
+  Response r = OkResponse(req);
+  r.records = std::move(page.records);
+  r.count = r.records.size();
+  r.cursor_id = req.cursor_id;
+  r.done = cursor->done();
+  if (r.done) {
+    std::lock_guard<std::mutex> l(mu_);
+    cursors_.erase(req.cursor_id);
+    cursors_per_conn_[conn_id]--;
+  }
+  return r;
+}
+
+Response Dispatcher::ExecuteCursorClose(const Request& req, uint64_t conn_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = cursors_.find(req.cursor_id);
+  if (it == cursors_.end() || it->second.conn_id != conn_id) {
+    return ErrorResponse(req, ResponseCode::kBadRequest, "unknown cursor");
+  }
+  cursors_.erase(it);
+  cursors_per_conn_[conn_id]--;
+  Response r = OkResponse(req);
+  r.done = true;
+  return r;
+}
+
+void Dispatcher::CloseConnectionCursors(uint64_t conn_id) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.conn_id == conn_id) {
+      it = cursors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cursors_per_conn_.erase(conn_id);
+}
+
+size_t Dispatcher::open_cursors() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return cursors_.size();
+}
+
+}  // namespace server
+}  // namespace auxlsm

@@ -1,0 +1,87 @@
+// Request dispatcher of the service layer (PR 9).
+//
+// The Dispatcher is the protocol -> storage bridge: it executes one decoded
+// Request against the Dataset (writes through the auto-commit ingest path,
+// reads through the ReadQuery planner / QueryCursor pull API) and shapes the
+// outcome into a Response. It owns the server-side cursor table: a paginated
+// kQuery opens a QueryCursor, returns its first page plus a cursor id, and
+// the client continues with kCursorNext frames until `done` — exactly the
+// wire-level equivalent of the in-process pull loop.
+//
+// Error mapping (satellite 2): a write failing while the dataset is degraded
+// (Dataset::health() == kDegraded) drains TakeBackgroundError() to re-arm
+// the maintenance pipeline and answers kRetryable — the connection stays
+// open and a later retry can succeed, instead of one background fault
+// killing every session. Transient storage errors (Status::retryable())
+// map to kRetryable likewise; permanent errors to kError; NotFound and
+// grammar problems to their own codes.
+//
+// The server.dispatch failpoint fires before the dataset is touched, so an
+// injected dispatch fault is a pure per-request error with no partial state.
+//
+// Thread model: Execute() is safe from concurrent server workers (the cursor
+// table is mutex-guarded), but requests of one connection are never executed
+// concurrently (the server partitions batches by connection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "server/protocol.h"
+
+namespace auxlsm {
+
+class Dataset;
+class FaultInjector;
+class QueryCursor;
+
+namespace server {
+
+class Dispatcher {
+ public:
+  /// `fault` may be null; `max_cursors_per_connection` bounds the cursor
+  /// table per client (an exhausted budget answers kError).
+  Dispatcher(Dataset* dataset, FaultInjector* fault,
+             size_t max_cursors_per_connection);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Executes one request on behalf of connection `conn_id`. The caller is
+  /// responsible for device-queue binding (IoQueueScope) around this call.
+  Response Execute(const Request& req, uint64_t conn_id);
+
+  /// Drops every cursor owned by a connection (disconnect path).
+  void CloseConnectionCursors(uint64_t conn_id);
+
+  /// Live server-side cursors (backlog gauge).
+  size_t open_cursors() const;
+
+ private:
+  Response ExecuteQuery(const Request& req, uint64_t conn_id);
+  Response ExecuteCursorNext(const Request& req, uint64_t conn_id);
+  Response ExecuteCursorClose(const Request& req, uint64_t conn_id);
+  /// Maps a non-OK write Status to a Response, draining the dataset's
+  /// sticky background errors when degraded (see header comment).
+  Response MapWriteError(const Request& req, const Status& st);
+
+  struct OpenCursor {
+    std::unique_ptr<QueryCursor> cursor;
+    uint64_t conn_id = 0;
+  };
+
+  Dataset* const ds_;
+  FaultInjector* const fault_;
+  const size_t max_cursors_per_conn_;
+
+  mutable std::mutex mu_;  ///< guards the cursor table
+  uint64_t next_cursor_id_ = 1;
+  std::map<uint64_t, OpenCursor> cursors_;
+  std::unordered_map<uint64_t, size_t> cursors_per_conn_;
+};
+
+}  // namespace server
+}  // namespace auxlsm

@@ -1,0 +1,217 @@
+#include "server/protocol.h"
+
+#include <bit>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace auxlsm {
+namespace server {
+
+namespace {
+
+void PutDoubleBits(std::string* dst, double v) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(v));
+}
+
+double GetDoubleBits(const char* p) {
+  return std::bit_cast<double>(DecodeFixed64(p));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& body) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  PutFixed32(&out, static_cast<uint32_t>(body.size()));
+  PutFixed32(&out, MaskCrc(Crc32c(body.data(), body.size())));
+  out += body;
+  return out;
+}
+
+FrameResult DecodeFrame(const Slice& in, size_t max_frame_bytes, Slice* body,
+                        size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (in.size() < kFrameHeaderBytes) return FrameResult::kNeedMore;
+  const uint32_t len = DecodeFixed32(in.data());
+  if (len > max_frame_bytes) {
+    // The boundary itself is untrustworthy: resynchronization past this
+    // point is impossible, so the caller drops the remaining buffer.
+    *consumed = in.size();
+    if (error != nullptr) *error = "frame length implausible";
+    return FrameResult::kBad;
+  }
+  if (in.size() < kFrameHeaderBytes + len) return FrameResult::kNeedMore;
+  const uint32_t crc = UnmaskCrc(DecodeFixed32(in.data() + 4));
+  const Slice frame_body(in.data() + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  if (Crc32c(frame_body.data(), frame_body.size()) != crc) {
+    // The length prefix precedes the checksummed body, so the boundary is
+    // still usable: skip exactly this frame and resynchronize on the next.
+    if (error != nullptr) *error = "frame checksum mismatch";
+    return FrameResult::kBad;
+  }
+  *body = frame_body;
+  return FrameResult::kOk;
+}
+
+std::string Request::EncodeBody() const {
+  std::string body;
+  PutFixed64(&body, request_id);
+  PutDoubleBits(&body, arrival_us);
+  body.push_back(static_cast<char>(type));
+  switch (type) {
+    case RequestType::kInsert:
+    case RequestType::kUpsert:
+      PutLengthPrefixedSlice(&body, record.Serialize());
+      break;
+    case RequestType::kDelete:
+    case RequestType::kGet:
+      PutVarint64(&body, id);
+      break;
+    case RequestType::kQuery:
+      PutLengthPrefixedSlice(&body, index_name);
+      PutVarint64(&body, range_lo);
+      PutVarint64(&body, range_hi);
+      PutVarint64(&body, limit);
+      PutVarint64(&body, page_size);
+      break;
+    case RequestType::kScan:
+      PutVarint64(&body, time_lo);
+      PutVarint64(&body, time_hi);
+      break;
+    case RequestType::kCursorNext:
+    case RequestType::kCursorClose:
+      PutFixed64(&body, cursor_id);
+      break;
+  }
+  return body;
+}
+
+std::string Request::EncodeFrame() const { return server::EncodeFrame(EncodeBody()); }
+
+Status Request::DecodeBody(const Slice& body, Request* out) {
+  if (body.size() < 17) return Status::Corruption("request header truncated");
+  out->request_id = DecodeFixed64(body.data());
+  out->arrival_us = GetDoubleBits(body.data() + 8);
+  const uint8_t raw_type = static_cast<uint8_t>(body[16]);
+  if (raw_type < uint8_t(RequestType::kInsert) ||
+      raw_type > uint8_t(RequestType::kCursorClose)) {
+    return Status::Corruption("unknown request type");
+  }
+  out->type = static_cast<RequestType>(raw_type);
+  Slice p(body.data() + 17, body.size() - 17);
+  switch (out->type) {
+    case RequestType::kInsert:
+    case RequestType::kUpsert: {
+      Slice rec;
+      if (!GetLengthPrefixedSlice(&p, &rec)) {
+        return Status::Corruption("request record truncated");
+      }
+      AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(rec, &out->record));
+      break;
+    }
+    case RequestType::kDelete:
+    case RequestType::kGet:
+      if (!GetVarint64(&p, &out->id)) {
+        return Status::Corruption("request id field truncated");
+      }
+      break;
+    case RequestType::kQuery: {
+      Slice name;
+      if (!GetLengthPrefixedSlice(&p, &name) ||
+          !GetVarint64(&p, &out->range_lo) ||
+          !GetVarint64(&p, &out->range_hi) || !GetVarint64(&p, &out->limit) ||
+          !GetVarint64(&p, &out->page_size)) {
+        return Status::Corruption("query request truncated");
+      }
+      out->index_name = name.ToString();
+      break;
+    }
+    case RequestType::kScan:
+      if (!GetVarint64(&p, &out->time_lo) ||
+          !GetVarint64(&p, &out->time_hi)) {
+        return Status::Corruption("scan request truncated");
+      }
+      break;
+    case RequestType::kCursorNext:
+    case RequestType::kCursorClose:
+      if (p.size() < 8) return Status::Corruption("cursor request truncated");
+      out->cursor_id = DecodeFixed64(p.data());
+      break;
+  }
+  return Status::OK();
+}
+
+const char* ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk: return "ok";
+    case ResponseCode::kNotFound: return "not-found";
+    case ResponseCode::kRetryable: return "retryable";
+    case ResponseCode::kBadRequest: return "bad-request";
+    case ResponseCode::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Response::EncodeBody() const {
+  std::string body;
+  PutFixed64(&body, request_id);
+  body.push_back(static_cast<char>(code));
+  body.push_back(static_cast<char>(done ? 1 : 0));
+  PutFixed64(&body, cursor_id);
+  PutVarint64(&body, count);
+  PutDoubleBits(&body, completion_us);
+  PutDoubleBits(&body, latency_us);
+  PutLengthPrefixedSlice(&body, message);
+  PutVarint32(&body, static_cast<uint32_t>(records.size()));
+  for (const TweetRecord& r : records) {
+    PutLengthPrefixedSlice(&body, r.Serialize());
+  }
+  return body;
+}
+
+std::string Response::EncodeFrame() const {
+  return server::EncodeFrame(EncodeBody());
+}
+
+Status Response::DecodeBody(const Slice& body, Response* out) {
+  if (body.size() < 34) return Status::Corruption("response header truncated");
+  out->request_id = DecodeFixed64(body.data());
+  const uint8_t raw_code = static_cast<uint8_t>(body[8]);
+  if (raw_code > uint8_t(ResponseCode::kError)) {
+    return Status::Corruption("unknown response code");
+  }
+  out->code = static_cast<ResponseCode>(raw_code);
+  out->done = body[9] != 0;
+  out->cursor_id = DecodeFixed64(body.data() + 10);
+  Slice p(body.data() + 18, body.size() - 18);
+  if (!GetVarint64(&p, &out->count)) {
+    return Status::Corruption("response count truncated");
+  }
+  if (p.size() < 16) return Status::Corruption("response stamps truncated");
+  out->completion_us = GetDoubleBits(p.data());
+  out->latency_us = GetDoubleBits(p.data() + 8);
+  p.remove_prefix(16);
+  Slice msg;
+  uint32_t n = 0;
+  if (!GetLengthPrefixedSlice(&p, &msg) || !GetVarint32(&p, &n)) {
+    return Status::Corruption("response message truncated");
+  }
+  out->message = msg.ToString();
+  out->records.clear();
+  out->records.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Slice rec;
+    if (!GetLengthPrefixedSlice(&p, &rec)) {
+      return Status::Corruption("response record truncated");
+    }
+    TweetRecord r;
+    AUXLSM_RETURN_NOT_OK(TweetRecord::Deserialize(rec, &r));
+    out->records.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace auxlsm

@@ -1,0 +1,130 @@
+// Wire protocol of the network service layer (PR 9).
+//
+// Requests and responses travel as length-prefixed, CRC-framed binary
+// frames — the same framing discipline as the WAL's log records
+// (txn/log_record.cc), so a torn or corrupted frame is detectable before
+// any field is trusted:
+//
+//   frame := [fixed32 body_len][fixed32 masked_crc32c(body)][body]
+//
+// A stream decoder distinguishes three outcomes: a complete valid frame
+// (kOk), an incomplete tail that needs more bytes (kNeedMore — the normal
+// residue of streaming, never an error), and a damaged frame (kBad — CRC
+// mismatch or an implausible length). A CRC-failing frame still has a
+// trustworthy boundary (the length prefix precedes the checksummed body),
+// so the decoder skips exactly that frame and resynchronizes on the next;
+// an implausible length (> max_frame_bytes) means the boundary itself is
+// garbage and the decoder drops the remaining buffer. Either way the
+// server surfaces a per-request error response — a malformed frame never
+// reaches the dataset (see failpoints server.decode_frame).
+//
+// Request bodies carry a request id (echoed in the response), the modeled
+// arrival timestamp (IEEE-754 bits of the open-loop driver's virtual
+// clock, microseconds; 0 = "now"), the operation type, and a per-type
+// payload. Response bodies echo the id and report a ResponseCode, the
+// result rows, an optional cursor id for paginated continuation
+// (kCursorNext), and the request's modeled completion/latency stamps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "format/record.h"
+
+namespace auxlsm {
+namespace server {
+
+/// Frame header: fixed32 body length + fixed32 masked CRC-32C of the body.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Default ceiling on one frame's body; a length prefix above the
+/// configured maximum is treated as stream corruption (the boundary cannot
+/// be trusted, so the decoder cannot resynchronize past it).
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Wraps a body in a CRC frame.
+std::string EncodeFrame(const std::string& body);
+
+enum class FrameResult {
+  kOk,        ///< *body holds a verified frame body; *consumed advanced
+  kNeedMore,  ///< incomplete tail — feed more bytes, nothing consumed
+  kBad,       ///< damaged frame — *consumed skips it (or the whole buffer)
+};
+
+/// Extracts the next frame from `in`. On kBad, *consumed is the number of
+/// bytes to discard (the damaged frame when its boundary is trustworthy,
+/// the whole buffer when the length prefix is implausible) and *error
+/// explains the damage.
+FrameResult DecodeFrame(const Slice& in, size_t max_frame_bytes, Slice* body,
+                        size_t* consumed, std::string* error);
+
+enum class RequestType : uint8_t {
+  kInsert = 1,      ///< insert (duplicate key -> kOk with count=0)
+  kUpsert = 2,
+  kDelete = 3,
+  kGet = 4,         ///< primary-key point read
+  kQuery = 5,       ///< secondary range query, paginated via cursor_id
+  kScan = 6,        ///< creation_time range-filter scan (count-only)
+  kCursorNext = 7,  ///< pull the next page of an open server cursor
+  kCursorClose = 8, ///< drop an open server cursor
+};
+
+struct Request {
+  uint64_t request_id = 0;
+  /// Modeled send time (microseconds on the open-loop driver's virtual
+  /// clock). 0 = no arrival model: the request is treated as arriving the
+  /// moment the server gets to it, so its latency is pure service time.
+  double arrival_us = 0;
+  RequestType type = RequestType::kGet;
+
+  TweetRecord record;       ///< kInsert / kUpsert
+  uint64_t id = 0;          ///< kDelete / kGet
+  std::string index_name;   ///< kQuery; empty = the first secondary index
+  uint64_t range_lo = 0, range_hi = 0;  ///< kQuery secondary-key range
+  uint64_t time_lo = 0, time_hi = 0;    ///< kScan creation_time range
+  uint64_t limit = 0;       ///< kQuery; 0 = unlimited
+  uint64_t page_size = 0;   ///< kQuery rows per page; 0 = server default
+  uint64_t cursor_id = 0;   ///< kCursorNext / kCursorClose
+
+  std::string EncodeBody() const;
+  /// EncodeBody wrapped in a CRC frame — what a client writes to the wire.
+  std::string EncodeFrame() const;
+  static Status DecodeBody(const Slice& body, Request* out);
+};
+
+enum class ResponseCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,    ///< kGet miss
+  kRetryable = 2,   ///< transient server/dataset condition — retry the op
+  kBadRequest = 3,  ///< malformed frame / unknown type / bad cursor id
+  kError = 4,       ///< permanent failure of this request
+};
+
+const char* ResponseCodeName(ResponseCode code);
+
+struct Response {
+  uint64_t request_id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  /// Cursor protocol: done=false + cursor_id != 0 means more pages are
+  /// available via kCursorNext. Non-cursor responses are always done.
+  bool done = true;
+  uint64_t cursor_id = 0;
+  /// kScan: matched rows; kInsert: 1 iff a new record was inserted;
+  /// kQuery/kCursorNext: rows in this page (== records.size()).
+  uint64_t count = 0;
+  /// Modeled completion time and arrival->completion latency of this
+  /// request on the service's virtual clocks (server/server.h).
+  double completion_us = 0;
+  double latency_us = 0;
+  std::string message;  ///< error text (empty on kOk)
+  std::vector<TweetRecord> records;
+
+  std::string EncodeBody() const;
+  std::string EncodeFrame() const;
+  static Status DecodeBody(const Slice& body, Response* out);
+};
+
+}  // namespace server
+}  // namespace auxlsm

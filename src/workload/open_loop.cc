@@ -1,0 +1,267 @@
+#include "workload/open_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/dataset.h"
+#include "server/server.h"
+
+namespace auxlsm {
+
+namespace {
+
+/// Order-insensitive result fold: responses may come off the wire in any
+/// cross-connection order, so per-response contributions sum (commutative)
+/// while staying order-sensitive *within* a request via the row index.
+uint64_t MixResult(uint64_t request_id, uint64_t tag, uint64_t value) {
+  uint64_t h = request_id * 0x9E3779B97F4A7C15ULL;
+  h ^= (tag + 1) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= value * 0x165667B19E3779F9ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+void FoldResponse(const server::Response& r, uint64_t first_row_index,
+                  OpenLoopReport* report) {
+  using server::ResponseCode;
+  switch (r.code) {
+    case ResponseCode::kOk:
+      report->ok++;
+      break;
+    case ResponseCode::kNotFound:
+      report->not_found++;
+      break;
+    case ResponseCode::kRetryable:
+      report->retryable++;
+      report->errors++;
+      break;
+    default:
+      report->errors++;
+      break;
+  }
+  report->result_checksum +=
+      MixResult(r.request_id, 0, (uint64_t(r.code) << 32) | r.count);
+  uint64_t row = first_row_index;
+  for (const TweetRecord& rec : r.records) {
+    report->result_checksum += MixResult(r.request_id, 1 + row, rec.id);
+    row++;
+  }
+  report->rows += r.records.size();
+}
+
+}  // namespace
+
+std::vector<server::Request> MakeOpenLoopScript(
+    TweetGenerator* gen, const OpenLoopOptions& options) {
+  using server::Request;
+  using server::RequestType;
+  Random rng(options.seed);
+  std::vector<Request> script;
+  script.reserve(options.num_ops);
+  double arrival_us = 0;
+  const double mean_gap_us = options.offered_ops_per_sec > 0
+                                 ? 1e6 / options.offered_ops_per_sec
+                                 : 0;
+  for (uint64_t i = 0; i < options.num_ops; i++) {
+    Request req;
+    req.request_id = i + 1;
+    if (mean_gap_us > 0) {
+      // Exponential interarrival: Poisson process on the modeled clock.
+      arrival_us += -mean_gap_us * std::log(1.0 - rng.NextDouble());
+      req.arrival_us = arrival_us;
+    }
+    const double u = rng.NextDouble();
+    if (u < options.get_fraction && gen->generated() > 0) {
+      req.type = RequestType::kGet;
+      req.id = gen->IdAt(rng.Uniform(gen->generated()));
+    } else if (u < options.get_fraction + options.query_fraction) {
+      req.type = RequestType::kQuery;
+      req.index_name = options.index_name;
+      req.range_lo = rng.Uniform(options.user_domain);
+      req.range_hi = req.range_lo + options.range_width;
+      req.limit = options.limit;
+      req.page_size = options.page_size;
+    } else {
+      req.type = RequestType::kUpsert;
+      req.record = gen->Next();
+    }
+    script.push_back(std::move(req));
+  }
+  return script;
+}
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto rank = [&](double p) {
+    size_t i = size_t(std::ceil(p * double(samples.size())));
+    if (i == 0) i = 1;
+    return samples[std::min(i, samples.size()) - 1];
+  };
+  s.p50 = rank(0.50);
+  s.p90 = rank(0.90);
+  s.p99 = rank(0.99);
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / double(samples.size());
+  return s;
+}
+
+Status RunOpenLoopWorkload(server::RequestServer* srv,
+                           const std::vector<server::Request>& script,
+                           size_t num_connections, size_t poll_every,
+                           OpenLoopReport* report) {
+  using server::ClientConnection;
+  using server::Request;
+  using server::RequestType;
+  using server::Response;
+  *report = OpenLoopReport{};
+  if (num_connections == 0) num_connections = 1;
+  if (poll_every == 0) poll_every = 1;
+  std::vector<ClientConnection*> conns;
+  conns.reserve(num_connections);
+  for (size_t i = 0; i < num_connections; i++) conns.push_back(srv->Connect());
+
+  std::vector<double> latencies;
+  latencies.reserve(script.size());
+  // Rows already delivered per request id (continuation pages keep the
+  // original id, so the checksum's row index runs across pages).
+  std::unordered_map<uint64_t, uint64_t> rows_seen;
+  uint64_t outstanding = 0;
+
+  auto harvest = [&](ClientConnection* c) {
+    for (Response& r : c->Receive()) {
+      outstanding--;
+      uint64_t& row0 = rows_seen[r.request_id];
+      FoldResponse(r, row0, report);
+      row0 += r.records.size();
+      latencies.push_back(r.latency_us);
+      report->makespan_us = std::max(report->makespan_us, r.completion_us);
+      if (r.code == server::ResponseCode::kOk && !r.done && r.cursor_id != 0) {
+        // Continuation: the next page is requested the instant the previous
+        // one completes on the modeled clock — a client pulling as fast as
+        // the pagination allows.
+        Request next;
+        next.request_id = r.request_id;
+        next.type = RequestType::kCursorNext;
+        next.cursor_id = r.cursor_id;
+        next.arrival_us = r.completion_us;
+        c->Send(next.EncodeFrame());
+        outstanding++;
+      }
+    }
+  };
+
+  size_t sent = 0;
+  for (const Request& req : script) {
+    conns[sent % num_connections]->Send(req.EncodeFrame());
+    outstanding++;
+    sent++;
+    if (sent % poll_every == 0) {
+      srv->Poll();
+      for (ClientConnection* c : conns) harvest(c);
+    }
+  }
+  // Drain: every script response and every continuation it spawns.
+  while (outstanding > 0) {
+    srv->PollUntilIdle();
+    const uint64_t before = outstanding;
+    for (ClientConnection* c : conns) harvest(c);
+    if (outstanding == before) {
+      return Status::Aborted("open-loop drain made no progress");
+    }
+  }
+  report->ops = report->ok + report->not_found + report->errors;
+  report->latency = SummarizeLatencies(std::move(latencies));
+  if (report->makespan_us > 0) {
+    report->achieved_ops_per_sec =
+        double(report->ops) * 1e6 / report->makespan_us;
+  }
+  return Status::OK();
+}
+
+Status RunOpenLoopInProcess(Dataset* dataset,
+                            const std::vector<server::Request>& script,
+                            OpenLoopReport* report) {
+  using server::Request;
+  using server::RequestType;
+  using server::Response;
+  *report = OpenLoopReport{};
+  for (const Request& req : script) {
+    switch (req.type) {
+      case RequestType::kUpsert: {
+        AUXLSM_RETURN_NOT_OK(dataset->Upsert(req.record));
+        Response r;
+        r.request_id = req.request_id;
+        r.code = server::ResponseCode::kOk;
+        r.count = 1;
+        FoldResponse(r, 0, report);
+        break;
+      }
+      case RequestType::kInsert: {
+        bool inserted = false;
+        AUXLSM_RETURN_NOT_OK(dataset->Insert(req.record, &inserted));
+        Response r;
+        r.request_id = req.request_id;
+        r.code = server::ResponseCode::kOk;
+        r.count = inserted ? 1 : 0;
+        FoldResponse(r, 0, report);
+        break;
+      }
+      case RequestType::kGet: {
+        Response r;
+        r.request_id = req.request_id;
+        TweetRecord rec;
+        const Status st = dataset->GetById(req.id, &rec);
+        if (st.IsNotFound()) {
+          r.code = server::ResponseCode::kNotFound;
+        } else if (!st.ok()) {
+          return st;
+        } else {
+          r.code = server::ResponseCode::kOk;
+          r.count = 1;
+          r.records.push_back(rec);
+        }
+        FoldResponse(r, 0, report);
+        break;
+      }
+      case RequestType::kQuery: {
+        ReadQuery q;
+        if (req.index_name.empty()) {
+          q.Secondary();
+        } else {
+          q.Secondary(req.index_name);
+        }
+        q.Range(req.range_lo, req.range_hi);
+        if (req.limit > 0) q.Limit(req.limit);
+        if (req.page_size > 0) q.PageSize(req.page_size);
+        auto cursor = dataset->NewCursor(q);
+        AUXLSM_RETURN_NOT_OK(cursor.status());
+        // Page exactly like the wire protocol: one response per page, all
+        // under the original request id with a running row index.
+        uint64_t row = 0;
+        do {
+          QueryPage page;
+          AUXLSM_RETURN_NOT_OK((*cursor)->Next(&page));
+          Response r;
+          r.request_id = req.request_id;
+          r.code = server::ResponseCode::kOk;
+          r.records = std::move(page.records);
+          r.count = r.records.size();
+          FoldResponse(r, row, report);
+          row += r.records.size();
+        } while (!(*cursor)->done());
+        break;
+      }
+      default:
+        return Status::InvalidArgument("script op not replayable in-process");
+    }
+  }
+  report->ops = report->ok + report->not_found + report->errors;
+  return Status::OK();
+}
+
+}  // namespace auxlsm

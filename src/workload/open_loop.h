@@ -1,0 +1,102 @@
+// Open-loop traffic driver for the request server (PR 9).
+//
+// Closed-loop drivers (driver.h) issue the next operation only after the
+// previous one returns, so a slow server quietly throttles the workload and
+// latency numbers stay flattering. The open-loop driver severs that link:
+// operations arrive at Poisson times on the *modeled* clock, fixed in
+// advance — when the server falls behind, later arrivals queue behind the
+// backlog and their modeled latency grows without bound. This is the
+// latency-vs-offered-load methodology of bench/fig24_service_latency.
+//
+// The driver is script-based for parity: MakeOpenLoopScript() generates the
+// full operation sequence (op mix, keys, ranges, arrival stamps) once from
+// a seeded generator, and the same script replays either through the server
+// (RunOpenLoopWorkload — frames over connections, responses collected off
+// the wire) or directly against the Dataset (RunOpenLoopInProcess). Both
+// runs fold every response into the same order-insensitive result checksum,
+// so "served results row-identical to the in-process run" is one integer
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+#include "workload/tweet_gen.h"
+
+namespace auxlsm {
+
+class Dataset;
+
+namespace server {
+class RequestServer;
+}
+
+struct OpenLoopOptions {
+  uint64_t num_ops = 10000;
+  /// Poisson arrival rate on the modeled clock. 0 disables arrival stamps:
+  /// every request arrives at its start (closed-loop degenerate, latency ==
+  /// service time).
+  double offered_ops_per_sec = 0;
+  /// Op mix: write (fresh-record upsert), point get, secondary range query;
+  /// fractions of 1.0, remainder goes to writes.
+  double get_fraction = 0.3;
+  double query_fraction = 0.1;
+  uint64_t range_width = 100;  ///< secondary-key width of each range query
+  uint64_t limit = 10;         ///< rows per range query (0 = unlimited)
+  size_t page_size = 0;        ///< > 0 = paginate with cursor continuations
+  uint64_t user_domain = 100000;
+  uint64_t seed = 7;
+  std::string index_name;  ///< empty = the first secondary index
+};
+
+/// Generates the operation script: requests with ids 1..num_ops, arrival
+/// stamps (modeled µs) when offered_ops_per_sec > 0, keys drawn from the
+/// generator's history (point gets need gen->generated() > 0 — preload
+/// with LoadRecords first when the mix includes gets).
+std::vector<server::Request> MakeOpenLoopScript(TweetGenerator* gen,
+                                                const OpenLoopOptions& options);
+
+struct LatencySummary {
+  double p50 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
+};
+
+/// Nearest-rank percentiles over per-request modeled latencies (µs).
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
+struct OpenLoopReport {
+  uint64_t ops = 0;        ///< script requests answered (continuations fold in)
+  uint64_t ok = 0;         ///< responses with code kOk
+  uint64_t not_found = 0;
+  uint64_t errors = 0;     ///< kRetryable / kBadRequest / kError responses
+  uint64_t retryable = 0;  ///< kRetryable subset
+  uint64_t rows = 0;       ///< result rows across gets + query pages
+  /// Order-insensitive fold of (request id, code, count, row ids): equal
+  /// checksums + counts mean the two runs served identical results.
+  uint64_t result_checksum = 0;
+  double offered_ops_per_sec = 0;
+  double achieved_ops_per_sec = 0;  ///< ops / modeled makespan
+  double makespan_us = 0;           ///< max modeled completion stamp
+  LatencySummary latency;           ///< per-response modeled latency
+};
+
+/// Replays the script through the server: request i goes to connection
+/// (i % num_connections), the server is polled every `poll_every` sends
+/// (1 = strict script order, the parity configuration), paginated queries
+/// are continued with kCursorNext frames whose arrival is the previous
+/// page's modeled completion, and the run drains until every response —
+/// continuations included — is back.
+Status RunOpenLoopWorkload(server::RequestServer* srv,
+                           const std::vector<server::Request>& script,
+                           size_t num_connections, size_t poll_every,
+                           OpenLoopReport* report);
+
+/// Replays the same script directly against the dataset (no server, no
+/// frames) and folds results into the same checksum: the parity baseline.
+Status RunOpenLoopInProcess(Dataset* dataset,
+                            const std::vector<server::Request>& script,
+                            OpenLoopReport* report);
+
+}  // namespace auxlsm
