@@ -188,7 +188,11 @@ Response Dispatcher::ExecuteQuery(const Request& req, uint64_t conn_id) {
 }
 
 Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
-  QueryCursor* cursor = nullptr;
+  // Take ownership of the cursor while holding mu_ so a concurrent
+  // Disconnect -> CloseConnectionCursors cannot destroy it under us; the
+  // entry is re-inserted after Next() unless the cursor finished or the
+  // connection went away in the meantime.
+  std::unique_ptr<QueryCursor> cursor;
   {
     std::lock_guard<std::mutex> l(mu_);
     auto it = cursors_.find(req.cursor_id);
@@ -197,27 +201,39 @@ Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
       // ids are per-server capabilities, not probeable global names.
       return ErrorResponse(req, ResponseCode::kBadRequest, "unknown cursor");
     }
-    cursor = it->second.cursor.get();
+    cursor = std::move(it->second.cursor);
+    cursors_.erase(it);
   }
-  // Safe without the lock: requests of one connection never run
-  // concurrently, and only the owning connection reaches this cursor.
   QueryPage page;
   const Status st = cursor->Next(&page);
+  Response r;
+  bool keep_cursor;
   if (!st.ok()) {
-    return ErrorResponse(req,
-                         st.retryable() ? ResponseCode::kRetryable
-                                        : ResponseCode::kError,
-                         st.ToString());
+    // Keep the cursor parked so a retryable failure can be retried.
+    keep_cursor = true;
+    r = ErrorResponse(req,
+                      st.retryable() ? ResponseCode::kRetryable
+                                     : ResponseCode::kError,
+                      st.ToString());
+  } else {
+    r = OkResponse(req);
+    r.records = std::move(page.records);
+    r.count = r.records.size();
+    r.cursor_id = req.cursor_id;
+    r.done = cursor->done();
+    keep_cursor = !r.done;
   }
-  Response r = OkResponse(req);
-  r.records = std::move(page.records);
-  r.count = r.records.size();
-  r.cursor_id = req.cursor_id;
-  r.done = cursor->done();
-  if (r.done) {
-    std::lock_guard<std::mutex> l(mu_);
-    cursors_.erase(req.cursor_id);
-    cursors_per_conn_[conn_id]--;
+  std::lock_guard<std::mutex> l(mu_);
+  auto per_conn = cursors_per_conn_.find(conn_id);
+  if (per_conn == cursors_per_conn_.end()) {
+    // Disconnected while Next() ran: the cursor dies here, whatever state
+    // it is in — CloseConnectionCursors already dropped its siblings.
+    return r;
+  }
+  if (keep_cursor) {
+    cursors_[req.cursor_id] = OpenCursor{std::move(cursor), conn_id};
+  } else if (per_conn->second > 0 && --per_conn->second == 0) {
+    cursors_per_conn_.erase(per_conn);
   }
   return r;
 }
@@ -229,7 +245,11 @@ Response Dispatcher::ExecuteCursorClose(const Request& req, uint64_t conn_id) {
     return ErrorResponse(req, ResponseCode::kBadRequest, "unknown cursor");
   }
   cursors_.erase(it);
-  cursors_per_conn_[conn_id]--;
+  auto per_conn = cursors_per_conn_.find(conn_id);
+  if (per_conn != cursors_per_conn_.end() && per_conn->second > 0 &&
+      --per_conn->second == 0) {
+    cursors_per_conn_.erase(per_conn);
+  }
   Response r = OkResponse(req);
   r.done = true;
   return r;

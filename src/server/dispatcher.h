@@ -22,6 +22,11 @@
 // Thread model: Execute() is safe from concurrent server workers (the cursor
 // table is mutex-guarded), but requests of one connection are never executed
 // concurrently (the server partitions batches by connection).
+// CloseConnectionCursors may race an in-flight kCursorNext of the same
+// connection (Disconnect from another thread): the continuation owns its
+// cursor outside the table while Next() runs and drops it afterwards if the
+// connection's cursor accounting is gone, so the disconnect path never
+// destroys a cursor mid-pull.
 #pragma once
 
 #include <cstdint>

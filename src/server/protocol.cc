@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/coding.h"
@@ -200,7 +201,11 @@ Status Response::DecodeBody(const Slice& body, Response* out) {
   }
   out->message = msg.ToString();
   out->records.clear();
-  out->records.reserve(n);
+  // `n` is wire data: each record costs at least its 1-byte length prefix,
+  // so any count beyond the remaining body is structurally bogus — cap the
+  // reservation instead of trusting a CRC-valid-but-hostile frame with a
+  // multi-GB allocation.
+  out->records.reserve(std::min<size_t>(n, p.size()));
   for (uint32_t i = 0; i < n; i++) {
     Slice rec;
     if (!GetLengthPrefixedSlice(&p, &rec)) {

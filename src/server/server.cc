@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <numeric>
 #include <utility>
 
 #include "core/dataset.h"
@@ -21,6 +22,14 @@ RequestServer::RequestServer(Dataset* dataset, ServerOptions options)
       dispatcher_(dataset, options.fault_injector,
                   options.max_open_cursors_per_connection) {
   queue_next_free_us_.assign(ds_->env()->io()->num_queues(), 0.0);
+  // Two connections share a storage queue iff their ids are congruent mod
+  // Qs, a log queue iff congruent mod Qlog. Congruence mod gcd(Qs, Qlog)
+  // is implied by either, so partitioning workers on (id % gcd) puts every
+  // pair of connections that can touch the same DiskModel queue on the
+  // same worker — the queues themselves are unsynchronized.
+  queue_partition_stride_ =
+      std::gcd(std::max<uint32_t>(1, ds_->env()->io()->num_queues()),
+               std::max<uint32_t>(1, ds_->wal()->io()->num_queues()));
   if (options_.worker_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
@@ -161,16 +170,18 @@ size_t RequestServer::Poll() {
   if (pool_ == nullptr) {
     for (ClientConnection* c : open) dispatched += DispatchBatch(c);
   } else {
-    // Partition connections over workers by id so per-connection FIFO
-    // holds; each worker serves its connections in id order.
+    // Partition connections over workers by device-queue equivalence class
+    // (id % gcd of queue counts): per-connection FIFO holds, and no two
+    // workers ever charge the same storage or log DiskModel queue.
     const size_t workers = options_.worker_threads;
+    const size_t stride = queue_partition_stride_;
     std::vector<std::future<size_t>> futures;
     futures.reserve(workers);
     for (size_t w = 0; w < workers; w++) {
-      futures.push_back(pool_->Submit([this, &open, w, workers]() {
+      futures.push_back(pool_->Submit([this, &open, w, workers, stride]() {
         size_t n = 0;
         for (ClientConnection* c : open) {
-          if (c->id() % workers == w) n += DispatchBatch(c);
+          if ((c->id() % stride) % workers == w) n += DispatchBatch(c);
         }
         return n;
       }));

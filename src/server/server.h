@@ -30,10 +30,14 @@
 // Determinism: with worker_threads == 1 (default) one dispatch thread
 // serves connections in id order, so modeled completions and latencies are
 // exact functions of the request streams — the fig24 serial DIGEST lines
-// pin this. worker_threads > 1 fans per-connection batches over a pool
-// (connections partitioned by id so per-connection FIFO holds); cross-
-// connection ordering on shared queues then depends on host scheduling,
-// trading determinism for wall-clock speed exactly like the ingest pipeline.
+// pin this. worker_threads > 1 fans per-connection batches over a pool.
+// Connections are partitioned across workers by device-queue equivalence
+// class (id % gcd(Q, Qlog)), which both keeps per-connection FIFO and pins
+// every connection that can charge a given DiskModel queue to one worker —
+// the modeled queues are unsynchronized, so two workers must never share
+// one. Cross-connection ordering across queues then depends on host
+// scheduling, trading determinism for wall-clock speed exactly like the
+// ingest pipeline.
 #pragma once
 
 #include <cstdint>
@@ -144,6 +148,9 @@ class RequestServer {
   const ServerOptions options_;
   Dispatcher dispatcher_;
   std::unique_ptr<ThreadPool> pool_;  ///< worker_threads > 1 only
+  /// gcd(storage queues, log queues): connections congruent mod this can
+  /// never share a device queue, so workers partition on (id % stride).
+  size_t queue_partition_stride_ = 1;
 
   mutable std::mutex conns_mu_;  ///< guards conns_ / closed_
   std::vector<std::unique_ptr<ClientConnection>> conns_;

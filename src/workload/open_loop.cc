@@ -132,9 +132,11 @@ Status RunOpenLoopWorkload(server::RequestServer* srv,
   std::unordered_map<uint64_t, uint64_t> rows_seen;
   uint64_t outstanding = 0;
 
-  auto harvest = [&](ClientConnection* c) {
+  auto harvest = [&](ClientConnection* c) -> size_t {
+    size_t received = 0;
     for (Response& r : c->Receive()) {
       outstanding--;
+      received++;
       uint64_t& row0 = rows_seen[r.request_id];
       FoldResponse(r, row0, report);
       row0 += r.records.size();
@@ -153,6 +155,7 @@ Status RunOpenLoopWorkload(server::RequestServer* srv,
         outstanding++;
       }
     }
+    return received;
   };
 
   size_t sent = 0;
@@ -165,12 +168,15 @@ Status RunOpenLoopWorkload(server::RequestServer* srv,
       for (ClientConnection* c : conns) harvest(c);
     }
   }
-  // Drain: every script response and every continuation it spawns.
+  // Drain: every script response and every continuation it spawns. Progress
+  // is responses harvested or requests dispatched — NOT the net change in
+  // `outstanding`, which stays constant when every harvested response is a
+  // non-final page that immediately re-ups with a kCursorNext continuation.
   while (outstanding > 0) {
-    srv->PollUntilIdle();
-    const uint64_t before = outstanding;
-    for (ClientConnection* c : conns) harvest(c);
-    if (outstanding == before) {
+    const size_t dispatched = srv->PollUntilIdle();
+    size_t received = 0;
+    for (ClientConnection* c : conns) received += harvest(c);
+    if (dispatched == 0 && received == 0) {
       return Status::Aborted("open-loop drain made no progress");
     }
   }

@@ -410,6 +410,48 @@ TEST(ServerParityTest, ServedResultsRowIdenticalAcrossStrategies) {
   }
 }
 
+// Regression: a script whose tail is all multi-page queries leaves the
+// drain loop harvesting only non-final pages — each response retires one
+// outstanding request and immediately re-ups with a kCursorNext, so the
+// net outstanding count never moves. The drain must measure progress by
+// responses received / requests dispatched, not by that delta.
+TEST(ServerParityTest, DrainCompletesWhenScriptEndsOnPaginatedQueries) {
+  Env env_a(TestEnv()), env_b(TestEnv());
+  Dataset served_ds(&env_a, Opts(MaintenanceStrategy::kEager));
+  Dataset direct_ds(&env_b, Opts(MaintenanceStrategy::kEager));
+  for (uint64_t id = 1; id <= 60; id++) {
+    ASSERT_TRUE(served_ds.Upsert(MakeTweet(id, id % 5, id)).ok());
+    ASSERT_TRUE(direct_ds.Upsert(MakeTweet(id, id % 5, id)).ok());
+  }
+  ASSERT_TRUE(served_ds.FlushAll().ok());
+  ASSERT_TRUE(direct_ds.FlushAll().ok());
+
+  // Every script op is a query spanning >= 3 pages (limit 12, page 5).
+  std::vector<Request> script;
+  for (uint64_t i = 0; i < 4; i++) {
+    Request q;
+    q.request_id = i + 1;
+    q.type = RequestType::kQuery;
+    q.range_lo = 0;
+    q.range_hi = 4;
+    q.limit = 12;
+    q.page_size = 5;
+    script.push_back(q);
+  }
+
+  RequestServer srv(&served_ds, ServerOptions{});
+  OpenLoopReport served, direct;
+  // poll_every > script size: nothing is harvested until the drain loop,
+  // whose first rounds then see exclusively non-final pages.
+  ASSERT_TRUE(RunOpenLoopWorkload(&srv, script, /*num_connections=*/2,
+                                  /*poll_every=*/100, &served)
+                  .ok());
+  ASSERT_TRUE(RunOpenLoopInProcess(&direct_ds, script, &direct).ok());
+  EXPECT_EQ(served.errors, 0u);
+  EXPECT_EQ(served.rows, direct.rows);
+  EXPECT_EQ(served.result_checksum, direct.result_checksum);
+}
+
 // ---------------------------------------------------------------------------
 // Degraded mode and failpoints
 // ---------------------------------------------------------------------------
@@ -553,9 +595,15 @@ TEST(ServerTest, MetricsSnapshotCarriesServiceBacklog) {
 // ---------------------------------------------------------------------------
 
 TEST(ServerStressTest, ConcurrentClientsAndWorkers) {
-  Env env(TestEnv());
+  // Multi-queue on both engines: with gcd(storage, log) = 2 queue classes,
+  // the 2 workers genuinely dispatch in parallel (one class each) — with
+  // single-queue engines the partitioner would rightly serialize them.
+  EnvOptions eo = TestEnv();
+  eo.io_queues = 2;
+  Env env(eo);
   DatasetOptions o = Opts(MaintenanceStrategy::kEager);
   o.writer_threads = 4;  // concurrent dispatch takes the pipeline path
+  o.log_queues = 2;
   Dataset ds(&env, o);
   ServerOptions so;
   so.worker_threads = 2;
@@ -612,6 +660,68 @@ TEST(ServerStressTest, ConcurrentClientsAndWorkers) {
   EXPECT_EQ(st.inflight_requests, 0u);
   // Every insert landed exactly once.
   EXPECT_EQ(ds.num_records(), uint64_t(kClients) * (kOpsPerClient - kOpsPerClient / 3));
+}
+
+// Disconnect racing Poll: clients park paginated cursors, pull
+// continuations, and disconnect mid-pagination while the server thread
+// keeps polling. The dispatcher must never destroy a cursor that a worker
+// is pulling from (TSan catches the use-after-free this guards).
+TEST(ServerStressTest, DisconnectDuringCursorContinuations) {
+  Env env(TestEnv());
+  Dataset ds(&env, Opts(MaintenanceStrategy::kEager));
+  for (uint64_t id = 1; id <= 200; id++) {
+    ASSERT_TRUE(ds.Upsert(MakeTweet(id, id % 8, id)).ok());
+  }
+  ASSERT_TRUE(ds.FlushAll().ok());
+  RequestServer srv(&ds, ServerOptions{});
+
+  constexpr int kClients = 4;
+  std::vector<ClientConnection*> conns;
+  for (int i = 0; i < kClients; i++) conns.push_back(srv.Connect());
+
+  std::atomic<bool> stop{false};
+  std::thread server_thread([&] {
+    while (!stop.load()) srv.Poll();
+  });
+
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; i++) {
+    clients.emplace_back([&, i] {
+      ClientConnection* c = conns[size_t(i)];
+      for (int round = 0; round < 20; round++) {
+        Request q;
+        q.request_id = uint64_t(i) * 1000 + uint64_t(round) + 1;
+        q.type = RequestType::kQuery;
+        q.range_lo = 0;
+        q.range_hi = 8;
+        q.limit = 40;
+        q.page_size = 4;
+        c->Send(q.EncodeFrame());
+        // Pull a few continuation pages, then abandon the cursor: the
+        // disconnect below drops it while pulls may still be in flight.
+        int pages = 0;
+        while (pages < 3) {
+          for (Response& r : c->Receive()) {
+            pages++;
+            if (r.code == ResponseCode::kOk && !r.done && r.cursor_id != 0) {
+              Request next;
+              next.request_id = r.request_id;
+              next.type = RequestType::kCursorNext;
+              next.cursor_id = r.cursor_id;
+              c->Send(next.EncodeFrame());
+            }
+          }
+          std::this_thread::yield();
+        }
+      }
+      srv.Disconnect(c);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  server_thread.join();
+  srv.PollUntilIdle();
+  EXPECT_EQ(srv.stats().decode_errors, 0u);
 }
 
 }  // namespace
