@@ -15,22 +15,22 @@ TupleCache::TupleCache(size_t capacity_bytes, uint32_t num_spaces,
       epochs_(num_spaces, 0) {}
 
 uint64_t TupleCache::SpaceEpoch(uint32_t space) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return space < epochs_.size() ? epochs_[space] : 0;
 }
 
 void TupleCache::BeginWrite() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   writers_in_flight_++;
 }
 
 void TupleCache::EndWrite() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   writers_in_flight_--;
 }
 
 bool TupleCache::WritersQuiescent(uint32_t space, uint64_t epoch) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return writers_in_flight_ == 0 && space < epochs_.size() &&
          epochs_[space] == epoch;
 }
@@ -167,19 +167,19 @@ void TupleCache::ClearLocked() {
 }
 
 void TupleCache::Clear() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   ClearLocked();
 }
 
 void TupleCache::BumpEpochs() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (auto& e : epochs_) e++;
 }
 
 // --- Point space -------------------------------------------------------------
 
 bool TupleCache::LookupPoint(uint64_t key, bool* found, std::string* value) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& sp = spaces_[kPointSpace];
   auto it = sp.find(key);
   if (it == sp.end()) {
@@ -198,7 +198,7 @@ bool TupleCache::LookupPoint(uint64_t key, bool* found, std::string* value) {
 
 void TupleCache::InsertPoint(uint64_t key, bool found, const Slice& pk,
                              const Slice& value, uint64_t epoch) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (epochs_[kPointSpace] != epoch || writers_in_flight_ > 0) {
     counters_.stale_drops++;
     return;
@@ -217,7 +217,7 @@ void TupleCache::LookupRange(uint32_t space, uint64_t lo, uint64_t hi,
   out->tuples.clear();
   out->complete = false;
   out->next = lo;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& sp = spaces_[space];
 
   uint64_t need = lo;  // first key of [lo, hi] not yet proven covered
@@ -271,7 +271,7 @@ void TupleCache::LookupRange(uint32_t space, uint64_t lo, uint64_t hi,
 void TupleCache::InsertRange(uint32_t space, uint64_t lo, uint64_t hi,
                              std::vector<KeyGroup> groups, uint64_t epoch) {
   if (lo > hi) return;  // empty interval proves nothing about any key
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (epochs_[space] != epoch || writers_in_flight_ > 0) {
     counters_.stale_drops++;
     return;
@@ -335,7 +335,7 @@ void TupleCache::InsertRange(uint32_t space, uint64_t lo, uint64_t hi,
 // --- Invalidation ------------------------------------------------------------
 
 void TupleCache::InvalidateKey(uint32_t space, uint64_t key) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   epochs_[space]++;
   if (InvalidateFaultFired()) {
     ClearLocked();  // a failed precise cut degrades to misses, never stale
@@ -345,7 +345,7 @@ void TupleCache::InvalidateKey(uint32_t space, uint64_t key) {
 }
 
 void TupleCache::InvalidatePk(const Slice& pk) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   // The written record's *old* secondary keys are unknown to the writer, so
   // every range space's in-flight inserts must be fenced.
   for (auto& e : epochs_) e++;
@@ -378,7 +378,7 @@ void TupleCache::InvalidatePk(const Slice& pk) {
 }
 
 TupleCacheStats TupleCache::stats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   TupleCacheStats s = counters_;
   s.resident_bytes = resident_bytes_;
   return s;

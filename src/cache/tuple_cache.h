@@ -88,13 +88,14 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -149,12 +150,20 @@ class TupleCache {
   /// pass to the matching Insert*() call.
   uint64_t SpaceEpoch(uint32_t space) const;
 
-  /// Write fence: a writer is "in flight" from just before its first
-  /// memtable effect until just after its last invalidation cut. Inserts
-  /// are rejected while any writer is in flight (the effect may already be
-  /// visible to a reader whose cut has not landed yet).
-  void BeginWrite();
-  void EndWrite();
+  /// The write fence as a real capability: every in-flight writer holds it
+  /// *shared* (writers fence readers' inserts, not each other), from just
+  /// before its first memtable effect until just after its last
+  /// invalidation cut. Inserts are rejected while any writer is in flight
+  /// (the effect may already be visible to a reader whose cut has not
+  /// landed yet). The capability carries no state of its own — the counted
+  /// state lives in writers_in_flight_ under mu_ — but gives the static
+  /// analysis an acquire/release pair to pair up, so an unbalanced fence
+  /// (a Begin without an End on some path) is a compile error under
+  /// -Wthread-safety. Prefer the TupleCacheWriteFence RAII guard below.
+  class CAPABILITY("tuple_cache.write_fence") WriteFenceCap {};
+
+  void BeginWrite() ACQUIRE_SHARED(write_fence_);
+  void EndWrite() RELEASE_SHARED(write_fence_);
 
   /// True when `epoch` is still current for `space` AND no writer is in
   /// flight — i.e. nothing could have changed between the caller's chain
@@ -223,34 +232,60 @@ class TupleCache {
   /// True when precise invalidation should degrade to a full clear.
   bool InvalidateFaultFired();
 
-  void Touch(uint32_t space, SpaceMap::iterator it);
+  void Touch(uint32_t space, SpaceMap::iterator it) REQUIRES(mu_);
   /// Registers/unregisters an entry's tuples in the pk reverse map.
-  void RegisterEntry(uint32_t space, uint64_t key, const Entry& e);
-  void UnregisterEntry(uint32_t space, uint64_t key, const Entry& e);
+  void RegisterEntry(uint32_t space, uint64_t key, const Entry& e)
+      REQUIRES(mu_);
+  void UnregisterEntry(uint32_t space, uint64_t key, const Entry& e)
+      REQUIRES(mu_);
   /// Removes an entry outright (bookkeeping included).
-  void EraseEntry(uint32_t space, SpaceMap::iterator it);
+  void EraseEntry(uint32_t space, SpaceMap::iterator it) REQUIRES(mu_);
   /// Upserts one entry; claims are unioned on overwrite (both remain true).
   void UpsertEntry(uint32_t space, uint64_t key, std::vector<CachedTuple> tuples,
-                   bool present, uint64_t gap_lo, uint64_t gap_hi);
+                   bool present, uint64_t gap_lo, uint64_t gap_hi)
+      REQUIRES(mu_);
   /// Drops the entry at `key` (if any) and cuts neighbor claims spanning it.
-  void CutAt(uint32_t space, uint64_t key);
-  void EvictForCapacity();
-  void ClearLocked();
+  void CutAt(uint32_t space, uint64_t key) REQUIRES(mu_);
+  void EvictForCapacity() REQUIRES(mu_);
+  void ClearLocked() REQUIRES(mu_);
 
   const size_t capacity_;
   FaultInjector* const fault_injector_;
 
-  mutable std::mutex mu_;
-  std::vector<SpaceMap> spaces_;
-  std::vector<uint64_t> epochs_;
+  WriteFenceCap write_fence_;
+  mutable Mutex mu_{lockrank::kLeaf, "cache.tuple_mu"};
+  std::vector<SpaceMap> spaces_ GUARDED_BY(mu_);
+  std::vector<uint64_t> epochs_ GUARDED_BY(mu_);
   /// Most-recent first; (space, key) of every resident entry.
-  std::list<std::pair<uint32_t, uint64_t>> lru_;
+  std::list<std::pair<uint32_t, uint64_t>> lru_ GUARDED_BY(mu_);
   /// Encoded pk -> every range-space entry holding a tuple for it.
   std::unordered_map<std::string, std::vector<std::pair<uint32_t, uint64_t>>>
-      pk_map_;
-  uint64_t resident_bytes_ = 0;
-  uint32_t writers_in_flight_ = 0;
-  TupleCacheStats counters_;
+      pk_map_ GUARDED_BY(mu_);
+  uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  uint32_t writers_in_flight_ GUARDED_BY(mu_) = 0;
+  TupleCacheStats counters_ GUARDED_BY(mu_);
+
+  friend class TupleCacheWriteFence;
+};
+
+/// Null-safe RAII hold of a TupleCache's write fence: acquires (shared) at
+/// construction, releases at scope exit. A null cache makes the scope a
+/// no-op (datasets without a tuple cache share the write paths).
+class SCOPED_CAPABILITY TupleCacheWriteFence {
+ public:
+  explicit TupleCacheWriteFence(TupleCache* cache)
+      ACQUIRE_SHARED(cache->write_fence_)
+      : cache_(cache) {
+    if (cache_ != nullptr) cache_->BeginWrite();
+  }
+  ~TupleCacheWriteFence() RELEASE() {
+    if (cache_ != nullptr) cache_->EndWrite();
+  }
+  TupleCacheWriteFence(const TupleCacheWriteFence&) = delete;
+  TupleCacheWriteFence& operator=(const TupleCacheWriteFence&) = delete;
+
+ private:
+  TupleCache* const cache_;
 };
 
 }  // namespace auxlsm

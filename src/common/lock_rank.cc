@@ -1,0 +1,111 @@
+#include "common/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace auxlsm {
+namespace lockrank {
+
+namespace {
+
+// Per-thread held-capability stack. Fixed capacity: the engine never nests
+// more than a handful of locks (the documented order has 6 levels); 64
+// leaves generous headroom for sharded families and future subsystems.
+constexpr uint32_t kMaxHeld = 64;
+
+struct Hold {
+  const void* cap;
+  uint32_t rank;
+  const char* name;
+  bool shared;
+};
+
+struct ThreadStack {
+  Hold holds[kMaxHeld];
+  uint32_t depth = 0;
+};
+
+thread_local ThreadStack tls_stack;
+
+[[noreturn]] void Violation(const char* what, const char* acquiring,
+                            uint32_t acquiring_rank, const Hold* held) {
+  // abort() (not assert) so the checker fires identically in every build
+  // that compiles the hooks in, including RelWithDebInfo TSan CI builds
+  // where NDEBUG would disarm a plain assert.
+  if (held != nullptr) {
+    std::fprintf(stderr,
+                 "lockrank: %s: acquiring '%s' (rank %u) while holding "
+                 "'%s' (rank %u)\n",
+                 what, acquiring, acquiring_rank,
+                 held->name != nullptr ? held->name : "?", held->rank);
+  } else {
+    std::fprintf(stderr, "lockrank: %s: acquiring '%s' (rank %u)\n", what,
+                 acquiring, acquiring_rank);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* cap, uint32_t rank, const char* name,
+               bool shared) noexcept {
+  ThreadStack& s = tls_stack;
+  if (s.depth >= kMaxHeld) {
+    Violation("held-capability stack overflow", name, rank, nullptr);
+  }
+  if (rank != kUnranked) {
+    // Strict ordering against the deepest *ranked* hold: ranks only ever
+    // increase down the stack, so scanning from the top finds it first.
+    for (uint32_t i = s.depth; i > 0; i--) {
+      const Hold& h = s.holds[i - 1];
+      if (h.rank == kUnranked) continue;
+      if (h.cap == cap) {
+        Violation("recursive acquisition", name, rank, &h);
+      }
+      if (rank <= h.rank) {
+        Violation("acquisition order inverted", name, rank, &h);
+      }
+      break;
+    }
+  }
+  s.holds[s.depth++] = Hold{cap, rank, name, shared};
+}
+
+void OnRelease(const void* cap) noexcept {
+  ThreadStack& s = tls_stack;
+  // Locks release in LIFO order in the common case, but RAII guards with
+  // interleaved lifetimes are legal — scan from the top for the most
+  // recent hold of this capability.
+  for (uint32_t i = s.depth; i > 0; i--) {
+    if (s.holds[i - 1].cap != cap) continue;
+    for (uint32_t j = i; j < s.depth; j++) s.holds[j - 1] = s.holds[j];
+    s.depth--;
+    return;
+  }
+  // Unknown cap: acquired before the checker was in scope; ignore.
+}
+
+bool Holds(const void* cap, bool exclusive_only) noexcept {
+  const ThreadStack& s = tls_stack;
+  for (uint32_t i = s.depth; i > 0; i--) {
+    const Hold& h = s.holds[i - 1];
+    if (h.cap == cap && (!exclusive_only || !h.shared)) return true;
+  }
+  return false;
+}
+
+void AssertHolds(const void* cap, bool excl) noexcept {
+  if (Holds(cap, excl)) return;
+  std::fprintf(stderr,
+               "lockrank: AssertHeld%s failed: capability %p not held by "
+               "this thread\n",
+               excl ? "" : "Shared", cap);
+  std::fflush(stderr);
+  std::abort();
+}
+
+uint32_t HeldCount() noexcept { return tls_stack.depth; }
+
+}  // namespace lockrank
+}  // namespace auxlsm

@@ -1,0 +1,249 @@
+// Capability-annotated mutex primitives (PR 10).
+//
+// libstdc++'s std::mutex / std::shared_mutex carry no Clang Thread Safety
+// Analysis attributes, and acquisitions routed through std:: lock adapters
+// (std::lock_guard, std::unique_lock) happen inside system-header template
+// instantiations the analysis cannot surface — a capability taken that way
+// is simply invisible, so every GUARDED_BY field behind it would falsely
+// warn. The engine therefore owns its mutex vocabulary:
+//
+//   Mutex           annotated wrapper over std::mutex
+//   SharedMutex     annotated wrapper over std::shared_mutex
+//   MutexLock       SCOPED_CAPABILITY RAII guard (std::lock_guard shape)
+//   SharedMutexWriteLock / SharedMutexReadLock
+//                   RAII guards for SharedMutex's two modes
+//   CondVar         condition variable bound to Mutex, Wait REQUIRES(mu)
+//
+// All wrappers are zero-cost forwarding in release builds: no extra state,
+// no extra branches (the lock-rank hooks — common/lock_rank.h — compile in
+// only under AUXLSM_LOCK_RANK_CHECKS), so behavior and every serial-path
+// bench DIGEST are byte-identical to the previous raw-std::mutex code.
+//
+// Debug assertions: AssertHeld()/AssertHeldShared() verify at runtime that
+// the *calling thread* holds the capability (via the lock-rank checker's
+// per-thread held stack) and double as ASSERT_CAPABILITY annotations, which
+// teach the static analysis that the capability is held from that statement
+// on — the canonical way to encode "my caller locked for me" preconditions
+// that cross an unannotatable boundary. With the checker compiled out they
+// cost nothing and still inform the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+#define AUXLSM_LOCKRANK_ACQUIRE(cap, rank, name, shared) \
+  ::auxlsm::lockrank::OnAcquire((cap), (rank), (name), (shared))
+#define AUXLSM_LOCKRANK_RELEASE(cap) ::auxlsm::lockrank::OnRelease((cap))
+#define AUXLSM_LOCKRANK_ASSERT_HELD(cap, excl) \
+  ::auxlsm::lockrank::AssertHolds((cap), (excl))
+#else
+#define AUXLSM_LOCKRANK_ACQUIRE(cap, rank, name, shared) ((void)0)
+#define AUXLSM_LOCKRANK_RELEASE(cap) ((void)0)
+#define AUXLSM_LOCKRANK_ASSERT_HELD(cap, excl) ((void)0)
+#endif
+
+namespace auxlsm {
+
+/// Plain exclusive mutex. Construct with a lockrank::Rank (and a name for
+/// diagnostics) to opt the instance into the runtime acquisition-order
+/// check; default-constructed instances are unranked (tracked for
+/// AssertHeld, exempt from ordering).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(uint32_t rank, const char* name) {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    AUXLSM_LOCKRANK_ACQUIRE(this, rank(), name(), /*shared=*/false);
+  }
+  void unlock() RELEASE() {
+    AUXLSM_LOCKRANK_RELEASE(this);
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    AUXLSM_LOCKRANK_ACQUIRE(this, rank(), name(), /*shared=*/false);
+    return true;
+  }
+
+  /// Debug: aborts unless the calling thread holds this mutex. No-op (but
+  /// still an ASSERT_CAPABILITY fact for the static analysis) when the
+  /// lock-rank checker is compiled out.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+    AUXLSM_LOCKRANK_ASSERT_HELD(this, /*excl=*/true);
+  }
+
+ private:
+  friend class CondVar;
+  uint32_t rank() const {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    return rank_;
+#else
+    return lockrank::kUnranked;
+#endif
+  }
+  const char* name() const {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    return name_;
+#else
+    return "mutex";
+#endif
+  }
+
+  std::mutex mu_;
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+  uint32_t rank_ = lockrank::kUnranked;
+  const char* name_ = "mutex";
+#endif
+};
+
+/// Shared/exclusive mutex (reader-preferring, like the std::shared_mutex it
+/// wraps — the writer-preferring variant is common/rwlatch.h).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(uint32_t rank, const char* name) {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    AUXLSM_LOCKRANK_ACQUIRE(this, rank(), name(), /*shared=*/false);
+  }
+  void unlock() RELEASE() {
+    AUXLSM_LOCKRANK_RELEASE(this);
+    mu_.unlock();
+  }
+  void lock_shared() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+    AUXLSM_LOCKRANK_ACQUIRE(this, rank(), name(), /*shared=*/true);
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    AUXLSM_LOCKRANK_RELEASE(this);
+    mu_.unlock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+    AUXLSM_LOCKRANK_ASSERT_HELD(this, /*excl=*/true);
+  }
+  void AssertHeldShared() const ASSERT_SHARED_CAPABILITY(this) {
+    AUXLSM_LOCKRANK_ASSERT_HELD(this, /*excl=*/false);
+  }
+
+ private:
+  uint32_t rank() const {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    return rank_;
+#else
+    return lockrank::kUnranked;
+#endif
+  }
+  const char* name() const {
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+    return name_;
+#else
+    return "shared_mutex";
+#endif
+  }
+
+  std::shared_mutex mu_;
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+  uint32_t rank_ = lockrank::kUnranked;
+  const char* name_ = "shared_mutex";
+#endif
+};
+
+/// RAII exclusive guard over Mutex (std::lock_guard shape, visible to TSA).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive guard over SharedMutex.
+class SCOPED_CAPABILITY SharedMutexWriteLock {
+ public:
+  explicit SharedMutexWriteLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedMutexWriteLock() RELEASE() { mu_.unlock(); }
+  SharedMutexWriteLock(const SharedMutexWriteLock&) = delete;
+  SharedMutexWriteLock& operator=(const SharedMutexWriteLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared guard over SharedMutex.
+class SCOPED_CAPABILITY SharedMutexReadLock {
+ public:
+  explicit SharedMutexReadLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedMutexReadLock() RELEASE() { mu_.unlock_shared(); }
+  SharedMutexReadLock(const SharedMutexReadLock&) = delete;
+  SharedMutexReadLock& operator=(const SharedMutexReadLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait() releases and reacquires the
+/// mutex internally; annotation-wise the capability is held across the call
+/// (held on entry, held on return), which is exactly the contract callers
+/// rely on. Behavior is identical to std::condition_variable over the
+/// wrapped std::mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, reacquires `mu` before returning.
+  /// No predicate overload on purpose: Thread Safety Analysis checks lambda
+  /// bodies with an empty capability set, so a predicate reading guarded
+  /// fields would (correctly) warn — callers write the standard
+  /// `while (!cond) cv.Wait(mu);` loop instead, which the analysis follows.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> l(mu.mu_, std::adopt_lock);
+    cv_.wait(l);
+    l.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace auxlsm

@@ -206,11 +206,11 @@ size_t Dataset::MemComponentBytes() const {
 Status Dataset::JoinFlushCycle() {
   std::thread t;
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     if (bg_thread_.joinable()) t = std::move(bg_thread_);
   }
   if (t.joinable()) t.join();
-  std::lock_guard<std::mutex> l(bg_mu_);
+  MutexLock l(bg_mu_);
   return bg_status_;
 }
 
@@ -232,7 +232,7 @@ Status Dataset::TakeBackgroundError() {
   // the merge error observable for the next call — never silently dropped.
   Status s;
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     if (!bg_status_.ok()) {
       s = bg_status_;
       bg_status_ = Status::OK();
@@ -244,7 +244,7 @@ Status Dataset::TakeBackgroundError() {
   // fail-fast until that one is taken too.
   bool clear;
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     clear = bg_status_.ok() &&
             (maintenance_ == nullptr || !maintenance_->has_merge_error());
   }
@@ -297,7 +297,7 @@ Status Dataset::RunWithRetry(const std::string& what,
 
 void Dataset::MarkDegraded(const Status& cause) {
   if (!cause.ok()) {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     if (bg_status_.ok()) bg_status_ = cause;
   }
   MarkDegraded();
@@ -312,7 +312,7 @@ void Dataset::MarkDegraded() {
 
 Status Dataset::DegradedError() {
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     if (!bg_status_.ok()) return bg_status_;
   }
   if (maintenance_ != nullptr) {
@@ -326,7 +326,7 @@ Status Dataset::DegradedError() {
 
 Status Dataset::MaintainAsync(bool in_explicit_txn) {
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     AUXLSM_RETURN_NOT_OK(bg_status_);  // surface sticky pipeline errors
   }
   if (merge_queues_enabled() && maintenance_->has_merge_error()) {
@@ -374,11 +374,11 @@ Status Dataset::MaintainAsync(bool in_explicit_txn) {
   // Sole launcher from here: reap the previous cycle's thread, start ours.
   std::thread prev;
   {
-    std::lock_guard<std::mutex> l(bg_mu_);
+    MutexLock l(bg_mu_);
     if (bg_thread_.joinable()) prev = std::move(bg_thread_);
   }
   if (prev.joinable()) prev.join();
-  std::lock_guard<std::mutex> l(bg_mu_);
+  MutexLock l(bg_mu_);
   bg_thread_ = std::thread([this]() {
     Status s = MaintenanceCycle();
     // A failed cycle already exhausted its retry budget (or hit a permanent
@@ -399,7 +399,7 @@ Status Dataset::MaintenanceCycle() {
   Lsn flush_lsn = kInvalidLsn;
   {
     obs::TraceSpan seal_span(tracer_.get(), "seal", "maintenance");
-    std::unique_lock<RwLatch> latch(ingest_mu_);
+    WriteLatchGuard latch(ingest_mu_);
     if (MemComponentBytes() < options_.mem_budget_bytes) {
       return Status::OK();  // another path already resolved the overrun
     }
@@ -475,7 +475,7 @@ Status Dataset::MaintenanceCycle() {
   // break the positional alignment.
   {
     obs::TraceSpan install_span(tracer_.get(), "install", "maintenance");
-    std::unique_lock<RwLatch> latch(ingest_mu_);
+    WriteLatchGuard latch(ingest_mu_);
     if (fault != nullptr) {
       AUXLSM_RETURN_NOT_OK(RunWithRetry("install", [&]() -> Status {
         return fault->Hit(failpoints::kInstall, env_->io());
@@ -631,11 +631,12 @@ Status Dataset::SecondaryMergesToPolicy(SecondaryIndex* s, uint64_t* merges,
 }
 
 void Dataset::RecordBitmapFixup(const std::string& pk, Timestamp ts) {
-  std::lock_guard<std::mutex> l(fixup_mu_);
+  MutexLock l(fixup_mu_);
   pending_bitmap_fixups_.emplace_back(pk, ts);
 }
 
 Status Dataset::FixupFlushedBitmap() {
+  ingest_mu_.AssertHeld();
   // Deletes/upserts whose old version sat in a *sealed* memtable left only
   // anti-matter (or a newer version) in the active memtable; the flushed
   // component carries the old version as valid. Mark those entries invalid,
@@ -651,7 +652,7 @@ Status Dataset::FixupFlushedBitmap() {
   // them), so nothing else can need a mark.
   std::vector<std::pair<std::string, Timestamp>> pending;
   {
-    std::lock_guard<std::mutex> l(fixup_mu_);
+    MutexLock l(fixup_mu_);
     pending.swap(pending_bitmap_fixups_);
   }
   if (pending.empty()) return Status::OK();
@@ -671,7 +672,7 @@ Status Dataset::FixupFlushedBitmap() {
       // Re-stash the unprocessed marks (current one included — Set is
       // idempotent): a retried cycle must not lose supersessions, or the §5
       // scans would resurrect the dead entries.
-      std::lock_guard<std::mutex> l(fixup_mu_);
+      MutexLock l(fixup_mu_);
       pending_bitmap_fixups_.insert(pending_bitmap_fixups_.begin(),
                                     pending.begin() + i, pending.end());
       return st.WithContext("bitmap fixup");
@@ -688,11 +689,12 @@ Status Dataset::FixupFlushedBitmap() {
 
 Status Dataset::FlushAll() {
   AUXLSM_RETURN_NOT_OK(WaitForMaintenance());
-  std::unique_lock<RwLatch> l(ingest_mu_);
+  WriteLatchGuard l(ingest_mu_);
   return FlushAllLocked();
 }
 
 Status Dataset::FlushAllLocked() {
+  ingest_mu_.AssertHeld();
   const Lsn flush_lsn = wal_.tail_lsn();
   FaultInjector* const fault = options_.fault_injector;
   // Phase 1 — seal every tree (the caller holds the exclusive latch). The
@@ -793,7 +795,7 @@ Status Dataset::FlushAllLocked() {
   // behavior of this path. Drop the stale records (they could only ever
   // no-op against later components, but each would waste a B-tree probe).
   if (options_.strategy == MaintenanceStrategy::kMutableBitmap) {
-    std::lock_guard<std::mutex> fl(fixup_mu_);
+    MutexLock fl(fixup_mu_);
     pending_bitmap_fixups_.clear();
   }
   // Under the Mutable-bitmap strategy the primary and primary key index are
@@ -860,16 +862,26 @@ Status Dataset::DeletedKeyMergesToPolicy(SecondaryIndex* index,
     // reads, so the pick holds the ingest latch shared (see CorrelatedMerge).
     MergeRange r;
     std::vector<DiskComponentPtr> picked, dk_picked;
-    {
-      std::shared_lock<RwLatch> pick_latch(ingest_mu_, std::defer_lock);
-      if (decoupled) pick_latch.lock();
+    // The guard scope depends on `decoupled`, which one scoped guard cannot
+    // express; the capture is hoisted into a lambda run under the latch or
+    // bare. The lambda carries no capability assumptions of its own — the
+    // component lists are internally synchronized, the latch only freezes
+    // the positional alignment between the two reads.
+    auto capture = [&]() {
       auto comps = index->tree->Components();
       r = PickTieringRange(comps);
-      if (r.empty() || r.count() < 2) break;
+      if (r.empty() || r.count() < 2) return;
       picked = SliceRange(comps, r);
       auto dk = index->deleted_keys->Components();
       if (dk.size() >= r.end) dk_picked = SliceRange(dk, r);
+    };
+    if (decoupled) {
+      ReadLatchGuard pick_latch(ingest_mu_);
+      capture();
+    } else {
+      capture();
     }
+    if (r.empty() || r.count() < 2) break;
     FaultInjector* const fault = options_.fault_injector;
     AUXLSM_RETURN_NOT_OK(RunWithRetry(
         "merge(" + index->def.name + ".deleted)", [&]() -> Status {
@@ -981,12 +993,12 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
       std::vector<DiskComponentPtr> deleted;
     };
     std::vector<SecPick> spicked(secondaries_.size());
-    {
-      std::shared_lock<RwLatch> pick_latch(ingest_mu_, std::defer_lock);
-      if (decoupled) pick_latch.lock();
+    // Conditional latch scope, hoisted into a lambda exactly as in
+    // DeletedKeyMergesToPolicy above.
+    auto capture = [&]() -> Status {
       auto comps = anchor->Components();
       r = PickTieringRange(comps);
-      if (r.empty() || r.count() < 2) break;
+      if (r.empty() || r.count() < 2) return Status::OK();
       // The anchor's pick slices straight off the snapshot the policy saw;
       // only the non-anchor primary needs a bounds re-check (the trees flush
       // in lock step, so a shortfall means the positional alignment the
@@ -1015,7 +1027,15 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
           }
         }
       }
+      return Status::OK();
+    };
+    if (decoupled) {
+      ReadLatchGuard pick_latch(ingest_mu_);
+      AUXLSM_RETURN_NOT_OK(capture());
+    } else {
+      AUXLSM_RETURN_NOT_OK(capture());
     }
+    if (r.empty() || r.count() < 2) break;
 
     // Merge of one tree's captured slice; routed through the maintenance
     // engine (which may partition large merges) when it is active. A merge
@@ -1051,7 +1071,7 @@ Status Dataset::CorrelatedMerge(bool decoupled) {
       // (the Fig 23 baseline semantics).
       ConcurrentMergeStats cstats;
       if (options_.build_cc == BuildCcMethod::kNone) {
-        std::unique_lock<RwLatch> latch(ingest_mu_);
+        WriteLatchGuard latch(ingest_mu_);
         AUXLSM_RETURN_NOT_OK(
             RunWithRetry("merge(concurrent)", [&]() -> Status {
               return ConcurrentMergePicked(this, p_picked, k_picked,

@@ -18,14 +18,14 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/rwlatch.h"
+#include "common/thread_annotations.h"
 #include <string>
 #include <vector>
 
@@ -500,24 +500,33 @@ class Dataset {
   /// Recovery redo of a bitmap mutation for a record whose data already
   /// resides in disk components (update bit, §5.2).
   Status ReplayBitmap(const LogRecord& r);
+  // The strategy upsert helpers and the cache cut below run with the ingest
+  // latch held shared: they mutate memtables and component bitmaps that the
+  // seal/install phases swap under the exclusive latch. IngestOp holds the
+  // guard across the whole operation; ReplayOp takes it itself (recovery is
+  // single-threaded, but the invariant is uniform either way).
   Status EagerUpsert(const TweetRecord& record, Timestamp ts,
-                     Transaction* txn, bool is_delete);
+                     Transaction* txn, bool is_delete)
+      REQUIRES_SHARED(ingest_mu_);
   Status ValidationUpsert(const TweetRecord& record, Timestamp ts,
-                          Transaction* txn, bool is_delete);
+                          Transaction* txn, bool is_delete)
+      REQUIRES_SHARED(ingest_mu_);
   Status MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
                              Transaction* txn, bool is_delete,
-                             bool* update_bit);
+                             bool* update_bit) REQUIRES_SHARED(ingest_mu_);
   Status DeletedKeyUpsert(const TweetRecord& record, Timestamp ts,
-                          Transaction* txn, bool is_delete);
+                          Transaction* txn, bool is_delete)
+      REQUIRES_SHARED(ingest_mu_);
   Status InsertIntoAll(const TweetRecord& record, Timestamp ts,
-                       Transaction* txn);
+                       Transaction* txn) REQUIRES_SHARED(ingest_mu_);
   /// Cuts every tuple-cache entry the write could have stale-served: the
   /// record's primary key (which fences all range spaces — the *old*
   /// secondary keys are unknown under the lazy strategies) plus, for
   /// non-deletes, the new secondary key positions. Called under the shared
   /// ingest latch AFTER the memtable effects are visible; no-op when the
   /// cache is disabled.
-  void InvalidateTupleCache(const TweetRecord& record, LogRecordType op);
+  void InvalidateTupleCache(const TweetRecord& record, LogRecordType op)
+      REQUIRES_SHARED(ingest_mu_);
   /// `in_explicit_txn` = the calling thread holds an open explicit
   /// transaction (and with it record locks): it must never park on
   /// maintenance backpressure, because the merge it would wait for may
@@ -560,12 +569,12 @@ class Dataset {
   /// happened (MutableBitmapUpsert found the old version in a *sealed*
   /// memtable), so the fixup costs O(recorded deletes) B-tree probes rather
   /// than O(|active memtable| log n) under the exclusive latch.
-  Status FixupFlushedBitmap();
+  Status FixupFlushedBitmap() REQUIRES(ingest_mu_);
   /// Records a seal-window superseding write for the next fixup.
   void RecordBitmapFixup(const std::string& pk, Timestamp ts);
 
   // dataset.cc
-  Status FlushAllLocked();
+  Status FlushAllLocked() REQUIRES(ingest_mu_);
   Status RunMerges();
   Status ParallelMerges();
   /// Correlated merge rounds (§4.4). `decoupled` = running as a merge-queue
@@ -647,7 +656,11 @@ class Dataset {
   StatCounter* ctr_cursor_open_ = nullptr;         ///< query.cursors_opened
   StatCounter* ctr_cursor_pull_ = nullptr;         ///< query.pages_pulled
 
-  RwLatch ingest_mu_;
+  /// The ingest latch (rank kIngestLatch — the shallowest rank: every other
+  /// engine lock may be taken under it, never the reverse). Shared by every
+  /// ingestion operation; exclusive for seal/install/stop-the-world merges
+  /// and the Side-file builder's catchup.
+  RwLatch ingest_mu_{lockrank::kIngestLatch, "dataset.ingest"};
   IngestStats stats_;
   Lsn bitmap_checkpoint_lsn_ = kInvalidLsn;
 
@@ -655,28 +668,32 @@ class Dataset {
   // old version sitting in a sealed memtable, keyed (pk, ts). Appended under
   // the shared ingest latch; drained by FixupFlushedBitmap under the
   // exclusive latch at install time.
-  std::mutex fixup_mu_;
-  std::vector<std::pair<std::string, Timestamp>> pending_bitmap_fixups_;
+  Mutex fixup_mu_{lockrank::kLeaf, "dataset.fixup"};
+  std::vector<std::pair<std::string, Timestamp>> pending_bitmap_fixups_
+      GUARDED_BY(fixup_mu_);
 
   // Background maintenance cycle (writer_threads > 1). bg_active_ admits one
   // cycle at a time; bg_mu_ guards the thread handle and the sticky first
   // error. The thread is joined by WaitForMaintenance / the next launch /
-  // the destructor.
-  std::mutex bg_mu_;
-  std::thread bg_thread_;          // guarded by bg_mu_
+  // the destructor. Rank kLeaf: taken under the exclusive ingest latch
+  // (MarkDegraded on the serial inline path) with nothing nested inside.
+  Mutex bg_mu_{lockrank::kLeaf, "dataset.bg"};
+  std::thread bg_thread_ GUARDED_BY(bg_mu_);
   std::atomic<bool> bg_active_{false};
-  Status bg_status_;               // guarded by bg_mu_
+  Status bg_status_ GUARDED_BY(bg_mu_);
 
   // Robustness state (PR 6): set on retry-budget exhaustion or permanent
   // maintenance errors; read lock-free by every ingest op.
   std::atomic<bool> degraded_{false};
   MaintenanceStats mstats_;
 
-  // External metrics sources (PR 9): folded into MetricsSnapshot().
-  std::mutex metrics_sources_mu_;
-  uint64_t next_metrics_source_id_ = 1;
+  // External metrics sources (PR 9): folded into MetricsSnapshot(). The
+  // mutex is unranked: the callbacks it is held across are caller-supplied
+  // (they read gauges, which may take arbitrary unrelated locks).
+  Mutex metrics_sources_mu_;
+  uint64_t next_metrics_source_id_ GUARDED_BY(metrics_sources_mu_) = 1;
   std::vector<std::pair<uint64_t, std::function<void(obs::MetricsSnapshot*)>>>
-      metrics_sources_;
+      metrics_sources_ GUARDED_BY(metrics_sources_mu_);
 };
 
 // repair.cc — exposed for tests and benchmarks.

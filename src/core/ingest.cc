@@ -236,7 +236,7 @@ Status Dataset::MutableBitmapUpsert(const TweetRecord& record, Timestamp ts,
       // An abort must retract the recorded supersession, or the install-time
       // fixup would mark the (still live) old version deleted.
       txn->PushUndo([this, pk, ts]() {
-        std::lock_guard<std::mutex> l(fixup_mu_);
+        MutexLock l(fixup_mu_);
         auto& v = pending_bitmap_fixups_;
         for (auto it = v.begin(); it != v.end(); ++it) {
           if (it->first == pk && it->second == ts) {
@@ -351,7 +351,7 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
     }
   } op_latency(this);
 
-  std::shared_lock<RwLatch> ingest_lock(ingest_mu_);
+  ReadLatchGuard ingest_lock(ingest_mu_);
 
   std::unique_ptr<Transaction> auto_txn;
   const bool owns_txn = txn == nullptr;
@@ -376,32 +376,19 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
   // general (lazy strategies never read the old record), and a proven-empty
   // claim a concurrent reader cached over such a position between the
   // forward write and the rollback would survive any pk-precise re-cut. So
-  // rollback degrades to dropping the whole cache, and its memtable restores
-  // run inside the same write fence as the forward path: BeginWrite before
-  // the first undo closure, Clear (which bumps every epoch) + EndWrite after
-  // the last. Installing per op is idempotent.
+  // rollback degrades to dropping the whole cache, with the undo closures'
+  // memtable restores inside the same write fence as the forward path
+  // (Transaction::Rollback holds the fence across the undos and the Clear).
+  // Installing per op is idempotent.
   if (tuple_cache_ && undo_txn != nullptr) {
-    TupleCache* cache = tuple_cache_.get();
-    undo_txn->SetRollbackFence([cache]() { cache->BeginWrite(); },
-                               [cache]() {
-                                 cache->Clear();
-                                 cache->EndWrite();
-                               });
+    undo_txn->SetRollbackCache(tuple_cache_.get());
   }
 
   // Write fence: in flight from before the first memtable effect until
   // after the cut below. The effect can be visible to a reader before the
   // cut runs; the fence keeps that reader's (pre-effect) snapshot out of
   // the cache even though its captured epoch is still current.
-  struct CacheWriteFence {
-    explicit CacheWriteFence(TupleCache* c) : cache(c) {
-      if (cache != nullptr) cache->BeginWrite();
-    }
-    ~CacheWriteFence() {
-      if (cache != nullptr) cache->EndWrite();
-    }
-    TupleCache* cache;
-  } cache_fence(tuple_cache_.get());
+  TupleCacheWriteFence cache_fence(tuple_cache_.get());
 
   if (op == LogRecordType::kInsert) {
     // Key-uniqueness check through the primary key index when available
@@ -484,7 +471,7 @@ Status Dataset::IngestOp(LogRecordType op, const TweetRecord& record,
     }
   }
 
-  ingest_lock.unlock();
+  ingest_lock.Release();
   return CheckBudgetAndMaintain(/*in_explicit_txn=*/!owns_txn);
 }
 
@@ -493,7 +480,7 @@ Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
   // instead of running them inline on the ingesting thread.
   if (multi_writer()) return MaintainAsync(in_explicit_txn);
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
-  std::unique_lock<RwLatch> l(ingest_mu_);
+  WriteLatchGuard l(ingest_mu_);
   if (MemComponentBytes() < options_.mem_budget_bytes) return Status::OK();
   // Serial-path no-steal: an inline budget-triggered flush between an open
   // explicit transaction's operations would write its uncommitted entries to
@@ -531,6 +518,11 @@ Status Dataset::CheckBudgetAndMaintain(bool in_explicit_txn) {
 }
 
 Status Dataset::ReplayOp(const LogRecord& r, const TweetRecord& record) {
+  // Replay runs single-threaded before the dataset is opened for traffic,
+  // but the strategy helpers require the shared ingest latch — acquiring it
+  // here (uncontended, a few atomics) keeps their contract uniform instead
+  // of punching a recovery-only hole through the annotations.
+  ReadLatchGuard replay_latch(ingest_mu_);
   clock_.AdvanceTo(r.ts);
   bool update_bit = false;
   Status st;
@@ -592,6 +584,10 @@ Status Dataset::ReplayBitmap(const LogRecord& r) {
 
 void Dataset::InvalidateTupleCache(const TweetRecord& record,
                                    LogRecordType op) {
+  // Every caller must hold the ingest latch at least shared: invalidation
+  // racing a stop-the-world install could otherwise cut the cache before the
+  // install publishes, leaving a stale tuple behind.
+  ingest_mu_.AssertHeldShared();
   if (!tuple_cache_) return;
   // The pk cut also fences every range space (epoch bump) and drops any
   // cached tuple for this pk wherever its *old* secondary keys placed it.

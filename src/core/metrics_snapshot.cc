@@ -120,7 +120,7 @@ obs::MetricsSnapshot Dataset::MetricsSnapshot() {
   // own locks, and holding ours across that invites ordering cycles.
   std::vector<std::function<void(obs::MetricsSnapshot*)>> sources;
   {
-    std::lock_guard<std::mutex> l(metrics_sources_mu_);
+    MutexLock l(metrics_sources_mu_);
     sources.reserve(metrics_sources_.size());
     for (const auto& [id, fn] : metrics_sources_) sources.push_back(fn);
   }
@@ -135,14 +135,14 @@ obs::MetricsSnapshot Dataset::MetricsSnapshot() {
 
 uint64_t Dataset::AddMetricsSource(
     std::function<void(obs::MetricsSnapshot*)> fn) {
-  std::lock_guard<std::mutex> l(metrics_sources_mu_);
+  MutexLock l(metrics_sources_mu_);
   const uint64_t id = next_metrics_source_id_++;
   metrics_sources_.emplace_back(id, std::move(fn));
   return id;
 }
 
 void Dataset::RemoveMetricsSource(uint64_t id) {
-  std::lock_guard<std::mutex> l(metrics_sources_mu_);
+  MutexLock l(metrics_sources_mu_);
   for (auto it = metrics_sources_.begin(); it != metrics_sources_.end(); ++it) {
     if (it->first == id) {
       metrics_sources_.erase(it);

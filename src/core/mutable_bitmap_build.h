@@ -14,10 +14,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/dataset.h"
 #include "lsm/bitmap.h"
 
@@ -45,11 +46,14 @@ struct BuildLink {
   Bitmap overlay;
 
   // --- Side-file state (guarded by mu) ---------------------------------------
-  std::mutex mu;
-  bool side_file_closed = false;
+  // Leaf rank: taken by writers under the shared ingest latch and by the
+  // builder's catch-up phase under the exclusive latch; never held while
+  // acquiring anything else.
+  Mutex mu{lockrank::kLeaf, "build.link"};
+  bool side_file_closed GUARDED_BY(mu) = false;
   /// (key, is_rollback): deletes append (k, false); transaction rollbacks
   /// append anti-matter (k, true) while the side-file is open (§5.3).
-  std::vector<std::pair<std::string, bool>> side_file;
+  std::vector<std::pair<std::string, bool>> side_file GUARDED_BY(mu);
 };
 
 /// Writer-side hook: called by the Mutable-bitmap ingestion path after it

@@ -94,7 +94,7 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
     // always hashes to one shard). PageStore and IoEngine never take cache
     // locks, so no cycle.
     Shard& s = ShardOf(file_id, page_no);
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(s.mu);
     if (LookupLocked(s, k, out)) {
       s.hits++;
       io_->OnCacheHit();
@@ -115,7 +115,7 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
     const Key rk{file_id, page_no + i};
     Shard& s = ShardOf(rk.file_id, rk.page_no);
     PageData tmp;
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(s.mu);
     if (LookupLocked(s, rk, &tmp)) continue;
     if (!store_->ReadPage(rk.file_id, rk.page_no, &tmp).ok()) break;
     io_->ChargeRead(rk.file_id, rk.page_no);
@@ -127,7 +127,7 @@ Status BufferCache::Read(uint32_t file_id, uint32_t page_no, PageData* out,
 void BufferCache::Evict(uint32_t file_id) {
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(s.mu);
     auto fit = s.files.find(file_id);
     if (fit == s.files.end()) continue;
     for (auto& [page_no, it] : fit->second) {
@@ -141,7 +141,7 @@ void BufferCache::Evict(uint32_t file_id) {
 void BufferCache::Clear() {
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(s.mu);
     s.lru.clear();
     s.files.clear();
     s.size = 0;
@@ -151,7 +151,7 @@ void BufferCache::Clear() {
 size_t BufferCache::size() const {
   size_t total = 0;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> l(sp->mu);
+    MutexLock l(sp->mu);
     total += sp->size;
   }
   return total;
@@ -162,7 +162,7 @@ void BufferCache::set_capacity(size_t capacity_pages) {
   const size_t n = shards_.size();
   for (size_t i = 0; i < n; i++) {
     Shard& s = *shards_[i];
-    std::lock_guard<std::mutex> l(s.mu);
+    MutexLock l(s.mu);
     // First (capacity % n) shards take the remainder page each. Shrinking a
     // sharded cache below its shard count floors every shard at one page —
     // a zero-capacity stripe could never cache its pages — so the effective
@@ -176,7 +176,7 @@ void BufferCache::set_capacity(size_t capacity_pages) {
 BufferCacheStats BufferCache::stats() const {
   BufferCacheStats total;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> l(sp->mu);
+    MutexLock l(sp->mu);
     total.hits += sp->hits;
     total.misses += sp->misses;
     total.evictions += sp->evictions;

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "env/page_store.h"
 #include "io/io_engine.h"
 
@@ -88,21 +89,23 @@ class BufferCache {
   using FilePages = std::unordered_map<uint32_t, LruList::iterator>;
 
   struct Shard {
-    mutable std::mutex mu;
-    size_t capacity = 0;
-    size_t size = 0;
-    LruList lru;  // front = most recent
-    std::unordered_map<uint32_t, FilePages> files;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    // Held across miss faults into the PageStore and DiskModel charges,
+    // hence ranked above both (kCacheShard < kPageStore < kDiskModel).
+    mutable Mutex mu{lockrank::kCacheShard, "env.cache_shard"};
+    size_t capacity GUARDED_BY(mu) = 0;
+    size_t size GUARDED_BY(mu) = 0;
+    LruList lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<uint32_t, FilePages> files GUARDED_BY(mu);
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardOf(uint32_t file_id, uint32_t page_no);
   // The following helpers run with the shard's mutex held.
-  bool LookupLocked(Shard& s, const Key& k, PageData* out);
-  void InsertLocked(Shard& s, const Key& k, PageData data);
-  void EvictOverflowLocked(Shard& s);
+  bool LookupLocked(Shard& s, const Key& k, PageData* out) REQUIRES(s.mu);
+  void InsertLocked(Shard& s, const Key& k, PageData data) REQUIRES(s.mu);
+  void EvictOverflowLocked(Shard& s) REQUIRES(s.mu);
 
   PageStore* const store_;
   IoEngine* const io_;

@@ -29,7 +29,7 @@ DiskProfile DiskProfile::Null() {
 }
 
 double DiskModel::ChargeRead(uint32_t file_id, uint32_t page_no) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_.pages_read++;
   // One head: a read is cheap only relative to the immediately previous
   // read. Re-reading or advancing to the adjacent page is sequential; a
@@ -65,41 +65,41 @@ double DiskModel::ChargeRead(uint32_t file_id, uint32_t page_no) {
 }
 
 double DiskModel::ChargeWrite(uint64_t n_pages) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_.pages_written += n_pages;
   stats_.simulated_us += profile_.write_transfer_us * double(n_pages);
   return stats_.simulated_us;
 }
 
 double DiskModel::ChargeDelay(double us) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_.simulated_us += us;
   return stats_.simulated_us;
 }
 
 void DiskModel::OnCacheHit() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_.cache_hits++;
 }
 
 void DiskModel::OnCacheMiss() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   stats_.cache_misses++;
 }
 
 void DiskModel::ForgetFile(uint32_t file_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (has_head_ && head_file_ == file_id) has_head_ = false;
 }
 
 bool DiskModel::HeadFile(uint32_t* file_id) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (has_head_ && file_id != nullptr) *file_id = head_file_;
   return has_head_;
 }
 
 IoStats DiskModel::stats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   IoStats s = stats_;
   // A bare DiskModel is one queue: its busy time is its critical path.
   s.critical_path_us = s.simulated_us;

@@ -12,9 +12,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -107,11 +109,13 @@ class DiskModel {
 
  private:
   DiskProfile profile_;
-  mutable std::mutex mu_;
-  bool has_head_ = false;
-  uint32_t head_file_ = 0;
-  uint32_t head_page_ = 0;
-  IoStats stats_;
+  // Deepest rank: every modeled-I/O charge bottoms out here while callers
+  // hold WAL/cache/store locks; the model itself never locks anything.
+  mutable Mutex mu_{lockrank::kDiskModel, "env.disk"};
+  bool has_head_ GUARDED_BY(mu_) = false;
+  uint32_t head_file_ GUARDED_BY(mu_) = 0;
+  uint32_t head_page_ GUARDED_BY(mu_) = 0;
+  IoStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace auxlsm

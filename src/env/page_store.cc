@@ -1,10 +1,9 @@
 #include "env/page_store.h"
-#include <mutex>
 
 namespace auxlsm {
 
 uint32_t PageStore::CreateFile() {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   uint32_t id = next_file_id_++;
   files_.emplace(id, std::vector<PageData>());
   return id;
@@ -15,7 +14,7 @@ Status PageStore::AppendPage(uint32_t file_id, std::string page,
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page size mismatch");
   }
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("no such file");
   it->second.push_back(std::make_shared<const std::string>(std::move(page)));
@@ -27,7 +26,7 @@ Status PageStore::AppendPage(uint32_t file_id, std::string page,
 
 Status PageStore::ReadPage(uint32_t file_id, uint32_t page_no,
                            PageData* out) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   auto it = files_.find(file_id);
   if (it == files_.end()) return Status::NotFound("no such file");
   if (page_no >= it->second.size()) {
@@ -38,24 +37,24 @@ Status PageStore::ReadPage(uint32_t file_id, uint32_t page_no,
 }
 
 uint32_t PageStore::NumPages(uint32_t file_id) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   auto it = files_.find(file_id);
   return it == files_.end() ? 0 : static_cast<uint32_t>(it->second.size());
 }
 
 Status PageStore::DeleteFile(uint32_t file_id) {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   if (files_.erase(file_id) == 0) return Status::NotFound("no such file");
   return Status::OK();
 }
 
 bool PageStore::FileExists(uint32_t file_id) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   return files_.count(file_id) > 0;
 }
 
 uint64_t PageStore::TotalPages() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   uint64_t total = 0;
   for (const auto& [id, pages] : files_) total += pages.size();
   return total;

@@ -8,12 +8,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -47,9 +48,11 @@ class PageStore {
 
  private:
   const size_t page_size_;
-  mutable std::shared_mutex mu_;
-  uint32_t next_file_id_ = 1;
-  std::unordered_map<uint32_t, std::vector<PageData>> files_;
+  // Miss fills fault pages in while holding a BufferCache shard mutex, so
+  // the store ranks between the shards and the disk model.
+  mutable SharedMutex mu_{lockrank::kPageStore, "env.page_store"};
+  uint32_t next_file_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint32_t, std::vector<PageData>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace auxlsm

@@ -23,10 +23,10 @@ MaintenanceScheduler::~MaintenanceScheduler() {
   // (the owning Dataset keeps its trees alive until after this destructor),
   // then the workers exit and are joined.
   {
-    std::lock_guard<std::mutex> l(merge_mu_);
+    MutexLock l(merge_mu_);
     merge_stop_ = true;
   }
-  merge_cv_.notify_all();
+  merge_cv_.NotifyAll();
   for (auto& w : merge_workers_) w.join();
 }
 
@@ -35,7 +35,7 @@ void MaintenanceScheduler::EnqueueMergeRound(std::vector<MergeJob> jobs) {
                             [](const MergeJob& j) { return !j.work; }),
              jobs.end());
   if (jobs.empty()) return;
-  std::lock_guard<std::mutex> l(merge_mu_);
+  MutexLock l(merge_mu_);
   auto remaining = std::make_shared<size_t>(jobs.size());
   merge_rounds_pending_++;
   merge_rounds_relaxed_.store(merge_rounds_pending_, std::memory_order_relaxed);
@@ -62,7 +62,7 @@ void MaintenanceScheduler::EnqueueMergeRound(std::vector<MergeJob> jobs) {
     merge_workers_.emplace_back([this]() { MergeDrainLoop(); });
     available++;
   }
-  merge_cv_.notify_all();
+  merge_cv_.NotifyAll();
 }
 
 MaintenanceScheduler::MergeQueue* MaintenanceScheduler::ClaimQueueLocked() {
@@ -77,13 +77,19 @@ MaintenanceScheduler::MergeQueue* MaintenanceScheduler::ClaimQueueLocked() {
 }
 
 void MaintenanceScheduler::MergeDrainLoop() {
-  std::unique_lock<std::mutex> l(merge_mu_);
+  // The drain loop cycles merge_mu_ around each job (locked while claiming,
+  // unlocked while the job runs) — inexpressible with a scoped guard, so it
+  // uses explicit annotated lock()/unlock() calls the analysis can follow.
+  merge_mu_.lock();
   while (true) {
     MergeQueue* q = ClaimQueueLocked();
     if (q == nullptr) {
-      if (merge_stop_) return;
+      if (merge_stop_) {
+        merge_mu_.unlock();
+        return;
+      }
       idle_merge_workers_++;
-      merge_cv_.wait(l);
+      merge_cv_.Wait(merge_mu_);
       idle_merge_workers_--;
       continue;
     }
@@ -93,7 +99,7 @@ void MaintenanceScheduler::MergeDrainLoop() {
       QueuedMergeJob job = std::move(q->jobs.front());
       q->jobs.pop_front();
       const uint32_t io_index = q->io_index;
-      l.unlock();
+      merge_mu_.unlock();
       Status st;
       {
         // Queue-aware device affinity, mirroring RunAll's task binding.
@@ -110,7 +116,7 @@ void MaintenanceScheduler::MergeDrainLoop() {
           st = Status::Aborted("merge job threw");
         }
       }
-      l.lock();
+      merge_mu_.lock();
       if (!st.ok() && merge_error_.ok()) {
         merge_error_ = st;
         has_merge_error_.store(true, std::memory_order_release);
@@ -121,20 +127,20 @@ void MaintenanceScheduler::MergeDrainLoop() {
         merge_rounds_relaxed_.store(merge_rounds_pending_,
                                     std::memory_order_relaxed);
       }
-      merge_cv_.notify_all();
+      merge_cv_.NotifyAll();
     }
     q->draining = false;
-    merge_cv_.notify_all();
+    merge_cv_.NotifyAll();
   }
 }
 
 size_t MaintenanceScheduler::PendingMergeRounds() const {
-  std::lock_guard<std::mutex> l(merge_mu_);
+  MutexLock l(merge_mu_);
   return merge_rounds_pending_;
 }
 
 size_t MaintenanceScheduler::PendingMergeJobs() const {
-  std::lock_guard<std::mutex> l(merge_mu_);
+  MutexLock l(merge_mu_);
   return merge_jobs_pending_;
 }
 
@@ -142,25 +148,25 @@ void MaintenanceScheduler::WaitForMergeRounds(size_t limit) {
   // Per-op ingest fast path: no backlog means no lock — writers only
   // contend on merge_mu_ once the queues are genuinely behind.
   if (merge_rounds_relaxed_.load(std::memory_order_relaxed) <= limit) return;
-  std::unique_lock<std::mutex> l(merge_mu_);
-  merge_cv_.wait(l, [&] {
-    return merge_rounds_pending_ <= limit || merge_stop_;
-  });
+  MutexLock l(merge_mu_);
+  while (merge_rounds_pending_ > limit && !merge_stop_) {
+    merge_cv_.Wait(merge_mu_);
+  }
 }
 
 Status MaintenanceScheduler::DrainMerges() {
-  std::unique_lock<std::mutex> l(merge_mu_);
-  merge_cv_.wait(l, [&] { return merge_jobs_pending_ == 0; });
+  MutexLock l(merge_mu_);
+  while (merge_jobs_pending_ != 0) merge_cv_.Wait(merge_mu_);
   return merge_error_;
 }
 
 Status MaintenanceScheduler::merge_error() const {
-  std::lock_guard<std::mutex> l(merge_mu_);
+  MutexLock l(merge_mu_);
   return merge_error_;
 }
 
 Status MaintenanceScheduler::TakeMergeError() {
-  std::lock_guard<std::mutex> l(merge_mu_);
+  MutexLock l(merge_mu_);
   Status s = merge_error_;
   merge_error_ = Status::OK();
   has_merge_error_.store(false, std::memory_order_release);
@@ -169,13 +175,13 @@ Status MaintenanceScheduler::TakeMergeError() {
 
 ThreadPool* MaintenanceScheduler::pool() {
   if (threads_ <= 1) return nullptr;
-  std::lock_guard<std::mutex> l(pool_mu_);
+  MutexLock l(pool_mu_);
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
   return pool_.get();
 }
 
 size_t MaintenanceScheduler::PoolQueueDepth() {
-  std::lock_guard<std::mutex> l(pool_mu_);
+  MutexLock l(pool_mu_);
   return pool_ == nullptr ? 0 : pool_->QueueDepth();
 }
 

@@ -55,18 +55,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "lsm/lsm_tree.h"
 
 namespace auxlsm {
@@ -193,27 +193,27 @@ class MaintenanceScheduler {
   /// runs its jobs to empty (serially), repeats; exits on shutdown once no
   /// claimable work remains (the destructor drains, like ThreadPool's).
   void MergeDrainLoop();
-  MergeQueue* ClaimQueueLocked();
+  MergeQueue* ClaimQueueLocked() REQUIRES(merge_mu_);
 
   MaintenanceOptions options_;
   size_t threads_ = 1;
-  std::mutex pool_mu_;                // guards lazy pool creation
-  std::unique_ptr<ThreadPool> pool_;  // null until first use / if serial
+  Mutex pool_mu_{lockrank::kLeaf, "exec.pool_mu"};  // guards lazy pool creation
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);  // null until use
 
   // Merge-queue state (all guarded by merge_mu_ except where noted).
-  mutable std::mutex merge_mu_;
-  std::condition_variable merge_cv_;
-  std::unordered_map<MergeKey, MergeQueue> merge_queues_;
-  size_t merge_jobs_pending_ = 0;    // queued + running
-  size_t merge_rounds_pending_ = 0;  // rounds with unfinished jobs
+  mutable Mutex merge_mu_{lockrank::kLeaf, "exec.merge_mu"};
+  CondVar merge_cv_;
+  std::unordered_map<MergeKey, MergeQueue> merge_queues_ GUARDED_BY(merge_mu_);
+  size_t merge_jobs_pending_ GUARDED_BY(merge_mu_) = 0;  // queued + running
+  size_t merge_rounds_pending_ GUARDED_BY(merge_mu_) = 0;  // unfinished rounds
   /// Relaxed mirror of merge_rounds_pending_ for the per-op fast path.
   std::atomic<size_t> merge_rounds_relaxed_{0};
-  size_t idle_merge_workers_ = 0;
-  bool merge_stop_ = false;
-  Status merge_error_;
+  size_t idle_merge_workers_ GUARDED_BY(merge_mu_) = 0;
+  bool merge_stop_ GUARDED_BY(merge_mu_) = false;
+  Status merge_error_ GUARDED_BY(merge_mu_);
   std::atomic<bool> has_merge_error_{false};  // mirrors merge_error_.ok()
-  uint32_t next_merge_queue_index_ = 0;
-  std::vector<std::thread> merge_workers_;
+  uint32_t next_merge_queue_index_ GUARDED_BY(merge_mu_) = 0;
+  std::vector<std::thread> merge_workers_ GUARDED_BY(merge_mu_);
 };
 
 }  // namespace auxlsm

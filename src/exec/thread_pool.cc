@@ -14,17 +14,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> l(queue_mu_);
+    MutexLock l(queue_mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 bool ThreadPool::RunOneQueued() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> l(queue_mu_);
+    MutexLock l(queue_mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -34,7 +34,7 @@ bool ThreadPool::RunOneQueued() {
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> l(queue_mu_);
+  MutexLock l(queue_mu_);
   return queue_.size();
 }
 
@@ -42,8 +42,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> l(queue_mu_);
-      queue_cv_.wait(l, [this]() { return stop_ || !queue_.empty(); });
+      MutexLock l(queue_mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       // Drain remaining tasks even after stop: every Submit() promised a
       // future that must eventually be fulfilled.
       if (queue_.empty()) return;

@@ -12,15 +12,16 @@
 //     joining, so callers may drop a pool without waiting on every future.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -44,10 +45,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> l(queue_mu_);
+      MutexLock l(queue_mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     return future;
   }
 
@@ -63,10 +64,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  mutable Mutex queue_mu_{lockrank::kPoolQueue, "threadpool.queue"};
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(queue_mu_);
+  bool stop_ GUARDED_BY(queue_mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -17,17 +17,17 @@ std::vector<const char*> AllSites() {
 }  // namespace failpoints
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_[site] = ArmedSite{std::move(spec), 0};
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_.erase(site);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   armed_.clear();
 }
 
@@ -80,46 +80,46 @@ Status FaultInjector::HitLocked(const std::string& site, IoEngine* io,
 }
 
 Status FaultInjector::Hit(const std::string& site, IoEngine* io) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   bool fired = false;
   return HitLocked(site, io, /*parked=*/false, &fired);
 }
 
 bool FaultInjector::HitCharge(const std::string& site, IoEngine* io) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   bool fired = false;
   const Status st = HitLocked(site, io, /*parked=*/false, &fired);
   return fired && !st.ok();
 }
 
 bool FaultInjector::HitParked(const std::string& site, IoEngine* io) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   bool fired = false;
   const Status st = HitLocked(site, io, /*parked=*/true, &fired);
   return fired && !st.ok();
 }
 
 Status FaultInjector::TakePending() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   Status out = pending_;
   pending_ = Status::OK();
   return out;
 }
 
 void FaultInjector::ResetCrash() {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   crashed_.store(false, std::memory_order_release);
   pending_ = Status::OK();
 }
 
 FaultSiteStats FaultInjector::site_stats(const std::string& site) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = stats_.find(site);
   return it == stats_.end() ? FaultSiteStats{} : it->second;
 }
 
 uint64_t FaultInjector::TotalFires() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   uint64_t total = 0;
   for (const auto& [site, st] : stats_) total += st.fires;
   return total;

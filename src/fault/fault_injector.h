@@ -23,13 +23,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -161,17 +162,20 @@ class FaultInjector {
   /// Evaluates a hit under mu_. Fills *fired and the action taken; returns
   /// the Status for Status-channel callers.
   Status HitLocked(const std::string& site, IoEngine* io, bool parked,
-                   bool* fired);
+                   bool* fired) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Random rng_;
+  // Unranked on purpose: instrumented sites hit the injector while holding
+  // whichever subsystem lock guards the seam (wal.mu, a cache shard, ...),
+  // so a fixed rank could not be both above and below them.
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
   struct ArmedSite {
     FaultSpec spec;
     uint64_t hit_count = 0;  ///< trigger counter for every_nth
   };
-  std::unordered_map<std::string, ArmedSite> armed_;
-  std::unordered_map<std::string, FaultSiteStats> stats_;
-  Status pending_;
+  std::unordered_map<std::string, ArmedSite> armed_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, FaultSiteStats> stats_ GUARDED_BY(mu_);
+  Status pending_ GUARDED_BY(mu_);
   std::atomic<bool> crashed_{false};
 };
 

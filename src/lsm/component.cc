@@ -28,12 +28,12 @@ void DiskComponent::EnsureBitmap() {
 }
 
 void DiskComponent::set_build_link(std::shared_ptr<BuildLink> link) {
-  std::lock_guard<std::mutex> l(link_mu_);
+  MutexLock l(link_mu_);
   build_link_ = std::move(link);
 }
 
 std::shared_ptr<BuildLink> DiskComponent::build_link() const {
-  std::lock_guard<std::mutex> l(link_mu_);
+  MutexLock l(link_mu_);
   return build_link_;
 }
 

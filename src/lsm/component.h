@@ -8,7 +8,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -16,6 +15,8 @@
 #include "bloom/bloom_filter.h"
 #include "btree/btree.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "lsm/bitmap.h"
 #include "lsm/range_filter.h"
 
@@ -111,8 +112,8 @@ class DiskComponent {
   Timestamp repaired_ts_ = 0;
   uint64_t max_lsn_ = 0;
 
-  mutable std::mutex link_mu_;
-  std::shared_ptr<BuildLink> build_link_;
+  mutable Mutex link_mu_{lockrank::kLeaf, "lsm.component.link"};
+  std::shared_ptr<BuildLink> build_link_ GUARDED_BY(link_mu_);
   std::atomic<bool> retired_{false};
 };
 

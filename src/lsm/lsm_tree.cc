@@ -18,7 +18,7 @@ LsmTree::LsmTree(Env* env, LsmTreeOptions options)
 }
 
 std::shared_ptr<Memtable> LsmTree::ActiveMem() const {
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   return mem_;
 }
 
@@ -31,7 +31,7 @@ void LsmTree::PutAntimatter(const Slice& key, Timestamp ts) {
 }
 
 std::vector<std::shared_ptr<Memtable>> LsmTree::MemtableSet() const {
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   std::vector<std::shared_ptr<Memtable>> out;
   out.reserve(1 + sealed_.size());
   out.push_back(mem_);
@@ -48,7 +48,7 @@ Status LsmTree::GetFromMem(const Slice& key, OwnedEntry* out,
   // the set snapshot on the hot per-operation lookup.
   std::shared_ptr<Memtable> active;
   {
-    std::lock_guard<std::mutex> l(mem_mu_);
+    MutexLock l(mem_mu_);
     if (sealed_.empty()) active = mem_;
   }
   if (active != nullptr) return active->Get(key, out);
@@ -120,14 +120,14 @@ std::vector<OwnedEntry> LsmTree::MemSnapshotRange(const Slice& lo,
 size_t LsmTree::MemBytes() const {
   // Per-ingest-op budget input; byte counters are atomics, so summing under
   // mem_mu_ needs no set snapshot.
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   size_t total = mem_->ApproximateMemory();
   for (const auto& m : sealed_) total += m->ApproximateMemory();
   return total;
 }
 
 bool LsmTree::MemEmpty() const {
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   if (!mem_->empty()) return false;
   for (const auto& m : sealed_) {
     if (!m->empty()) return false;
@@ -136,7 +136,7 @@ bool LsmTree::MemEmpty() const {
 }
 
 Timestamp LsmTree::MemMinTs() const {
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   Timestamp min = mem_->min_ts();
   for (const auto& m : sealed_) {
     const Timestamp t = m->min_ts();
@@ -248,7 +248,7 @@ Result<DiskComponentPtr> LsmTree::BuildComponent(
 }
 
 std::shared_ptr<Memtable> LsmTree::SealMemtable() {
-  std::lock_guard<std::mutex> l(mem_mu_);
+  MutexLock l(mem_mu_);
   if (mem_->empty()) return nullptr;
   std::shared_ptr<Memtable> sealed = mem_;
   sealed_.push_back(sealed);
@@ -280,7 +280,7 @@ Result<DiskComponentPtr> LsmTree::BuildFromSealed(
 Status LsmTree::InstallFlushed(const std::shared_ptr<Memtable>& sealed,
                                DiskComponentPtr component) {
   {
-    std::lock_guard<std::mutex> ml(mem_mu_);
+    MutexLock ml(mem_mu_);
     auto it = std::find(sealed_.begin(), sealed_.end(), sealed);
     if (it == sealed_.end()) {
       // The sealed memtable was already flushed by a competing path (e.g. an
@@ -294,7 +294,7 @@ Status LsmTree::InstallFlushed(const std::shared_ptr<Memtable>& sealed,
     // never zero times. Lock order mem_mu_ -> components_mu_ (no other path
     // nests them).
     {
-      std::lock_guard<std::mutex> cl(components_mu_);
+      MutexLock cl(components_mu_);
       components_.insert(components_.begin(), component);
     }
     sealed_.erase(it);
@@ -308,7 +308,7 @@ Status LsmTree::Flush() {
   // Flush oldest-sealed first so the newest-first component order holds.
   std::vector<std::shared_ptr<Memtable>> pending;
   {
-    std::lock_guard<std::mutex> l(mem_mu_);
+    MutexLock l(mem_mu_);
     pending = sealed_;
   }
   for (const auto& m : pending) {
@@ -319,7 +319,7 @@ Status LsmTree::Flush() {
 }
 
 std::vector<DiskComponentPtr> LsmTree::Components() const {
-  std::lock_guard<std::mutex> l(components_mu_);
+  MutexLock l(components_mu_);
   return components_;
 }
 
@@ -364,7 +364,7 @@ Status LsmTree::MergeAll() {
 }
 
 bool LsmTree::IsOldestComponent(const DiskComponentPtr& c) const {
-  std::lock_guard<std::mutex> l(components_mu_);
+  MutexLock l(components_mu_);
   return !components_.empty() && c == components_.back();
 }
 
@@ -443,7 +443,7 @@ Status LsmTree::ReplaceComponents(
     const std::vector<DiskComponentPtr>& old_components,
     DiskComponentPtr replacement) {
   Status st = [&]() -> Status {
-    std::lock_guard<std::mutex> l(components_mu_);
+    MutexLock l(components_mu_);
     if (old_components.empty()) {
       if (replacement != nullptr) {
         components_.insert(components_.begin(), std::move(replacement));
@@ -480,7 +480,7 @@ uint64_t LsmTree::TotalDiskBytes() const {
 }
 
 size_t LsmTree::NumDiskComponents() const {
-  std::lock_guard<std::mutex> l(components_mu_);
+  MutexLock l(components_mu_);
   return components_.size();
 }
 

@@ -18,11 +18,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "lsm/component.h"
 #include "lsm/merge_cursor.h"
 #include "lsm/merge_policy.h"
@@ -151,7 +152,7 @@ class LsmTree {
   /// a flush cycle whose build failed leaves its memtable here, and the next
   /// cycle re-collects the stragglers so abandoned data is never stranded.
   std::vector<std::shared_ptr<Memtable>> PendingSealed() const {
-    std::lock_guard<std::mutex> l(mem_mu_);
+    MutexLock l(mem_mu_);
     return sealed_;
   }
 
@@ -259,9 +260,11 @@ class LsmTree {
   // Guards mem_ / sealed_ membership only (contents are internally
   // synchronized). Sealing swaps mem_ under the dataset's exclusive ingest
   // latch; queries that hold no latch snapshot shared_ptrs under this mutex.
-  mutable std::mutex mem_mu_;
-  std::shared_ptr<Memtable> mem_;
-  std::vector<std::shared_ptr<Memtable>> sealed_;  // oldest first
+  // Rank kTreeMem: InstallFlushed nests components_mu_ inside it, so the two
+  // tree locks have a fixed order (mem before components).
+  mutable Mutex mem_mu_{lockrank::kTreeMem, "lsm.mem"};
+  std::shared_ptr<Memtable> mem_ GUARDED_BY(mem_mu_);
+  std::vector<std::shared_ptr<Memtable>> sealed_ GUARDED_BY(mem_mu_);  // oldest first
 
   // Guards components_ only. Readers snapshot the vector under the lock and
   // work on shared_ptr copies; Flush / ReplaceComponents mutate the vector
@@ -270,8 +273,8 @@ class LsmTree {
   // caller (ReplaceComponents identity-compares and rejects a stale pick,
   // so a lost race fails safe, but the maintenance engine never issues two
   // merges for one tree concurrently).
-  mutable std::mutex components_mu_;
-  std::vector<DiskComponentPtr> components_;  // newest first
+  mutable Mutex components_mu_{lockrank::kTreeComponents, "lsm.components"};
+  std::vector<DiskComponentPtr> components_ GUARDED_BY(components_mu_);  // newest first
 
   std::atomic<size_t> merge_pending_jobs_{0};
 

@@ -1,12 +1,11 @@
 #include "mem/memtable.h"
 
-#include <mutex>
 
 namespace auxlsm {
 
 void Memtable::Put(const Slice& key, const Slice& value, Timestamp ts,
                    bool antimatter) {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   bool created = false;
   size_t replaced_value_bytes = 0;
   list_.InsertOrAssign(key.view(), MemEntry{value.ToString(), ts, antimatter},
@@ -32,7 +31,7 @@ void Memtable::Put(const Slice& key, const Slice& value, Timestamp ts,
 }
 
 Status Memtable::Get(const Slice& key, OwnedEntry* out) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   auto* node = list_.Find(key.view());
   if (node == nullptr) return Status::NotFound();
   MemEntry e = SkipList<MemEntry>::ReadValue(node);
@@ -44,12 +43,12 @@ Status Memtable::Get(const Slice& key, OwnedEntry* out) const {
 }
 
 bool Memtable::Contains(const Slice& key) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   return list_.Find(key.view()) != nullptr;
 }
 
 bool Memtable::EraseIfTs(const Slice& key, Timestamp ts) {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   auto* node = list_.Find(key.view());
   if (node == nullptr || node->value.ts != ts) return false;
   bytes_.fetch_sub(key.size() + node->value.value.size() + 32,
@@ -59,7 +58,7 @@ bool Memtable::EraseIfTs(const Slice& key, Timestamp ts) {
 }
 
 void Memtable::Restore(const Slice& key, const MemEntry& prev) {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   bool created = false;
   list_.InsertOrAssign(key.view(), prev, &created);
   if (created) {
@@ -83,7 +82,7 @@ Timestamp Memtable::max_ts() const {
 }
 
 std::vector<OwnedEntry> Memtable::Snapshot() const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   std::vector<OwnedEntry> out;
   out.reserve(list_.size());
   for (auto* n = list_.First(); n != nullptr;
@@ -97,7 +96,7 @@ std::vector<OwnedEntry> Memtable::Snapshot() const {
 
 std::vector<OwnedEntry> Memtable::SnapshotRange(const Slice& lo,
                                                 const Slice& hi) const {
-  std::shared_lock<std::shared_mutex> l(mu_);
+  SharedMutexReadLock l(mu_);
   std::vector<OwnedEntry> out;
   auto* n = lo.empty() ? list_.First() : list_.LowerBound(lo.view());
   for (; n != nullptr; n = SkipList<MemEntry>::Next(n)) {
@@ -110,7 +109,7 @@ std::vector<OwnedEntry> Memtable::SnapshotRange(const Slice& lo,
 }
 
 void Memtable::Clear() {
-  std::unique_lock<std::shared_mutex> l(mu_);
+  SharedMutexWriteLock l(mu_);
   list_.Clear();
   bytes_.store(0, std::memory_order_relaxed);
   min_ts_.store(0, std::memory_order_relaxed);

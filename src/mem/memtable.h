@@ -22,11 +22,11 @@
 #pragma once
 
 #include <atomic>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "lsm/range_filter.h"
@@ -94,8 +94,12 @@ class Memtable {
  private:
   // Shared by all read/write operations (the skiplist handles their mutual
   // concurrency); exclusive only for structural unlinking (Clear/Erase/
-  // Restore), which must not run under concurrent traversals.
-  mutable std::shared_mutex mu_;
+  // Restore), which must not run under concurrent traversals. list_ carries
+  // no GUARDED_BY: writers mutate it under the *shared* latch by design
+  // (lock-free skiplist inserts), a data-dependent discipline the static
+  // analysis cannot express — the latch here only fences structural
+  // unlinking, not entry publication.
+  mutable SharedMutex mu_{lockrank::kLeaf, "mem.table"};
   SkipList<MemEntry> list_;
   std::atomic<size_t> bytes_{0};
   std::atomic<Timestamp> min_ts_{0};

@@ -42,14 +42,14 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& slot = counters_[name];
   if (!slot) slot.reset(new Counter());
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot.reset(new Histogram());
   return slot.get();
@@ -57,13 +57,13 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::SetGauge(const std::string& name,
                                std::function<double()> fn) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   gauges_[name] = std::move(fn);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot s;
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (const auto& kv : counters_) s.values[kv.first] = double(kv.second->load());
   for (const auto& kv : gauges_) s.values[kv.first] = kv.second();
   for (const auto& kv : histograms_) s.histograms[kv.first] = kv.second->Snapshot();

@@ -34,10 +34,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/stat_counter.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 namespace obs {
@@ -154,10 +155,14 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::function<double()>> gauges_;
+  // Unranked on purpose: Snapshot() evaluates caller-supplied gauge
+  // callbacks under mu_, and those callbacks may take ranked engine locks
+  // (e.g. a merge-backlog gauge reading the scheduler's queue mutex).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::function<double()>> gauges_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

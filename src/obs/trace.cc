@@ -49,7 +49,7 @@ Tracer::ThreadBuf* Tracer::GetThreadBuf() {
   buf->ring.resize(capacity_events_);
   ThreadBuf* raw = buf.get();
   {
-    std::lock_guard<std::mutex> l(reg_mu_);
+    MutexLock l(reg_mu_);
     raw->tid = next_tid_++;
     bufs_.push_back(std::move(buf));
   }
@@ -60,7 +60,7 @@ Tracer::ThreadBuf* Tracer::GetThreadBuf() {
 void Tracer::Record(TraceEvent ev) {
   ThreadBuf* b = GetThreadBuf();
   ev.tid = b->tid;
-  std::lock_guard<std::mutex> l(b->mu);
+  MutexLock l(b->mu);
   if (b->wrapped) dropped_.fetch_add(1, std::memory_order_relaxed);
   b->ring[b->next] = ev;
   b->next = (b->next + 1) % capacity_events_;
@@ -80,10 +80,10 @@ void Tracer::Instant(const char* name, const char* cat, int32_t queue) {
 
 std::vector<TraceEvent> Tracer::Drain() {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> l(reg_mu_);
+  MutexLock l(reg_mu_);
   for (auto& bp : bufs_) {
     ThreadBuf* b = bp.get();
-    std::lock_guard<std::mutex> bl(b->mu);
+    MutexLock bl(b->mu);
     if (b->wrapped) {
       // Oldest-first: [next, end) then [0, next).
       out.insert(out.end(), b->ring.begin() + long(b->next), b->ring.end());

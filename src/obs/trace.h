@@ -34,9 +34,11 @@
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 namespace obs {
@@ -101,10 +103,14 @@ class Tracer {
 
  private:
   struct ThreadBuf {
-    std::mutex mu;
-    std::vector<TraceEvent> ring;
-    size_t next = 0;
-    bool wrapped = false;
+    // Unranked: only the owning thread records into its ring; the mutex
+    // exists solely to serialize against a concurrent Drain().
+    Mutex mu;
+    std::vector<TraceEvent> ring GUARDED_BY(mu);
+    size_t next GUARDED_BY(mu) = 0;
+    bool wrapped GUARDED_BY(mu) = false;
+    // Written once under reg_mu_ before the buffer is published; read
+    // lock-free by the owning thread afterwards.
     uint32_t tid = 0;
   };
 
@@ -116,9 +122,11 @@ class Tracer {
   std::function<double()> modeled_clock_;
   std::atomic<uint64_t> dropped_{0};
 
-  std::mutex reg_mu_;
-  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
-  uint32_t next_tid_ = 1;
+  // Unranked; Drain() nests each ThreadBuf::mu inside it (both unranked,
+  // and nothing else is ever taken under either).
+  Mutex reg_mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_ GUARDED_BY(reg_mu_);
+  uint32_t next_tid_ GUARDED_BY(reg_mu_) = 1;
 
   int64_t epoch_ns_ = 0;
 };

@@ -12,14 +12,14 @@ namespace auxlsm {
 namespace server {
 
 void ClientConnection::Send(const std::string& bytes) {
-  std::lock_guard<std::mutex> l(in_mu_);
+  MutexLock l(in_mu_);
   inbox_ += bytes;
 }
 
 std::vector<Response> ClientConnection::Receive() {
   std::string bytes;
   {
-    std::lock_guard<std::mutex> l(out_mu_);
+    MutexLock l(out_mu_);
     bytes.swap(outbox_);
   }
   std::vector<Response> out;
@@ -32,7 +32,7 @@ std::vector<Response> ClientConnection::Receive() {
         DecodeFrame(in, kDefaultMaxFrameBytes, &body, &consumed, &error);
     if (fr == FrameResult::kNeedMore) {
       // Torn response tail: push the residue back for the next Receive.
-      std::lock_guard<std::mutex> l(out_mu_);
+      MutexLock l(out_mu_);
       outbox_.insert(0, in.data(), in.size());
       break;
     }
@@ -56,7 +56,7 @@ std::vector<Response> ClientConnection::Receive() {
 }
 
 size_t ClientConnection::pending_requests() const {
-  std::lock_guard<std::mutex> l(pending_mu_);
+  MutexLock l(pending_mu_);
   return pending_.size();
 }
 
@@ -64,7 +64,7 @@ size_t ClientConnection::DecodeInbound(
     size_t max_frame_bytes, FaultInjector* fault,
     std::vector<Response>* decode_failures) {
   {
-    std::lock_guard<std::mutex> l(in_mu_);
+    MutexLock l(in_mu_);
     decode_buf_ += inbox_;
     inbox_.clear();
   }
@@ -119,7 +119,7 @@ size_t ClientConnection::DecodeInbound(
       continue;
     }
     {
-      std::lock_guard<std::mutex> l(pending_mu_);
+      MutexLock l(pending_mu_);
       pending_.push_back(std::move(req));
     }
     decoded++;
@@ -131,7 +131,7 @@ size_t ClientConnection::DecodeInbound(
 
 std::vector<Request> ClientConnection::TakeBatch(size_t max_batch) {
   std::vector<Request> batch;
-  std::lock_guard<std::mutex> l(pending_mu_);
+  MutexLock l(pending_mu_);
   const size_t n = std::min(max_batch, pending_.size());
   batch.reserve(n);
   for (size_t i = 0; i < n; i++) {
@@ -150,7 +150,7 @@ std::vector<Request> ClientConnection::TakeBatch(size_t max_batch) {
 
 void ClientConnection::Write(const Response& response) {
   const std::string frame = response.EncodeFrame();
-  std::lock_guard<std::mutex> l(out_mu_);
+  MutexLock l(out_mu_);
   outbox_ += frame;
   stats_.responses_sent++;
 }

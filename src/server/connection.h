@@ -24,11 +24,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stat_counter.h"
+#include "common/thread_annotations.h"
 #include "server/protocol.h"
 
 namespace auxlsm {
@@ -92,15 +93,18 @@ class ClientConnection {
   const uint32_t io_queue_;
   const uint32_t log_queue_;
 
-  mutable std::mutex in_mu_;   ///< guards inbox_
-  std::string inbox_;          ///< client -> server bytes
-  mutable std::mutex out_mu_;  ///< guards outbox_
-  std::string outbox_;         ///< server -> client bytes
+  // Unranked stream mutexes: held only for the byte-buffer splice itself,
+  // never while calling into the engine.
+  mutable Mutex in_mu_;
+  std::string inbox_ GUARDED_BY(in_mu_);  ///< client -> server bytes
+  mutable Mutex out_mu_;
+  std::string outbox_ GUARDED_BY(out_mu_);  ///< server -> client bytes
 
   // Server-only state (never touched concurrently; see thread model above).
-  std::string decode_buf_;       ///< partial-frame residue across polls
-  std::deque<Request> pending_;  ///< decoded requests awaiting dispatch
-  mutable std::mutex pending_mu_;  ///< pending_ size is read by gauges
+  std::string decode_buf_;  ///< partial-frame residue across polls
+  mutable Mutex pending_mu_;  ///< pending_ size is read by gauges
+  /// Decoded requests awaiting dispatch.
+  std::deque<Request> pending_ GUARDED_BY(pending_mu_);
   /// Modeled completion time of this connection's last finished request:
   /// per-connection responses complete in FIFO order on the virtual clock.
   double last_completion_us_ = 0;

@@ -173,7 +173,7 @@ Response Dispatcher::ExecuteQuery(const Request& req, uint64_t conn_id) {
   }
   // More pages remain: park the cursor and hand the client a continuation
   // id. The snapshot stays pinned until kCursorClose or the last page.
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   size_t& open = cursors_per_conn_[conn_id];
   if (open >= max_cursors_per_conn_) {
     return ErrorResponse(req, ResponseCode::kError,
@@ -194,7 +194,7 @@ Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
   // connection went away in the meantime.
   std::unique_ptr<QueryCursor> cursor;
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     auto it = cursors_.find(req.cursor_id);
     if (it == cursors_.end() || it->second.conn_id != conn_id) {
       // Unknown or foreign cursor ids look identical to the client: cursor
@@ -223,7 +223,7 @@ Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
     r.done = cursor->done();
     keep_cursor = !r.done;
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto per_conn = cursors_per_conn_.find(conn_id);
   if (per_conn == cursors_per_conn_.end()) {
     // Disconnected while Next() ran: the cursor dies here, whatever state
@@ -239,7 +239,7 @@ Response Dispatcher::ExecuteCursorNext(const Request& req, uint64_t conn_id) {
 }
 
 Response Dispatcher::ExecuteCursorClose(const Request& req, uint64_t conn_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   auto it = cursors_.find(req.cursor_id);
   if (it == cursors_.end() || it->second.conn_id != conn_id) {
     return ErrorResponse(req, ResponseCode::kBadRequest, "unknown cursor");
@@ -256,7 +256,7 @@ Response Dispatcher::ExecuteCursorClose(const Request& req, uint64_t conn_id) {
 }
 
 void Dispatcher::CloseConnectionCursors(uint64_t conn_id) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (auto it = cursors_.begin(); it != cursors_.end();) {
     if (it->second.conn_id == conn_id) {
       it = cursors_.erase(it);
@@ -268,7 +268,7 @@ void Dispatcher::CloseConnectionCursors(uint64_t conn_id) {
 }
 
 size_t Dispatcher::open_cursors() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return cursors_.size();
 }
 

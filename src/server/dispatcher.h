@@ -31,9 +31,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "server/protocol.h"
 
 namespace auxlsm {
@@ -82,10 +84,12 @@ class Dispatcher {
   FaultInjector* const fault_;
   const size_t max_cursors_per_conn_;
 
-  mutable std::mutex mu_;  ///< guards the cursor table
-  uint64_t next_cursor_id_ = 1;
-  std::map<uint64_t, OpenCursor> cursors_;
-  std::unordered_map<uint64_t, size_t> cursors_per_conn_;
+  // Unranked: cursor-table bookkeeping only — never held across the
+  // dataset call a cursor continuation performs.
+  mutable Mutex mu_;
+  uint64_t next_cursor_id_ GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, OpenCursor> cursors_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, size_t> cursors_per_conn_ GUARDED_BY(mu_);
 };
 
 }  // namespace server

@@ -64,7 +64,7 @@ RequestServer::~RequestServer() {
 }
 
 ClientConnection* RequestServer::Connect() {
-  std::lock_guard<std::mutex> l(conns_mu_);
+  MutexLock l(conns_mu_);
   const uint64_t id = conns_.size();
   const uint32_t storage_q =
       uint32_t(id % std::max<uint32_t>(1, ds_->env()->io()->num_queues()));
@@ -76,7 +76,7 @@ ClientConnection* RequestServer::Connect() {
 
 void RequestServer::Disconnect(ClientConnection* conn) {
   dispatcher_.CloseConnectionCursors(conn->id());
-  std::lock_guard<std::mutex> l(conns_mu_);
+  MutexLock l(conns_mu_);
   closed_.insert(conn->id());
 }
 
@@ -107,7 +107,7 @@ size_t RequestServer::DispatchBatch(ClientConnection* conn) {
                               (log->BoundQueueClock() - log_before);
     double completion = 0;
     {
-      std::lock_guard<std::mutex> l(model_mu_);
+      MutexLock l(model_mu_);
       double& queue_free =
           queue_next_free_us_[conn->io_queue() % queue_next_free_us_.size()];
       double start = std::max(queue_free, conn->last_completion_us_);
@@ -123,7 +123,7 @@ size_t RequestServer::DispatchBatch(ClientConnection* conn) {
     const ResponseCode code = resp.code;
     WriteResponse(conn, std::move(resp));
     {
-      std::lock_guard<std::mutex> l(stats_mu_);
+      MutexLock l(stats_mu_);
       dispatched_++;
       service_us_total_ += service_us;
       if (code == ResponseCode::kRetryable) {
@@ -146,7 +146,7 @@ size_t RequestServer::DispatchBatch(ClientConnection* conn) {
 size_t RequestServer::Poll() {
   std::vector<ClientConnection*> open;
   {
-    std::lock_guard<std::mutex> l(conns_mu_);
+    MutexLock l(conns_mu_);
     open.reserve(conns_.size());
     for (const auto& c : conns_) {
       if (closed_.count(c->id()) == 0) open.push_back(c.get());
@@ -199,7 +199,7 @@ size_t RequestServer::PollUntilIdle() {
     if (n > 0) continue;
     // A round may decode without dispatching (or vice versa); idle means
     // no pending requests survived the round either.
-    std::lock_guard<std::mutex> l(conns_mu_);
+    MutexLock l(conns_mu_);
     if (InflightLocked() == 0) break;
   }
   return total;
@@ -216,7 +216,7 @@ uint64_t RequestServer::InflightLocked() const {
 ServerStats RequestServer::stats() const {
   ServerStats out;
   {
-    std::lock_guard<std::mutex> l(conns_mu_);
+    MutexLock l(conns_mu_);
     out.connections = conns_.size() - closed_.size();
     out.inflight_requests = InflightLocked();
     for (const auto& c : conns_) {
@@ -229,7 +229,7 @@ ServerStats RequestServer::stats() const {
     }
   }
   {
-    std::lock_guard<std::mutex> l(stats_mu_);
+    MutexLock l(stats_mu_);
     out.requests_dispatched = dispatched_;
     out.errors = errors_;
     out.retryable_errors = retryable_errors_;
@@ -240,7 +240,7 @@ ServerStats RequestServer::stats() const {
 }
 
 std::vector<double> RequestServer::TakeLatencySamples() {
-  std::lock_guard<std::mutex> l(stats_mu_);
+  MutexLock l(stats_mu_);
   std::vector<double> out;
   out.swap(latency_samples_);
   return out;

@@ -42,9 +42,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "server/connection.h"
 #include "server/dispatcher.h"
@@ -142,7 +144,7 @@ class RequestServer {
   size_t DispatchBatch(ClientConnection* conn);
   void WriteResponse(ClientConnection* conn, Response r);
   /// Sum of decoded-not-dispatched requests over open connections.
-  uint64_t InflightLocked() const;
+  uint64_t InflightLocked() const REQUIRES(conns_mu_);
 
   Dataset* const ds_;
   const ServerOptions options_;
@@ -152,21 +154,24 @@ class RequestServer {
   /// never share a device queue, so workers partition on (id % stride).
   size_t queue_partition_stride_ = 1;
 
-  mutable std::mutex conns_mu_;  ///< guards conns_ / closed_
-  std::vector<std::unique_ptr<ClientConnection>> conns_;
-  std::unordered_set<uint64_t> closed_;
+  // The three server mutexes are unranked: none is ever held while taking
+  // a ranked engine lock (dispatch runs dataset calls lock-free between
+  // them), and they never nest with each other.
+  mutable Mutex conns_mu_;
+  std::vector<std::unique_ptr<ClientConnection>> conns_ GUARDED_BY(conns_mu_);
+  std::unordered_set<uint64_t> closed_ GUARDED_BY(conns_mu_);
 
   /// Modeled time each storage queue finishes its last served request —
   /// the G/G/1 server-busy state of the latency model.
-  mutable std::mutex model_mu_;
-  std::vector<double> queue_next_free_us_;
+  mutable Mutex model_mu_;
+  std::vector<double> queue_next_free_us_ GUARDED_BY(model_mu_);
 
-  mutable std::mutex stats_mu_;
-  uint64_t dispatched_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t retryable_errors_ = 0;
-  double service_us_total_ = 0;
-  std::vector<double> latency_samples_;
+  mutable Mutex stats_mu_;
+  uint64_t dispatched_ GUARDED_BY(stats_mu_) = 0;
+  uint64_t errors_ GUARDED_BY(stats_mu_) = 0;
+  uint64_t retryable_errors_ GUARDED_BY(stats_mu_) = 0;
+  double service_us_total_ GUARDED_BY(stats_mu_) = 0;
+  std::vector<double> latency_samples_ GUARDED_BY(stats_mu_);
 
   uint64_t metrics_source_id_ = 0;  ///< Dataset::AddMetricsSource handle
   StatCounter* ctr_requests_ = nullptr;

@@ -34,15 +34,16 @@ bool LockManager::CanGrant(const LockState& st, TxnId txn, LockMode mode) {
 void LockManager::Lock(TxnId txn, const Slice& key, LockMode mode) {
   Shard& shard = ShardFor(key);
   const std::string k = key.ToString();
-  std::unique_lock<std::mutex> l(shard.mu);
+  MutexLock l(shard.mu);
   // Re-find the entry on every wakeup: concurrent Lock() calls on other keys
   // can rehash the table and Unlock() erases entries that become free, so a
   // reference captured before waiting dangles (and a waiter reading stale
   // state may block forever).
-  shard.cv.wait(l, [&] {
+  while (true) {
     auto it = shard.table.find(k);
-    return it == shard.table.end() || CanGrant(it->second, txn, mode);
-  });
+    if (it == shard.table.end() || CanGrant(it->second, txn, mode)) break;
+    shard.cv.Wait(shard.mu);
+  }
   auto& st = shard.table[k];
   if (mode == LockMode::kExclusive) {
     st.x_holder = txn;
@@ -55,7 +56,7 @@ void LockManager::Lock(TxnId txn, const Slice& key, LockMode mode) {
 void LockManager::Unlock(TxnId txn, const Slice& key) {
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> l(shard.mu);
+    MutexLock l(shard.mu);
     auto it = shard.table.find(key.ToString());
     if (it == shard.table.end()) return;
     LockState& st = it->second;
@@ -71,13 +72,13 @@ void LockManager::Unlock(TxnId txn, const Slice& key) {
       shard.table.erase(it);
     }
   }
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
 }
 
 void LockManager::UnlockAll(TxnId txn) {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> l(shard->mu);
+      MutexLock l(shard->mu);
       for (auto it = shard->table.begin(); it != shard->table.end();) {
         LockState& st = it->second;
         if (st.x_holder == txn) {
@@ -92,14 +93,14 @@ void LockManager::UnlockAll(TxnId txn) {
         }
       }
     }
-    shard->cv.notify_all();
+    shard->cv.NotifyAll();
   }
 }
 
 size_t LockManager::NumLockedKeys() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> l(shard->mu);
+    MutexLock l(shard->mu);
     n += shard->table.size();
   }
   return n;

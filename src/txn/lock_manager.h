@@ -8,14 +8,14 @@
 // re-entrant for the same holder (X subsumes S).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 
 namespace auxlsm {
 
@@ -44,9 +44,11 @@ class LockManager {
     std::unordered_map<TxnId, uint32_t> s_holders;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<std::string, LockState> table;
+    // Leaf rank: shard mutexes are only held for the table operation itself
+    // (never across a wait on another lock), so nothing nests inside them.
+    mutable Mutex mu{lockrank::kLeaf, "txn.lock_shard"};
+    CondVar cv;
+    std::unordered_map<std::string, LockState> table GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Slice& key);

@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include "cache/tuple_cache.h"
+
 namespace auxlsm {
 
 Transaction::~Transaction() {
@@ -20,16 +22,18 @@ void Transaction::NoteClosed() {
 }
 
 void Transaction::Rollback() {
-  // Inverse operations in reverse order (§2.2), bracketed by the rollback
-  // fence when one is installed: the restores are memtable effects visible
-  // to readers before any cache invalidation runs, so they need the same
-  // write fencing as the forward path.
-  if (rollback_begin_) rollback_begin_();
+  // Inverse operations in reverse order (§2.2), bracketed by the tuple
+  // cache's write fence when a cache is installed: the restores are
+  // memtable effects visible to readers before any cache invalidation
+  // runs, so they need the same write fencing as the forward path. The
+  // Clear (which bumps every epoch) lands inside the fence, before the
+  // guard's release.
+  TupleCacheWriteFence fence(rollback_cache_);
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
     (*it)();
   }
   undo_.clear();
-  if (rollback_end_) rollback_end_();
+  if (rollback_cache_ != nullptr) rollback_cache_->Clear();
 }
 
 Status Transaction::Commit() {

@@ -18,6 +18,7 @@
 namespace auxlsm {
 
 class TransactionManager;
+class TupleCache;
 
 class Transaction {
  public:
@@ -43,17 +44,16 @@ class Transaction {
     undo_.push_back(std::move(inverse));
   }
 
-  /// Installs a fence around rollback: `begin` runs before the first undo
-  /// closure and `end` after the last, on every rollback path (Abort and the
-  /// commit-record-drop rollback in Commit). The dataset uses this to keep
-  /// the undo closures' memtable restores inside the tuple cache's write
-  /// fence — the restores are memtable effects visible before any cache cut,
-  /// exactly like the forward path's. Idempotent to reinstall per operation.
-  void SetRollbackFence(std::function<void()> begin,
-                        std::function<void()> end) {
-    rollback_begin_ = std::move(begin);
-    rollback_end_ = std::move(end);
-  }
+  /// Installs the dataset's tuple cache on the rollback path: every
+  /// rollback (Abort and the commit-record-drop rollback in Commit) runs
+  /// its undo closures inside the cache's write fence and then drops the
+  /// whole cache. The undo closures' memtable restores are effects visible
+  /// before any cache cut, exactly like the forward path's, and the
+  /// restored records' cache positions (their *old* secondary keys) are
+  /// unknown in general, so precise re-cuts are impossible — degrading to
+  /// misses is the only stale-free option. Null (the default) skips both.
+  /// Idempotent to reinstall per operation.
+  void SetRollbackCache(TupleCache* cache) { rollback_cache_ = cache; }
 
   Status Commit();
   Status Abort();
@@ -69,7 +69,7 @@ class Transaction {
   TransactionManager* const mgr_;
   State state_ = State::kActive;
   std::vector<std::function<void()>> undo_;
-  std::function<void()> rollback_begin_, rollback_end_;
+  TupleCache* rollback_cache_ = nullptr;
 };
 
 class TransactionManager {

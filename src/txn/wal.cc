@@ -11,28 +11,28 @@
 namespace auxlsm {
 
 void Wal::set_group_commit(bool on) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   group_commit_ = on;
 }
 
 void Wal::set_fault_injector(FaultInjector* fault) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   fault_ = fault;
 }
 
 void Wal::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   commit_hist_ =
       metrics == nullptr ? nullptr : metrics->histogram("wal.commit_modeled_ns");
 }
 
 void Wal::set_tracer(obs::Tracer* tracer) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   tracer_ = tracer;
 }
 
 Wal::Backlog Wal::backlog() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   Backlog b;
   b.commit_waiters = commit_waiters_;
   const Lsn tail = next_lsn_ - 1;
@@ -59,7 +59,7 @@ Lsn Wal::AppendLocked(LogRecord record) {
 }
 
 Lsn Wal::Append(LogRecord record) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   if (fault_ != nullptr && fault_->HitParked(failpoints::kWalAppend, &io_)) {
     return kInvalidLsn;  // record dropped; Status parked for TakePending
   }
@@ -67,8 +67,12 @@ Lsn Wal::Append(LogRecord record) {
 }
 
 Lsn Wal::AppendCommit(LogRecord record) {
-  std::unique_lock<std::mutex> l(mu_);
+  // The leader protocol cycles the mutex mid-function (the commit window's
+  // yield below), which no scoped guard can express — explicit annotated
+  // lock()/unlock() calls keep the static analysis tracking every path.
+  mu_.lock();
   if (fault_ != nullptr && fault_->HitParked(failpoints::kWalAppend, &io_)) {
+    mu_.unlock();
     return kInvalidLsn;  // commit record dropped — the txn must roll back
   }
   const Lsn lsn = AppendLocked(std::move(record));
@@ -76,6 +80,7 @@ Lsn Wal::AppendCommit(LogRecord record) {
   if (!group_commit_) {
     // Legacy serial path: identical to Append (no modeled sync).
     durable_lsn_ = lsn;
+    mu_.unlock();
     return lsn;
   }
   // The commit's modeled latency runs from here (log-device virtual time at
@@ -85,7 +90,7 @@ Lsn Wal::AppendCommit(LogRecord record) {
   bool led = false;
   while (durable_lsn_ < lsn) {
     if (sync_in_progress_) {
-      cv_.wait(l);
+      cv_.Wait(mu_);
       continue;
     }
     // Become the leader: open a short commit window so concurrent commits
@@ -94,9 +99,9 @@ Lsn Wal::AppendCommit(LogRecord record) {
     // from different queues overlap in modeled time.
     led = true;
     sync_in_progress_ = true;
-    l.unlock();
+    mu_.unlock();
     std::this_thread::yield();
-    l.lock();
+    mu_.lock();
     if (tail_dirty_) {
       // The modeled fsync of the partial tail page, charged to the leader's
       // bound log queue. The durable point is read from the device's
@@ -132,7 +137,7 @@ Lsn Wal::AppendCommit(LogRecord record) {
     durable_lsn_ = next_lsn_ - 1;
     wstats_.syncs++;
     sync_in_progress_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (!led) wstats_.batched_commits++;
   // Non-negative by monotonicity whenever our batch synced after we entered;
@@ -143,19 +148,23 @@ Lsn Wal::AppendCommit(LogRecord record) {
   wstats_.commit_latency_us_max =
       std::max(wstats_.commit_latency_us_max, latency_us);
   --commit_waiters_;
-  if (commit_hist_ != nullptr) {
-    commit_hist_->Record(uint64_t(std::llround(latency_us * 1000.0)));
+  obs::Histogram* hist = commit_hist_;
+  mu_.unlock();
+  // Histogram recording is internally synchronized; keep it outside the
+  // commit window so observability never extends it.
+  if (hist != nullptr) {
+    hist->Record(uint64_t(std::llround(latency_us * 1000.0)));
   }
   return lsn;
 }
 
 Lsn Wal::tail_lsn() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return records_.empty() ? kInvalidLsn : records_.back().lsn;
 }
 
 std::vector<LogRecord> Wal::ReadFrom(Lsn after) const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   std::vector<LogRecord> out;
   for (const auto& r : records_) {
     if (r.lsn > after) out.push_back(r);
@@ -164,7 +173,7 @@ std::vector<LogRecord> Wal::ReadFrom(Lsn after) const {
 }
 
 void Wal::TruncateUpTo(Lsn up_to) {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   records_.erase(std::remove_if(records_.begin(), records_.end(),
                                 [&](const LogRecord& r) {
                                   return r.lsn <= up_to;
@@ -173,12 +182,12 @@ void Wal::TruncateUpTo(Lsn up_to) {
 }
 
 WalStats Wal::wal_stats() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return wstats_;
 }
 
 size_t Wal::num_records() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return records_.size();
 }
 

@@ -23,11 +23,11 @@
 // Wal + Env), which is what recovery replays from.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "env/disk_model.h"
 #include "io/io_engine.h"
 #include "txn/log_record.h"
@@ -131,29 +131,33 @@ class Wal {
   size_t num_records() const;
 
  private:
-  Lsn AppendLocked(LogRecord record);
+  Lsn AppendLocked(LogRecord record) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// mu_ is the commit-window mutex: it guards the log tail (records_,
+  /// next_lsn_, the partial-page byte counter) and the whole group-commit
+  /// protocol state below. Rank kLeaf: held across modeled sync charges to
+  /// the log device (DiskModel rank is deeper).
+  mutable Mutex mu_{lockrank::kLeaf, "wal.mu"};
+  CondVar cv_;
   IoEngine io_;
-  FaultInjector* fault_ = nullptr;
+  FaultInjector* fault_ GUARDED_BY(mu_) = nullptr;
   const size_t log_page_bytes_;
-  size_t bytes_since_page_ = 0;
-  Lsn next_lsn_ = 1;
-  std::vector<LogRecord> records_;
+  size_t bytes_since_page_ GUARDED_BY(mu_) = 0;
+  Lsn next_lsn_ GUARDED_BY(mu_) = 1;
+  std::vector<LogRecord> records_ GUARDED_BY(mu_);
 
-  obs::Histogram* commit_hist_ = nullptr;  ///< wal.commit_modeled_ns
-  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* commit_hist_ GUARDED_BY(mu_) = nullptr;  ///< wal.commit_modeled_ns
+  obs::Tracer* tracer_ GUARDED_BY(mu_) = nullptr;
 
-  bool group_commit_ = false;
-  bool sync_in_progress_ = false;  ///< a leader's commit window is open
-  bool tail_dirty_ = false;        ///< appended bytes not yet synced
-  uint64_t commit_waiters_ = 0;    ///< committers inside AppendCommit
-  Lsn durable_lsn_ = 0;
+  bool group_commit_ GUARDED_BY(mu_) = false;
+  bool sync_in_progress_ GUARDED_BY(mu_) = false;  ///< a leader's window is open
+  bool tail_dirty_ GUARDED_BY(mu_) = false;  ///< appended bytes not yet synced
+  uint64_t commit_waiters_ GUARDED_BY(mu_) = 0;  ///< inside AppendCommit
+  Lsn durable_lsn_ GUARDED_BY(mu_) = 0;
   /// Log-device critical path as of the last completed sync; batched
   /// commits read it to compute their modeled latency.
-  double durable_point_us_ = 0;
-  WalStats wstats_;
+  double durable_point_us_ GUARDED_BY(mu_) = 0;
+  WalStats wstats_ GUARDED_BY(mu_);
 };
 
 }  // namespace auxlsm

@@ -162,13 +162,13 @@ TEST(SideFileTest, RollbackWhileSideFileOpenAppendsAntimatter) {
   auto txn = ds.Begin();
   ASSERT_TRUE(ds.DeleteTxn(5, txn.get()).ok());
   {
-    std::lock_guard<std::mutex> l(link->mu);
+    MutexLock l(link->mu);
     ASSERT_EQ(link->side_file.size(), 1u);
     EXPECT_FALSE(link->side_file[0].second);  // a delete entry
   }
   ASSERT_TRUE(txn->Abort().ok());
   {
-    std::lock_guard<std::mutex> l(link->mu);
+    MutexLock l(link->mu);
     ASSERT_EQ(link->side_file.size(), 2u);
     EXPECT_TRUE(link->side_file[1].second);  // the rollback anti-matter
   }

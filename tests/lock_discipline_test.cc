@@ -1,0 +1,218 @@
+// Lock-discipline enforcement tests (PR 10): the runtime lock-rank checker
+// (common/lock_rank.h) and the annotated mutex/latch guards built on it.
+//
+// The checker's core (OnAcquire/OnRelease/Holds/AssertHolds) is always
+// compiled, so the unit and death tests below run in every build type. The
+// *hooks* inside Mutex/SharedMutex/RwLatch exist only under
+// AUXLSM_LOCK_RANK_CHECKS (Debug default, TSan CI); the integration tests
+// for guard-driven tracking are gated accordingly.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/rwlatch.h"
+
+namespace auxlsm {
+namespace {
+
+using lockrank::AssertHolds;
+using lockrank::HeldCount;
+using lockrank::Holds;
+using lockrank::OnAcquire;
+using lockrank::OnRelease;
+
+TEST(LockRankTest, OrderedAcquisitionPasses) {
+  int a = 0, b = 0, c = 0;
+  const uint32_t before = HeldCount();
+  OnAcquire(&a, lockrank::kIngestLatch, "a", /*shared=*/false);
+  OnAcquire(&b, lockrank::kTreeMem, "b", /*shared=*/false);
+  OnAcquire(&c, lockrank::kLeaf, "c", /*shared=*/false);
+  EXPECT_EQ(HeldCount(), before + 3);
+  EXPECT_TRUE(Holds(&b, /*exclusive_only=*/true));
+  OnRelease(&c);
+  OnRelease(&b);
+  OnRelease(&a);
+  EXPECT_EQ(HeldCount(), before);
+  EXPECT_FALSE(Holds(&a, /*exclusive_only=*/false));
+}
+
+TEST(LockRankTest, OutOfOrderReleaseIsLegal) {
+  // RAII guards with interleaved lifetimes release non-LIFO; the stack must
+  // compact correctly and keep the remaining holds queryable.
+  int a = 0, b = 0;
+  OnAcquire(&a, lockrank::kTreeMem, "a", false);
+  OnAcquire(&b, lockrank::kLeaf, "b", false);
+  OnRelease(&a);
+  EXPECT_TRUE(Holds(&b, true));
+  EXPECT_FALSE(Holds(&a, false));
+  OnRelease(&b);
+}
+
+TEST(LockRankTest, UnrankedExemptFromOrdering) {
+  // An unranked capability may be taken under any ranked hold, and ranked
+  // acquisitions skip over unranked holds when checking order.
+  int ranked = 0, unranked = 0, deeper = 0;
+  OnAcquire(&ranked, lockrank::kLeaf, "ranked", false);
+  OnAcquire(&unranked, lockrank::kUnranked, "unranked", false);
+  OnAcquire(&deeper, lockrank::kDiskModel, "deeper", false);
+  EXPECT_TRUE(Holds(&unranked, true));
+  OnRelease(&deeper);
+  OnRelease(&unranked);
+  OnRelease(&ranked);
+}
+
+TEST(LockRankTest, SharedHoldsAreNotExclusive) {
+  int cap = 0;
+  OnAcquire(&cap, lockrank::kIngestLatch, "latch", /*shared=*/true);
+  EXPECT_TRUE(Holds(&cap, /*exclusive_only=*/false));
+  EXPECT_FALSE(Holds(&cap, /*exclusive_only=*/true));
+  OnRelease(&cap);
+}
+
+TEST(LockRankTest, HoldsIsPerThread) {
+  int cap = 0;
+  OnAcquire(&cap, lockrank::kLeaf, "cap", false);
+  bool other_thread_holds = true;
+  std::thread([&]() { other_thread_holds = Holds(&cap, false); }).join();
+  EXPECT_FALSE(other_thread_holds);
+  OnRelease(&cap);
+}
+
+TEST(LockRankDeathTest, InvertedOrderAborts) {
+  EXPECT_DEATH(
+      {
+        int deep = 0;
+        int shallow = 0;
+        OnAcquire(&deep, lockrank::kLeaf, "deep", false);
+        OnAcquire(&shallow, lockrank::kIngestLatch, "shallow", false);
+      },
+      "acquisition order inverted");
+}
+
+TEST(LockRankDeathTest, SameRankNestingAborts) {
+  // Two rank-300 leaves must never nest — each rank level is a single
+  // object or a non-nesting sharded family.
+  EXPECT_DEATH(
+      {
+        int l1 = 0;
+        int l2 = 0;
+        OnAcquire(&l1, lockrank::kLeaf, "leaf1", false);
+        OnAcquire(&l2, lockrank::kLeaf, "leaf2", false);
+      },
+      "acquisition order inverted");
+}
+
+TEST(LockRankDeathTest, RecursiveRankedAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        int cap = 0;
+        OnAcquire(&cap, lockrank::kTreeMem, "cap", false);
+        OnAcquire(&cap, lockrank::kTreeMem, "cap", false);
+      },
+      "recursive acquisition");
+}
+
+TEST(LockRankDeathTest, AssertHoldsAbortsWhenNotHeld) {
+  EXPECT_DEATH(
+      {
+        int cap = 0;
+        AssertHolds(&cap, /*excl=*/true);
+      },
+      "not held by this thread");
+}
+
+TEST(LockRankDeathTest, AssertExclusiveAbortsOnSharedHold) {
+  EXPECT_DEATH(
+      {
+        int cap = 0;
+        OnAcquire(&cap, lockrank::kIngestLatch, "latch", /*shared=*/true);
+        AssertHolds(&cap, /*excl=*/true);
+      },
+      "not held by this thread");
+}
+
+#if defined(AUXLSM_LOCK_RANK_CHECKS)
+
+// Integration: the annotated primitives drive the checker through their
+// compiled-in hooks, so guards register/unregister holds automatically.
+
+TEST(LockRankGuardTest, MutexLockRegistersHold) {
+  Mutex mu(lockrank::kLeaf, "test.mu");
+  {
+    MutexLock l(mu);
+    mu.AssertHeld();  // would abort if the hook had not registered the hold
+    EXPECT_TRUE(Holds(&mu, /*exclusive_only=*/true));
+  }
+  EXPECT_FALSE(Holds(&mu, false));
+}
+
+TEST(LockRankGuardTest, SharedMutexTracksBothModes) {
+  SharedMutex mu(lockrank::kLeaf, "test.shared");
+  {
+    SharedMutexReadLock l(mu);
+    mu.AssertHeldShared();
+    EXPECT_FALSE(Holds(&mu, /*exclusive_only=*/true));
+  }
+  {
+    SharedMutexWriteLock l(mu);
+    mu.AssertHeld();
+  }
+  EXPECT_FALSE(Holds(&mu, false));
+}
+
+TEST(LockRankGuardTest, LatchGuardsTrackModesAndEarlyRelease) {
+  RwLatch latch(lockrank::kIngestLatch, "test.latch");
+  {
+    ReadLatchGuard l(latch);
+    latch.AssertHeldShared();
+  }
+  {
+    WriteLatchGuard l(latch);
+    latch.AssertHeld();
+    l.Release();  // latch-crabbing: the hold must end at Release, not scope
+    EXPECT_FALSE(Holds(&latch, false));
+  }
+}
+
+TEST(LockRankGuardTest, EngineOrderIsAcceptedEndToEnd) {
+  // The documented order, shallow to deep, as real primitives.
+  RwLatch ingest(lockrank::kIngestLatch, "ingest");
+  Mutex mem(lockrank::kTreeMem, "mem");
+  Mutex comp(lockrank::kTreeComponents, "components");
+  Mutex wal(lockrank::kLeaf, "wal");
+  Mutex disk(lockrank::kDiskModel, "disk");
+  ReadLatchGuard l0(ingest);
+  MutexLock l1(mem);
+  MutexLock l2(comp);
+  MutexLock l3(wal);
+  MutexLock l4(disk);
+  wal.AssertHeld();
+  disk.AssertHeld();
+}
+
+TEST(LockRankGuardDeathTest, InvertedEngineOrderAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex wal(lockrank::kLeaf, "wal");
+        RwLatch ingest(lockrank::kIngestLatch, "ingest");
+        MutexLock l1(wal);
+        WriteLatchGuard l0(ingest);  // taking the latch under a leaf: inverted
+      },
+      "acquisition order inverted");
+}
+
+TEST(LockRankGuardDeathTest, AssertHeldAbortsWithoutLock) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(lockrank::kLeaf, "test.mu");
+        mu.AssertHeld();
+      },
+      "not held by this thread");
+}
+
+#endif  // AUXLSM_LOCK_RANK_CHECKS
+
+}  // namespace
+}  // namespace auxlsm

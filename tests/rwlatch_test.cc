@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <shared_mutex>
 #include <thread>
 
 #include "common/rwlatch.h"
@@ -23,14 +22,14 @@ TEST(RwLatchTest, BasicSharedExclusive) {
   latch.unlock_shared();
 }
 
-TEST(RwLatchTest, WorksWithStdLockAdapters) {
+TEST(RwLatchTest, WorksWithScopedGuards) {
   RwLatch latch;
   {
-    std::shared_lock<RwLatch> shared(latch);
+    ReadLatchGuard shared(latch);
     EXPECT_FALSE(latch.try_lock());
   }
   {
-    std::unique_lock<RwLatch> exclusive(latch);
+    WriteLatchGuard exclusive(latch);
     EXPECT_FALSE(latch.try_lock_shared());
   }
 }
@@ -73,7 +72,7 @@ TEST(RwLatchTest, ExclusiveSectionsAreMutuallyExclusive) {
   for (int t = 0; t < 4; t++) {
     threads.emplace_back([&]() {
       for (int i = 0; i < 10000; i++) {
-        std::unique_lock<RwLatch> l(latch);
+        WriteLatchGuard l(latch);
         counter++;
       }
     });
@@ -91,7 +90,7 @@ TEST(RwLatchTest, ReadersSeeConsistentStateUnderWriter) {
   std::atomic<int> violations{0};
   std::thread writer([&]() {
     for (int i = 0; i < 20000; i++) {
-      std::unique_lock<RwLatch> l(latch);
+      WriteLatchGuard l(latch);
       a++;
       b++;
     }
@@ -101,7 +100,7 @@ TEST(RwLatchTest, ReadersSeeConsistentStateUnderWriter) {
   for (int t = 0; t < 2; t++) {
     readers.emplace_back([&]() {
       while (!stop.load(std::memory_order_relaxed)) {
-        std::shared_lock<RwLatch> l(latch);
+        ReadLatchGuard l(latch);
         if (a != b) violations.fetch_add(1);
       }
     });
